@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark): throughput scaling of the substrates
+// the flow's run-time column depends on — BDD construction, Reed-Muller
+// spectra, factorization, redundancy removal and the full flow, swept over
+// adder/multiplier size.
+#include <benchmark/benchmark.h>
+
+#include "baseline/script.hpp"
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+#include "equiv/equiv.hpp"
+#include "fdd/fprm.hpp"
+
+namespace {
+
+using namespace rmsyn;
+
+void BM_BddAdderOutputs(benchmark::State& state) {
+  const int nbits = static_cast<int>(state.range(0));
+  const Network spec = ripple_adder(nbits, true, true);
+  for (auto _ : state) {
+    BddManager mgr(static_cast<int>(spec.pi_count()));
+    benchmark::DoNotOptimize(output_bdds(mgr, spec));
+  }
+}
+BENCHMARK(BM_BddAdderOutputs)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RmSpectrumAdderCarry(benchmark::State& state) {
+  const int nbits = static_cast<int>(state.range(0));
+  const Network spec = ripple_adder(nbits, true, true);
+  BddManager mgr(static_cast<int>(spec.pi_count()));
+  const auto outs = output_bdds(mgr, spec);
+  std::vector<int> vars;
+  for (int v = 0; v < mgr.nvars(); ++v) vars.push_back(v);
+  BitVec pol(static_cast<std::size_t>(mgr.nvars()));
+  pol.set_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm_spectrum(mgr, outs.back(), vars, pol));
+  }
+}
+BENCHMARK(BM_RmSpectrumAdderCarry)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SynthesizeAdder(benchmark::State& state) {
+  const int nbits = static_cast<int>(state.range(0));
+  const Network spec = ripple_adder(nbits, true, true);
+  SynthOptions opt;
+  opt.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, opt, nullptr));
+  }
+}
+BENCHMARK(BM_SynthesizeAdder)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeMultiplier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Network spec = array_multiplier(n, n, 2 * n);
+  SynthOptions opt;
+  opt.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, opt, nullptr));
+  }
+}
+BENCHMARK(BM_SynthesizeMultiplier)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineAdder(benchmark::State& state) {
+  const int nbits = static_cast<int>(state.range(0));
+  const Network spec = ripple_adder(nbits, true, true);
+  BaselineOptions opt;
+  opt.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline_synthesize(spec, opt, nullptr));
+  }
+}
+BENCHMARK(BM_BaselineAdder)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  const Network spec = make_benchmark("rd84").spec;
+  SynthOptions opt;
+  opt.verify = false;
+  const Network ours = synthesize(spec, opt, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_equivalence(spec, ours));
+  }
+}
+BENCHMARK(BM_EquivalenceCheck)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

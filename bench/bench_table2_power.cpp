@@ -1,0 +1,48 @@
+// Table 2, improve%power column: zero-delay switching-activity power of the
+// synthesized networks, ours vs baseline (the SIS `power_estimate` model).
+//
+// Paper reference points: arithmetic subset average 22.4% improvement, all
+// circuits 18.0%.
+//
+// Usage: bench_table2_power [circuit ...]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmsyn;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) names = benchmark_names();
+
+  std::printf("== Table 2 (power): switching-activity estimate, baseline vs "
+              "ours ==\n");
+  std::printf("%-10s | %12s %12s | %12s\n", "circuit", "SIS'power",
+              "our power", "improve%%pow");
+
+  double arith_impr = 0, all_impr = 0;
+  std::size_t n_arith = 0, n_all = 0;
+  FlowOptions opt;
+  opt.run_mapping = false;
+  for (const auto& name : names) {
+    const FlowRow r = run_flow(name, opt);
+    std::printf("%-10s | %12.3f %12.3f | %12.1f %s\n", r.circuit.c_str(),
+                r.base_power, r.ours_power, r.improve_power_pct(),
+                r.arithmetic ? "[arith]" : "");
+    all_impr += r.improve_power_pct();
+    ++n_all;
+    if (r.arithmetic) {
+      arith_impr += r.improve_power_pct();
+      ++n_arith;
+    }
+  }
+  if (n_arith > 0)
+    std::printf("\nArithmetic subset average power improvement: %.1f%% "
+                "(paper: 22.4%%)\n",
+                arith_impr / static_cast<double>(n_arith));
+  std::printf("All-circuit average power improvement: %.1f%% (paper: 18.0%%)\n",
+              all_impr / static_cast<double>(n_all));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Adders at scale — the workload the paper's introduction motivates.
+//
+// Sweeps ripple adders from 2 to 16 bits through both flows and prints the
+// growth of the pre-mapping cost: the FPRM flow recovers the ripple
+// structure from nothing but the functions (linear cost in the bit width),
+// while the conventional SOP flow degrades as the flattened covers grow.
+#include <cstdio>
+
+#include "baseline/script.hpp"
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+#include "mapping/mapper.hpp"
+
+int main() {
+  using namespace rmsyn;
+
+  std::printf("bits | our lits  t(s)   | baseline lits  t(s) | mapped cells "
+              "(ours/base)\n");
+  for (const int bits : {2, 3, 4, 6, 8, 12, 16}) {
+    const Network spec = ripple_adder(bits, /*with_cin=*/true, true);
+    SynthReport ours;
+    const Network a = synthesize(spec, {}, &ours);
+    BaselineReport base;
+    const Network b = baseline_synthesize(spec, {}, &base);
+    const auto ma = map_network(a, mcnc_library());
+    const auto mb = map_network(b, mcnc_library());
+    std::printf("%4d | %8zu %6.2f | %13zu %5.2f | %zu / %zu\n", bits,
+                ours.stats.lits, ours.seconds, base.stats.lits, base.seconds,
+                ma.gate_count, mb.gate_count);
+  }
+  std::printf("\nPer-bit cost of the FPRM flow should be ~constant: the\n"
+              "shared-OFDD construction rebuilds the carry chain once and\n"
+              "reuses it across all sum outputs.\n");
+  return 0;
+}

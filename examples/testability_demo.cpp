@@ -1,0 +1,34 @@
+// Testability demo (Sections 1/6): derive a complete single-stuck-at test
+// set for a synthesized adder directly from its FPRM cubes — no ATPG — and
+// fault-simulate it.
+#include <cstdio>
+
+#include "benchgen/spec.hpp"
+#include "core/redundancy.hpp"
+#include "core/synth.hpp"
+#include "testability/faults.hpp"
+
+int main() {
+  using namespace rmsyn;
+  const Benchmark bench = make_benchmark("z4ml");
+
+  SynthReport rep;
+  const Network ours = synthesize(bench.spec, {}, &rep);
+
+  // Pattern set straight from the FPRM forms: AZ, AO, one-cube (OC) and
+  // single-literal-dropped (SA1) patterns.
+  const PatternSet tests = fprm_pattern_set(
+      ours.pi_count(), rep.forms, /*include_sa1=*/true, std::size_t{1} << 16);
+  std::printf("derived %zu test patterns from %zu FPRM forms\n",
+              tests.num_patterns, rep.forms.size());
+
+  const auto sim = fault_simulate(ours, tests);
+  std::printf("stuck-at faults: %zu, detected: %zu (%.1f%% coverage)\n",
+              sim.total, sim.detected, 100.0 * sim.coverage());
+  for (const auto& f : sim.undetected)
+    std::printf("  undetected: %s\n", to_string(f, ours).c_str());
+
+  std::printf("network irredundant: %s\n",
+              is_irredundant(ours) ? "yes" : "no");
+  return sim.undetected.empty() ? 0 : 1;
+}

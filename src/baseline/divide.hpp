@@ -1,0 +1,28 @@
+// Algebraic (weak) division — the workhorse of Brayton-McMullen
+// factorization: F = Q·D + R with Q the largest quotient such that Q·D ⊆ F
+// cube-by-cube (literals treated as opaque symbols; no Boolean reasoning).
+#pragma once
+
+#include "sop/cover.hpp"
+
+namespace rmsyn {
+
+struct DivisionResult {
+  Cover quotient;
+  Cover remainder;
+};
+
+/// Divides F by a single cube.
+DivisionResult divide_by_cube(const Cover& f, const Cube& d);
+
+/// Divides F by a multi-cube divisor.
+DivisionResult divide(const Cover& f, const Cover& d);
+
+/// Largest cube dividing every cube of F (its common cube).
+Cube largest_common_cube(const Cover& f);
+
+/// True when no single literal appears in every cube (the cover is
+/// "cube-free"); kernels are exactly the cube-free primary divisors.
+bool is_cube_free(const Cover& f);
+
+} // namespace rmsyn

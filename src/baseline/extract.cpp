@@ -1,0 +1,161 @@
+#include "baseline/extract.hpp"
+
+#include <map>
+#include <string>
+
+#include "baseline/divide.hpp"
+#include "baseline/kernels.hpp"
+#include "sop/minimize.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+std::string canon(const Cover& c) {
+  std::vector<std::string> rows;
+  rows.reserve(c.size());
+  for (const auto& cube : c.cubes()) rows.push_back(cube.to_string());
+  std::sort(rows.begin(), rows.end());
+  std::string s;
+  for (auto& r : rows) {
+    s += r;
+    s += '|';
+  }
+  return s;
+}
+
+/// Rewrites node `var` as Q·w + R where w is the new divisor variable.
+bool substitute_divisor(SopNetwork& sn, int var, const Cover& divisor, int w) {
+  const auto [q, r] = divide(sn.cover_of(var), divisor);
+  if (q.empty()) return false;
+  Cover next(sn.num_vars());
+  Cube wlit(sn.num_vars());
+  wlit.add_pos(w);
+  for (const auto& qc : q.cubes()) next.add(qc.intersect(wlit));
+  for (const auto& rc : r.cubes()) next.add(rc);
+  sn.set_cover(var, single_cube_containment(next));
+  return true;
+}
+
+} // namespace
+
+int extract_kernels(SopNetwork& sn, const ExtractOptions& opt) {
+  int created = 0;
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    // Gather kernels of all live nodes, grouped by canonical form.
+    struct Agg {
+      Cover kernel{0};
+      std::vector<int> nodes;
+      int saving = 0; ///< Σ per-instance literal savings
+      int lits = 0;
+    };
+    std::map<std::string, Agg> agg;
+    for (const int n : sn.topo_nodes()) {
+      const Cover& f = sn.cover_of(n);
+      if (f.size() < 2) continue;
+      for (const auto& k : kernels(f, opt.max_kernels_per_node)) {
+        if (k.kernel.size() < 2) continue;
+        auto& a = agg[canon(k.kernel)];
+        if (a.nodes.empty()) {
+          a.kernel = k.kernel;
+          a.lits = k.kernel.literal_count();
+        }
+        // One instance = (node, co-kernel): the cubes co·K (|K| copies of
+        // the co-kernel plus the kernel literals) collapse to co·w.
+        const int co_lits = k.co_kernel.literal_count();
+        a.saving += static_cast<int>(k.kernel.size()) * co_lits + a.lits -
+                    co_lits - 1;
+        if (a.nodes.empty() || a.nodes.back() != n) a.nodes.push_back(n);
+      }
+    }
+    // Best kernel by total literal saving, net of the new node's own cost.
+    const Agg* best = nullptr;
+    int best_value = opt.min_value - 1;
+    for (const auto& [key, a] : agg) {
+      const int value = a.saving - a.lits;
+      if (value > best_value) {
+        best_value = value;
+        best = &a;
+      }
+    }
+    if (best == nullptr) break;
+    Cover divisor = best->kernel;
+    const std::vector<int> targets = best->nodes;
+    const int w = sn.add_node(divisor);
+    divisor.resize_vars(sn.num_vars());
+    bool any = false;
+    for (const int n : targets) any |= substitute_divisor(sn, n, divisor, w);
+    if (!any) break;
+    ++created;
+  }
+  return created;
+}
+
+int extract_cubes(SopNetwork& sn, const ExtractOptions& opt) {
+  int created = 0;
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    // Count occurrences of literal pairs across all cubes of all nodes.
+    // Literal index: 2v (positive) / 2v+1 (negative).
+    std::map<std::pair<int, int>, int> pair_count;
+    const auto nodes = sn.topo_nodes();
+    for (const int n : nodes) {
+      for (const auto& cube : sn.cover_of(n).cubes()) {
+        std::vector<int> lits;
+        for (int v = 0; v < cube.nvars(); ++v) {
+          if (cube.has_pos(v)) lits.push_back(2 * v);
+          else if (cube.has_neg(v)) lits.push_back(2 * v + 1);
+        }
+        for (std::size_t i = 0; i < lits.size(); ++i)
+          for (std::size_t j = i + 1; j < lits.size(); ++j)
+            ++pair_count[{lits[i], lits[j]}];
+      }
+    }
+    std::pair<int, int> best{-1, -1};
+    int best_cnt = 2; // need at least 3 occurrences to save literals
+    for (const auto& [p, cnt] : pair_count) {
+      if (cnt > best_cnt) {
+        best_cnt = cnt;
+        best = p;
+      }
+    }
+    if (best.first < 0) break;
+
+    Cube divisor(sn.num_vars());
+    if (best.first % 2 == 0) divisor.add_pos(best.first / 2);
+    else divisor.add_neg(best.first / 2);
+    if (best.second % 2 == 0) divisor.add_pos(best.second / 2);
+    else divisor.add_neg(best.second / 2);
+
+    Cover div_cover(sn.num_vars());
+    div_cover.add(divisor);
+    const int w = sn.add_node(div_cover);
+    divisor.resize_vars(sn.num_vars());
+
+    bool any = false;
+    for (const int n : nodes) {
+      if (n == w) continue;
+      const Cover& f = sn.cover_of(n);
+      bool touches = false;
+      Cover next(sn.num_vars());
+      Cube wlit(sn.num_vars());
+      wlit.add_pos(w);
+      for (const auto& cube : f.cubes()) {
+        if (cube.divisible_by(divisor)) {
+          next.add(cube.divide(divisor).intersect(wlit));
+          touches = true;
+        } else {
+          next.add(cube);
+        }
+      }
+      if (touches) {
+        sn.set_cover(n, next);
+        any = true;
+      }
+    }
+    if (!any) break;
+    ++created;
+  }
+  return created;
+}
+
+} // namespace rmsyn

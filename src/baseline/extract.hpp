@@ -1,0 +1,24 @@
+// Shared-divisor extraction across the node covers of a SopNetwork — the
+// gkx (kernel) and gcx (cube) passes of MIS/SIS, implemented as greedy
+// best-divisor loops.
+#pragma once
+
+#include "baseline/sop_network.hpp"
+
+namespace rmsyn {
+
+struct ExtractOptions {
+  std::size_t max_kernels_per_node = 64;
+  std::size_t max_rounds = 64;
+  int min_value = 1; ///< minimum literal saving for an extraction to fire
+};
+
+/// Repeatedly extracts the best-valued common kernel as a new node.
+/// Returns the number of nodes created.
+int extract_kernels(SopNetwork& sn, const ExtractOptions& opt = {});
+
+/// Repeatedly extracts the best-valued common 2-literal cube as a new node.
+/// Returns the number of nodes created.
+int extract_cubes(SopNetwork& sn, const ExtractOptions& opt = {});
+
+} // namespace rmsyn

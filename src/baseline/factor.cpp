@@ -1,0 +1,159 @@
+#include "baseline/factor.hpp"
+
+#include "baseline/divide.hpp"
+#include "baseline/kernels.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+/// Most frequent literal (2v = positive, 2v+1 = negative), or -1 when no
+/// literal appears twice.
+int best_literal(const Cover& f) {
+  const int n = f.nvars();
+  std::vector<int> cnt(static_cast<std::size_t>(2 * n), 0);
+  for (const auto& c : f.cubes()) {
+    for (int v = 0; v < n; ++v) {
+      if (c.has_pos(v)) ++cnt[static_cast<std::size_t>(2 * v)];
+      else if (c.has_neg(v)) ++cnt[static_cast<std::size_t>(2 * v + 1)];
+    }
+  }
+  int best = -1, best_cnt = 1;
+  for (int l = 0; l < 2 * n; ++l) {
+    if (cnt[static_cast<std::size_t>(l)] > best_cnt) {
+      best_cnt = cnt[static_cast<std::size_t>(l)];
+      best = l;
+    }
+  }
+  return best;
+}
+
+Cube lit_cube(int nvars, int lit) {
+  Cube c(nvars);
+  if (lit % 2 == 0) c.add_pos(lit / 2); else c.add_neg(lit / 2);
+  return c;
+}
+
+class FactorBuilder {
+public:
+  FactorBuilder(Network& net, const std::vector<NodeId>& var_nodes)
+      : net_(&net), vars_(&var_nodes) {}
+
+  NodeId lit_node(int v, bool positive) {
+    const NodeId base = (*vars_)[static_cast<std::size_t>(v)];
+    return positive ? base : net_->add_not(base);
+  }
+
+  NodeId cube_node(const Cube& c) {
+    std::vector<NodeId> leaves;
+    for (int v = 0; v < c.nvars(); ++v) {
+      if (c.has_pos(v)) leaves.push_back(lit_node(v, true));
+      else if (c.has_neg(v)) leaves.push_back(lit_node(v, false));
+    }
+    if (leaves.empty()) return Network::kConst1;
+    if (leaves.size() == 1) return leaves[0];
+    return net_->add_gate(GateType::And, std::move(leaves));
+  }
+
+  NodeId build(const Cover& f) {
+    if (f.empty()) return Network::kConst0;
+    if (f.has_universal_cube()) return Network::kConst1;
+    if (f.size() == 1) return cube_node(f.cubes()[0]);
+
+    // Pull the common cube first: F = C · F'.
+    const Cube common = largest_common_cube(f);
+    if (!common.is_universal()) {
+      Cover base(f.nvars());
+      for (const auto& c : f.cubes()) base.add(c.divide(common));
+      const NodeId inner = build(base);
+      const NodeId cc = cube_node(common);
+      if (inner == Network::kConst1) return cc;
+      return net_->add_and(cc, inner);
+    }
+
+    // good_factor: prefer a multi-cube kernel divisor when one saves
+    // literals (F = Q·D + R with D a level-0 kernel); otherwise fall back
+    // to division by the most frequent literal (quick_factor).
+    if (f.size() >= 3) {
+      const auto ks = level0_kernels(f, 16);
+      const Kernel* best_k = nullptr;
+      int best_value = 0;
+      for (const auto& k : ks) {
+        if (k.kernel.size() < 2 || k.kernel.size() >= f.size()) continue;
+        const auto [q, r] = divide(f, k.kernel);
+        if (q.size() < 2) continue; // single-quotient: literal division does it
+        const int saved = f.literal_count() -
+                          (q.literal_count() + k.kernel.literal_count() +
+                           r.literal_count());
+        if (saved > best_value) {
+          best_value = saved;
+          best_k = &k;
+        }
+      }
+      if (best_k != nullptr) {
+        const auto [q, r] = divide(f, best_k->kernel);
+        const NodeId qn = build(q);
+        const NodeId dn = build(best_k->kernel);
+        NodeId left;
+        if (qn == Network::kConst1) left = dn;
+        else if (dn == Network::kConst1) left = qn;
+        else left = net_->add_and(qn, dn);
+        if (r.empty()) return left;
+        return net_->add_or(left, build(r));
+      }
+    }
+
+    const int lit = best_literal(f);
+    if (lit < 0) {
+      // No sharing left: plain OR of cube ANDs.
+      std::vector<NodeId> terms;
+      for (const auto& c : f.cubes()) terms.push_back(cube_node(c));
+      return net_->add_gate(GateType::Or, std::move(terms));
+    }
+    auto [q, r] = divide_by_cube(f, lit_cube(f.nvars(), lit));
+    const NodeId ln = lit_node(lit / 2, lit % 2 == 0);
+    const NodeId qn = build(q);
+    const NodeId left = qn == Network::kConst1 ? ln : net_->add_and(ln, qn);
+    if (r.empty()) return left;
+    return net_->add_or(left, build(r));
+  }
+
+private:
+  Network* net_;
+  const std::vector<NodeId>* vars_;
+};
+
+int count_rec(const Cover& f);
+
+int count_cube(const Cube& c) { return c.literal_count(); }
+
+int count_rec(const Cover& f) {
+  if (f.empty() || f.has_universal_cube()) return 0;
+  if (f.size() == 1) return count_cube(f.cubes()[0]);
+  const Cube common = largest_common_cube(f);
+  if (!common.is_universal()) {
+    Cover base(f.nvars());
+    for (const auto& c : f.cubes()) base.add(c.divide(common));
+    return count_cube(common) + count_rec(base);
+  }
+  const int lit = best_literal(f);
+  if (lit < 0) {
+    int n = 0;
+    for (const auto& c : f.cubes()) n += count_cube(c);
+    return n;
+  }
+  auto [q, r] = divide_by_cube(f, lit_cube(f.nvars(), lit));
+  return 1 + count_rec(q) + (r.empty() ? 0 : count_rec(r));
+}
+
+} // namespace
+
+NodeId build_factored(Network& net, const Cover& cover,
+                      const std::vector<NodeId>& var_nodes) {
+  FactorBuilder fb(net, var_nodes);
+  return fb.build(cover);
+}
+
+int factored_literals(const Cover& cover) { return count_rec(cover); }
+
+} // namespace rmsyn

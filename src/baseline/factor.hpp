@@ -1,0 +1,22 @@
+// Factoring of SOP covers into AND/OR/NOT gate trees (the SIS quick_factor
+// shape: recursive division by the most frequent literal, after pulling the
+// largest common cube).
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "sop/cover.hpp"
+
+namespace rmsyn {
+
+/// Builds gates computing `cover` inside `net`. `var_nodes[v]` is the gate
+/// node carrying cover variable v. Returns the root node.
+NodeId build_factored(Network& net, const Cover& cover,
+                      const std::vector<NodeId>& var_nodes);
+
+/// Number of literals in the factored form of `cover` (counts without
+/// building a network; used by eliminate's value function).
+int factored_literals(const Cover& cover);
+
+} // namespace rmsyn

@@ -1,0 +1,89 @@
+#include "baseline/kernels.hpp"
+
+#include <functional>
+
+#include "baseline/divide.hpp"
+#include "sop/minimize.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+// Literal index space: 2*v for positive, 2*v+1 for negative.
+int literal_count_in(const Cover& f, int lit) {
+  const int v = lit / 2;
+  const bool pos = (lit % 2) == 0;
+  int n = 0;
+  for (const auto& c : f.cubes())
+    if (pos ? c.has_pos(v) : c.has_neg(v)) ++n;
+  return n;
+}
+
+Cube lit_cube(int nvars, int lit) {
+  Cube c(nvars);
+  if (lit % 2 == 0) c.add_pos(lit / 2); else c.add_neg(lit / 2);
+  return c;
+}
+
+void kernels_rec(const Cover& g, const Cube& co, int min_lit,
+                 std::vector<Kernel>& out, std::size_t max_kernels,
+                 bool level0_only) {
+  if (out.size() >= max_kernels) return;
+  const int nlits = 2 * g.nvars();
+  bool has_sub_kernel = false;
+  for (int lit = min_lit; lit < nlits; ++lit) {
+    if (literal_count_in(g, lit) < 2) continue;
+    auto [q, r] = divide_by_cube(g, lit_cube(g.nvars(), lit));
+    (void)r;
+    if (q.size() < 2) continue;
+    // Make the quotient cube-free.
+    const Cube common = largest_common_cube(q);
+    // Skip if the common cube contains a literal smaller than `lit`
+    // (that kernel is found through the smaller literal).
+    bool smaller = false;
+    for (int l2 = 0; l2 < lit; ++l2) {
+      const int v = l2 / 2;
+      if ((l2 % 2 == 0) ? common.has_pos(v) : common.has_neg(v)) {
+        smaller = true;
+        break;
+      }
+    }
+    if (smaller) continue;
+    Cover kern(q.nvars());
+    for (const auto& c : q.cubes()) kern.add(c.divide(common));
+    Cube new_co = co.intersect(lit_cube(g.nvars(), lit)).intersect(common);
+    has_sub_kernel = true;
+    kernels_rec(kern, new_co, lit + 1, out, max_kernels, level0_only);
+    if (!level0_only && out.size() < max_kernels)
+      out.push_back({kern, new_co});
+  }
+  if (level0_only && !has_sub_kernel && g.size() >= 2 && out.size() < max_kernels)
+    out.push_back({g, co});
+}
+
+} // namespace
+
+std::vector<Kernel> kernels(const Cover& f, std::size_t max_kernels) {
+  std::vector<Kernel> out;
+  if (f.size() < 2) return out;
+  const Cube common = largest_common_cube(f);
+  Cover base(f.nvars());
+  for (const auto& c : f.cubes()) base.add(c.divide(common));
+  kernels_rec(base, common, 0, out, max_kernels, /*level0_only=*/false);
+  // The cube-free F itself is a kernel.
+  if (out.size() < max_kernels) out.push_back({base, common});
+  return out;
+}
+
+std::vector<Kernel> level0_kernels(const Cover& f, std::size_t max_kernels) {
+  std::vector<Kernel> out;
+  if (f.size() < 2) return out;
+  const Cube common = largest_common_cube(f);
+  Cover base(f.nvars());
+  for (const auto& c : f.cubes()) base.add(c.divide(common));
+  kernels_rec(base, common, 0, out, max_kernels, /*level0_only=*/true);
+  if (out.empty()) out.push_back({base, common});
+  return out;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,25 @@
+// Kernel computation (Brayton-McMullen): the kernels of a cover are its
+// cube-free primary divisors; common kernels across nodes expose the
+// multi-cube subexpressions the extraction pass shares.
+#pragma once
+
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace rmsyn {
+
+struct Kernel {
+  Cover kernel;   ///< cube-free divisor
+  Cube co_kernel; ///< cube such that kernel = F / co_kernel
+};
+
+/// All kernels of F (including F itself when cube-free). `max_kernels`
+/// bounds the enumeration on pathological covers.
+std::vector<Kernel> kernels(const Cover& f, std::size_t max_kernels = 4096);
+
+/// Level-0 kernels only (kernels with no kernels other than themselves) —
+/// cheaper, used by quick factoring.
+std::vector<Kernel> level0_kernels(const Cover& f, std::size_t max_kernels = 256);
+
+} // namespace rmsyn

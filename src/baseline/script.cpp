@@ -1,0 +1,118 @@
+#include "baseline/script.hpp"
+
+#include <stdexcept>
+
+#include "baseline/extract.hpp"
+#include "baseline/factor.hpp"
+#include "core/redundancy.hpp"
+#include "equiv/equiv.hpp"
+#include "network/transform.hpp"
+#include "sop/minimize.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+void simplify_nodes(SopNetwork& sn) {
+  for (const int n : sn.topo_nodes()) {
+    const Cover& c = sn.cover_of(n);
+    if (c.size() <= 1) continue;
+    sn.set_cover(n, espresso_lite(c));
+  }
+}
+
+/// SIS-style eliminate: collapse a node into its readers when keeping it
+/// does not pay off. The value of a node is the SOP-literal growth its
+/// collapse would cause (what keeping it saves); nodes with value <=
+/// threshold are collapsed. This is what keeps XOR-chain nodes alive —
+/// substituting an XOR cover into an XOR reader doubles the cubes — while
+/// wires, buffers and single-use AND/OR fragments are absorbed, exactly
+/// like `eliminate` in script.rugged.
+void eliminate(SopNetwork& sn, int threshold) {
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    const auto fanouts = sn.fanout_counts();
+    for (const int n : sn.topo_nodes()) {
+      const bool is_po = [&] {
+        for (const int po : sn.po_vars())
+          if (po == n) return true;
+        return false;
+      }();
+      if (is_po) continue;
+      if (fanouts[static_cast<std::size_t>(n)] == 0) continue;
+      const Cover& c = sn.cover_of(n);
+      if (c.size() > 16 || c.nvars() == 0) continue; // keep complements cheap
+      const int value = sn.collapse_growth(n);
+      if (value <= threshold && sn.collapse_node(n)) {
+        changed = true;
+        break; // fanout counts and growth values are stale; recompute
+      }
+    }
+  }
+}
+
+} // namespace
+
+Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
+                            BaselineReport* report) {
+  Stopwatch sw;
+  BaselineReport rep;
+
+  SopNetwork sn = SopNetwork::from_network(decompose2(strash(spec)));
+
+  if (opt.flatten_to_two_level) {
+    SopNetwork flat = sn;
+    if (flat.flatten(opt.flatten_cube_cap)) sn = std::move(flat);
+  }
+
+  // sweep; simplify — espresso on every node cover.
+  simplify_nodes(sn);
+  rep.sop_lits_initial = sn.literal_count();
+
+  // eliminate; the first pass uses a negative threshold (only nodes whose
+  // removal is free), as script.rugged does, then extraction runs on the
+  // flattened-enough network.
+  eliminate(sn, opt.eliminate_value);
+  simplify_nodes(sn);
+
+  // gkx/gcx loop.
+  ExtractOptions ex;
+  for (std::size_t round = 0; round < opt.extract_rounds; ++round) {
+    const int k = extract_kernels(sn, ex);
+    const int c = extract_cubes(sn, ex);
+    rep.nodes_extracted += k + c;
+    if (k + c == 0) break;
+  }
+  simplify_nodes(sn);
+  rep.sop_lits_final = sn.literal_count();
+
+  // Factor every node into gates.
+  Network net = strash(sn.to_network());
+
+  // red_removal: redundant-wire elimination on the gate network. The
+  // generic engine is reused with no FPRM forms (random-pattern filtering +
+  // exact confirmation); on an AND/OR network the XOR phases are no-ops.
+  if (opt.run_redundancy_removal) {
+    RedundancyOptions ro;
+    ro.observability_pass = false;
+    net = remove_xor_redundancy(net, {}, ro, nullptr);
+  }
+  net = strash(net);
+
+  if (opt.verify) {
+    const auto check = check_equivalence(spec, net);
+    if (!check.equivalent)
+      throw std::logic_error("baseline_synthesize: result not equivalent: " +
+                             check.reason);
+  }
+
+  rep.seconds = sw.seconds();
+  rep.stats = network_stats(net);
+  if (report != nullptr) *report = rep;
+  return net;
+}
+
+} // namespace rmsyn

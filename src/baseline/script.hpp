@@ -1,0 +1,48 @@
+// The conventional-synthesis baseline: a SIS-style script over the SOP
+// network model (the paper compares against the best of SIS `rugged` /
+// `boolean` / `algebraic`, each followed by `red_removal`). The pass
+// sequence mirrors those scripts: sweep + simplify (espresso on node
+// covers), eliminate (value-based collapsing), iterated kernel + cube
+// extraction, node factoring into AND/OR/NOT gates, and redundant-wire
+// removal on the gate network.
+//
+// Everything here is pure AND/OR factorization — like the SIS algebraic
+// engine, it can only produce XOR structures by accident, which is exactly
+// the weakness on arithmetic functions the paper exploits.
+#pragma once
+
+#include "baseline/sop_network.hpp"
+#include "network/network.hpp"
+#include "network/stats.hpp"
+
+namespace rmsyn {
+
+struct BaselineOptions {
+  bool run_redundancy_removal = true; ///< the paper's `red_removal` step
+  int eliminate_value = 0;  ///< collapse nodes whose keep-value <= this
+  std::size_t extract_rounds = 8;
+  bool verify = true; ///< check equivalence against the spec
+  /// Collapse the spec to two-level SOP first (the IWLS'91 PLA shape the
+  /// paper fed to SIS) unless any cover would exceed the cube cap — then
+  /// the spec is consumed as a multilevel network, like the circuits of the
+  /// IWLS multilevel set (my_adder, the i-series, ...).
+  bool flatten_to_two_level = true;
+  /// Cap chosen so the IWLS two-level benchmarks (t481 ~481 cubes, xor10
+  /// 512, the arithmetic PLAs) flatten, while parity-like exponential
+  /// covers bail out early and stay multilevel.
+  std::size_t flatten_cube_cap = 1500;
+};
+
+struct BaselineReport {
+  NetworkStats stats;
+  double seconds = 0.0;
+  int sop_lits_initial = 0; ///< SOP literals after simplify
+  int sop_lits_final = 0;   ///< SOP literals after extraction
+  int nodes_extracted = 0;
+};
+
+/// Runs the baseline script on a specification network.
+Network baseline_synthesize(const Network& spec, const BaselineOptions& opt = {},
+                            BaselineReport* report = nullptr);
+
+} // namespace rmsyn

@@ -1,0 +1,291 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmsyn {
+
+BddManager::BddManager(int nvars) : nvars_(nvars) {
+  // Terminals live at level nvars_ (below every variable).
+  nodes_.push_back({nvars_, kFalse, kFalse}); // 0
+  nodes_.push_back({nvars_, kTrue, kTrue});   // 1
+  var_refs_.assign(static_cast<std::size_t>(nvars_), kFalse);
+}
+
+BddRef BddManager::mk(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const uint64_t key = pack_unique(var, lo, hi);
+  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (nodes_.size() > kMaxRef)
+    throw std::runtime_error("BddManager: node limit exceeded");
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(int v) {
+  assert(v >= 0 && v < nvars_);
+  auto& cached = var_refs_[static_cast<std::size_t>(v)];
+  if (cached == kFalse) cached = mk(v, kFalse, kTrue);
+  return cached;
+}
+
+BddRef BddManager::nvar(int v) { return bdd_not(var(v)); }
+
+BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
+  // Terminal rules.
+  switch (op) {
+    case Op::And:
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+      if (a == b) return a;
+      break;
+    case Op::Or:
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return a;
+      break;
+    case Op::Xor:
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return kFalse;
+      break;
+  }
+  if (a > b) std::swap(a, b); // all three ops are commutative
+  const uint64_t key = pack_cache(op, a, b);
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  const int v = std::min(na.var, nb.var);
+  const BddRef a0 = na.var == v ? na.lo : a;
+  const BddRef a1 = na.var == v ? na.hi : a;
+  const BddRef b0 = nb.var == v ? nb.lo : b;
+  const BddRef b1 = nb.var == v ? nb.hi : b;
+  const BddRef r = mk(v, apply(op, a0, b0), apply(op, a1, b1));
+  cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::bdd_and(BddRef a, BddRef b) { return apply(Op::And, a, b); }
+BddRef BddManager::bdd_or(BddRef a, BddRef b) { return apply(Op::Or, a, b); }
+BddRef BddManager::bdd_xor(BddRef a, BddRef b) { return apply(Op::Xor, a, b); }
+BddRef BddManager::bdd_not(BddRef a) { return apply(Op::Xor, a, kTrue); }
+
+BddRef BddManager::bdd_ite(BddRef f, BddRef g, BddRef h) {
+  return bdd_or(bdd_and(f, g), bdd_and(bdd_not(f), h));
+}
+
+BddRef BddManager::cofactor(BddRef f, int v, bool value) {
+  if (is_terminal(f)) return f;
+  const Node& n = nodes_[f];
+  if (n.var > v) return f;
+  if (n.var == v) return value ? n.hi : n.lo;
+  // n.var < v: rebuild below. Use a local recursion with the apply cache
+  // keyed via an op trick is not safe; recurse with memo map.
+  std::unordered_map<BddRef, BddRef> memo;
+  const std::function<BddRef(BddRef)> rec = [&](BddRef g) -> BddRef {
+    if (is_terminal(g)) return g;
+    const Node& gn = nodes_[g];
+    if (gn.var > v) return g;
+    if (gn.var == v) return value ? gn.hi : gn.lo;
+    if (const auto it = memo.find(g); it != memo.end()) return it->second;
+    const BddRef r = mk(gn.var, rec(gn.lo), rec(gn.hi));
+    memo.emplace(g, r);
+    return r;
+  };
+  return rec(f);
+}
+
+bool BddManager::depends_on(BddRef f, int v) {
+  return support(f).get(static_cast<std::size_t>(v));
+}
+
+BitVec BddManager::support(BddRef f) {
+  BitVec s(static_cast<std::size_t>(nvars_));
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  while (!stack.empty()) {
+    const BddRef g = stack.back();
+    stack.pop_back();
+    if (is_terminal(g) || seen[g]) continue;
+    seen[g] = true;
+    s.set(static_cast<std::size_t>(nodes_[g].var));
+    stack.push_back(nodes_[g].lo);
+    stack.push_back(nodes_[g].hi);
+  }
+  return s;
+}
+
+double BddManager::density(BddRef f) {
+  std::unordered_map<BddRef, double> memo;
+  const std::function<double(BddRef)> dens = [&](BddRef g) -> double {
+    if (g == kFalse) return 0.0;
+    if (g == kTrue) return 1.0;
+    if (const auto it = memo.find(g); it != memo.end()) return it->second;
+    const Node& n = nodes_[g];
+    const double d = 0.5 * (dens(n.lo) + dens(n.hi));
+    memo.emplace(g, d);
+    return d;
+  };
+  return dens(f);
+}
+
+double BddManager::sat_count(BddRef f) {
+  double scale = 1.0;
+  for (int i = 0; i < nvars_; ++i) scale *= 2.0;
+  return density(f) * scale;
+}
+
+bool BddManager::enumerate_sat(BddRef f, const std::vector<int>& vars,
+                               std::size_t limit,
+                               const std::function<bool(const BitVec&)>& cb) {
+  // Map variable index -> position in `vars` (must be sorted ascending for
+  // the walk below; we sort a copy and remap).
+  std::vector<int> order = vars;
+  std::sort(order.begin(), order.end());
+  std::unordered_map<int, std::size_t> pos;
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    pos[vars[i]] = i;
+
+  BitVec assign(vars.size());
+  std::size_t produced = 0;
+  bool ok = true;
+
+  const std::function<bool(BddRef, std::size_t)> rec = [&](BddRef g,
+                                                           std::size_t depth) -> bool {
+    if (!ok) return false;
+    if (g == kFalse) return true;
+    if (depth == order.size()) {
+      if (g != kTrue) {
+        // Function still depends on variables outside `vars` — precondition
+        // violated.
+        throw std::logic_error("enumerate_sat: support not contained in vars");
+      }
+      if (produced++ >= limit) { ok = false; return false; }
+      if (!cb(assign)) { ok = false; return false; }
+      return true;
+    }
+    const int v = order[depth];
+    const std::size_t slot = pos[v];
+    BddRef g0 = g, g1 = g;
+    if (!is_terminal(g) && nodes_[g].var == v) {
+      g0 = nodes_[g].lo;
+      g1 = nodes_[g].hi;
+    } else if (!is_terminal(g) && nodes_[g].var < v) {
+      throw std::logic_error("enumerate_sat: node above enumeration range");
+    }
+    assign.set(slot, false);
+    if (!rec(g0, depth + 1)) return false;
+    assign.set(slot, true);
+    if (!rec(g1, depth + 1)) return false;
+    assign.set(slot, false);
+    return true;
+  };
+  rec(f, 0);
+  return ok;
+}
+
+BitVec BddManager::pick_sat(BddRef f) {
+  assert(f != kFalse);
+  BitVec assign(static_cast<std::size_t>(nvars_));
+  BddRef g = f;
+  while (!is_terminal(g)) {
+    const Node& n = nodes_[g];
+    if (n.hi != kFalse) {
+      assign.set(static_cast<std::size_t>(n.var), true);
+      g = n.hi;
+    } else {
+      g = n.lo;
+    }
+  }
+  return assign;
+}
+
+BddRef BddManager::mk_node(int var, BddRef lo, BddRef hi) {
+  assert(var >= 0 && var < nvars_);
+  assert(var < nodes_[lo].var && var < nodes_[hi].var);
+  return mk(var, lo, hi);
+}
+
+BddRef BddManager::from_cube(const Cube& c) {
+  BddRef r = kTrue;
+  // Build bottom-up (highest variable first) to keep mk() linear.
+  for (int v = nvars_ - 1; v >= 0; --v) {
+    if (c.has_pos(v)) r = mk(v, kFalse, r);
+    else if (c.has_neg(v)) r = mk(v, r, kFalse);
+  }
+  return r;
+}
+
+BddRef BddManager::from_cover(const Cover& c) {
+  // Balanced OR reduction keeps intermediate BDDs small.
+  std::vector<BddRef> parts;
+  parts.reserve(c.size());
+  for (const auto& cube : c.cubes()) parts.push_back(from_cube(cube));
+  if (parts.empty()) return kFalse;
+  while (parts.size() > 1) {
+    std::vector<BddRef> next;
+    next.reserve((parts.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2)
+      next.push_back(bdd_or(parts[i], parts[i + 1]));
+    if (parts.size() % 2 == 1) next.push_back(parts.back());
+    parts.swap(next);
+  }
+  return parts[0];
+}
+
+bool BddManager::eval(BddRef f, const BitVec& assignment) const {
+  BddRef g = f;
+  while (!is_terminal(g)) {
+    const Node& n = nodes_[g];
+    g = assignment.get(static_cast<std::size_t>(n.var)) ? n.hi : n.lo;
+  }
+  return g == kTrue;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  if (is_terminal(f)) return 0;
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef g = stack.back();
+    stack.pop_back();
+    if (is_terminal(g) || seen[g]) continue;
+    seen[g] = true;
+    ++count;
+    stack.push_back(nodes_[g].lo);
+    stack.push_back(nodes_[g].hi);
+  }
+  return count;
+}
+
+std::string BddManager::to_dot(BddRef f, const std::string& name) const {
+  std::ostringstream out;
+  out << "digraph \"" << name << "\" {\n";
+  out << "  node0 [label=\"0\", shape=box];\n  node1 [label=\"1\", shape=box];\n";
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  while (!stack.empty()) {
+    const BddRef g = stack.back();
+    stack.pop_back();
+    if (is_terminal(g) || seen[g]) continue;
+    seen[g] = true;
+    const Node& n = nodes_[g];
+    out << "  node" << g << " [label=\"x" << n.var << "\"];\n";
+    out << "  node" << g << " -> node" << n.lo << " [style=dashed];\n";
+    out << "  node" << g << " -> node" << n.hi << ";\n";
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+} // namespace rmsyn

@@ -1,0 +1,147 @@
+// A from-scratch ROBDD package (Bryant-style), standing in for the SIS 1.2
+// BDD package the paper used. Reduced, ordered, no complement edges; nodes
+// are interned in a unique table and live for the manager's lifetime (the
+// circuits in this reproduction are small enough that garbage collection is
+// unnecessary — managers are created per task and discarded).
+//
+// The FPRM/OFDD machinery in src/fdd is layered directly on top of this
+// package: the paper's OFDD is isomorphic to the ROBDD of the Reed-Muller
+// coefficient function (see fdd/fprm.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace rmsyn {
+
+/// Index of a BDD node inside its manager. 0 and 1 are the terminals.
+using BddRef = uint32_t;
+
+class BddManager {
+public:
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  /// Creates a manager over `nvars` variables with the identity order
+  /// (variable i is at level i).
+  explicit BddManager(int nvars);
+
+  int nvars() const { return nvars_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  BddRef bdd_false() const { return kFalse; }
+  BddRef bdd_true() const { return kTrue; }
+  BddRef var(int v);
+  BddRef nvar(int v);
+  /// The literal of variable v with the given phase.
+  BddRef literal(int v, bool positive) { return positive ? var(v) : nvar(v); }
+
+  BddRef bdd_and(BddRef a, BddRef b);
+  BddRef bdd_or(BddRef a, BddRef b);
+  BddRef bdd_xor(BddRef a, BddRef b);
+  BddRef bdd_not(BddRef a);
+  /// if-then-else, built from the two-operand kernel.
+  BddRef bdd_ite(BddRef f, BddRef g, BddRef h);
+
+  /// Shannon cofactor with variable v fixed to `value`.
+  BddRef cofactor(BddRef f, int v, bool value);
+
+  /// True iff f depends on variable v.
+  bool depends_on(BddRef f, int v);
+  /// Mask of variables f depends on.
+  BitVec support(BddRef f);
+
+  /// Number of satisfying assignments over all nvars variables, as a double
+  /// (exact up to 2^53).
+  double sat_count(BddRef f);
+
+  /// Fraction of assignments satisfying f (signal probability under
+  /// independent uniform inputs); never overflows regardless of nvars.
+  double density(BddRef f);
+
+  /// Enumerates the satisfying assignments of f projected onto `vars`.
+  /// Requires support(f) ⊆ vars; a variable of `vars` unconstrained along a
+  /// BDD path is expanded into both values (the paper's 2^(n-k) cubes per
+  /// OFDD path). `cb` receives a BitVec indexed like `vars`; returning false
+  /// aborts. Returns false when `limit` assignments were produced before
+  /// finishing.
+  bool enumerate_sat(BddRef f, const std::vector<int>& vars, std::size_t limit,
+                     const std::function<bool(const BitVec&)>& cb);
+
+  /// One satisfying assignment (any), as a full nvars-wide assignment;
+  /// valid only when f != false.
+  BitVec pick_sat(BddRef f);
+
+  /// Creates (or reuses) the node ITE(var, hi, lo). `var` must lie strictly
+  /// above both children's levels; used by the Reed-Muller transform in
+  /// src/fdd which constructs spectra level by level.
+  BddRef mk_node(int var, BddRef lo, BddRef hi);
+
+  /// Builds the BDD of an SOP cover.
+  BddRef from_cover(const Cover& c);
+  /// Builds the BDD of a single cube.
+  BddRef from_cube(const Cube& c);
+
+  /// Evaluates f under a full assignment.
+  bool eval(BddRef f, const BitVec& assignment) const;
+
+  /// Number of nodes in the subgraph rooted at f (excluding terminals).
+  std::size_t size(BddRef f) const;
+
+  /// Graphviz rendering for debugging/documentation.
+  std::string to_dot(BddRef f, const std::string& name = "f") const;
+
+  int var_of(BddRef f) const { return nodes_[f].var; }
+  BddRef lo_of(BddRef f) const { return nodes_[f].lo; }
+  BddRef hi_of(BddRef f) const { return nodes_[f].hi; }
+  bool is_terminal(BddRef f) const { return f <= kTrue; }
+
+private:
+  struct Node {
+    int var; // level == var index; terminals use nvars_ (below everything)
+    BddRef lo;
+    BddRef hi;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const uint64_t& k) const {
+      uint64_t z = k + 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  BddRef mk(int var, BddRef lo, BddRef hi);
+
+  enum class Op : uint8_t { And, Or, Xor };
+  BddRef apply(Op op, BddRef a, BddRef b);
+
+  int nvars_;
+  std::vector<Node> nodes_;
+  // Keys are exact bit-packings (see pack_* below), so lookups can never
+  // alias distinct triples.
+  std::unordered_map<uint64_t, BddRef, KeyHash> unique_; // (var,lo,hi)
+  std::unordered_map<uint64_t, BddRef, KeyHash> cache_;  // (op,a,b)
+  std::vector<BddRef> var_refs_;
+
+  // Node references are capped at 2^23 so (var, lo, hi) packs exactly into
+  // 64 bits. 8M nodes is far beyond anything this reproduction creates; the
+  // cap is enforced in mk().
+  static constexpr BddRef kMaxRef = (1u << 23) - 1;
+  static uint64_t pack_unique(int var, BddRef lo, BddRef hi) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(var)) << 46) |
+           (static_cast<uint64_t>(lo) << 23) | static_cast<uint64_t>(hi);
+  }
+  static uint64_t pack_cache(Op op, BddRef a, BddRef b) {
+    return (static_cast<uint64_t>(op) << 46) |
+           (static_cast<uint64_t>(a) << 23) | static_cast<uint64_t>(b);
+  }
+};
+
+} // namespace rmsyn

@@ -1,0 +1,229 @@
+// Exact generators for the arithmetic building blocks behind the Table-2
+// circuits: ripple adders (adr4/add6/radd/z4ml/cm82a/my_adder), the array
+// multiplier (mlp4), squarers (sqr6/squar5), ones counters (rd53/rd73/rd84),
+// symmetric weight bands (9sym/sym10), and parity chains (parity/xor10).
+#include "benchgen/spec.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sop/minimize.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+void full_adder(Network& net, NodeId a, NodeId b, NodeId cin, NodeId& sum,
+                NodeId& cout) {
+  const NodeId axb = net.add_xor(a, b);
+  sum = net.add_xor(axb, cin);
+  cout = net.add_or(net.add_and(a, b), net.add_and(axb, cin));
+}
+
+void half_adder(Network& net, NodeId a, NodeId b, NodeId& sum, NodeId& cout) {
+  sum = net.add_xor(a, b);
+  cout = net.add_and(a, b);
+}
+
+} // namespace
+
+Network ripple_adder(int nbits, bool with_cin, bool with_cout) {
+  Network net;
+  std::vector<NodeId> a(static_cast<std::size_t>(nbits));
+  std::vector<NodeId> b(static_cast<std::size_t>(nbits));
+  // Interleaved PI order keeps the spec BDDs small for wide adders.
+  for (int i = 0; i < nbits; ++i) {
+    a[static_cast<std::size_t>(i)] = net.add_pi("a" + std::to_string(i));
+    b[static_cast<std::size_t>(i)] = net.add_pi("b" + std::to_string(i));
+  }
+  NodeId carry = with_cin ? net.add_pi("cin") : Network::kConst0;
+  std::vector<NodeId> sums(static_cast<std::size_t>(nbits));
+  for (int i = 0; i < nbits; ++i) {
+    NodeId s, c;
+    if (carry == Network::kConst0)
+      half_adder(net, a[static_cast<std::size_t>(i)],
+                 b[static_cast<std::size_t>(i)], s, c);
+    else
+      full_adder(net, a[static_cast<std::size_t>(i)],
+                 b[static_cast<std::size_t>(i)], carry, s, c);
+    sums[static_cast<std::size_t>(i)] = s;
+    carry = c;
+  }
+  for (int i = 0; i < nbits; ++i)
+    net.add_po(sums[static_cast<std::size_t>(i)], "s" + std::to_string(i));
+  if (with_cout) net.add_po(carry, "cout");
+  return net;
+}
+
+Network array_multiplier(int n, int m, int out_bits) {
+  if (out_bits > n + m)
+    throw std::invalid_argument("array_multiplier: too many output bits");
+  Network net;
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < n; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int j = 0; j < m; ++j) b.push_back(net.add_pi("b" + std::to_string(j)));
+
+  // Column-wise carry-save accumulation of the partial-product bits.
+  std::vector<std::vector<NodeId>> columns(static_cast<std::size_t>(n + m));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      columns[static_cast<std::size_t>(i + j)].push_back(
+          net.add_and(a[static_cast<std::size_t>(i)],
+                      b[static_cast<std::size_t>(j)]));
+
+  std::vector<NodeId> product;
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    auto& bits = columns[col];
+    while (bits.size() > 1) {
+      if (bits.size() >= 3) {
+        NodeId s, c;
+        full_adder(net, bits[0], bits[1], bits[2], s, c);
+        bits.erase(bits.begin(), bits.begin() + 3);
+        bits.push_back(s);
+        if (col + 1 < columns.size()) columns[col + 1].push_back(c);
+      } else {
+        NodeId s, c;
+        half_adder(net, bits[0], bits[1], s, c);
+        bits.erase(bits.begin(), bits.begin() + 2);
+        bits.push_back(s);
+        if (col + 1 < columns.size()) columns[col + 1].push_back(c);
+      }
+    }
+    product.push_back(bits.empty() ? Network::kConst0 : bits[0]);
+  }
+  for (int k = 0; k < out_bits; ++k)
+    net.add_po(product[static_cast<std::size_t>(k)], "p" + std::to_string(k));
+  return net;
+}
+
+Network squarer(int nbits, int out_bits) {
+  // Square via the partial products of x*x: columns get a_i·a_j pairs once
+  // (shifted up, since a_i a_j + a_j a_i = 2·a_i a_j) plus the diagonal
+  // a_i·a_i = a_i.
+  Network net;
+  std::vector<NodeId> a;
+  for (int i = 0; i < nbits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  std::vector<std::vector<NodeId>> columns(static_cast<std::size_t>(2 * nbits));
+  for (int i = 0; i < nbits; ++i) {
+    columns[static_cast<std::size_t>(2 * i)].push_back(
+        a[static_cast<std::size_t>(i)]);
+    for (int j = i + 1; j < nbits; ++j)
+      columns[static_cast<std::size_t>(i + j + 1)].push_back(
+          net.add_and(a[static_cast<std::size_t>(i)],
+                      a[static_cast<std::size_t>(j)]));
+  }
+  std::vector<NodeId> out;
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    auto& bits = columns[col];
+    while (bits.size() > 1) {
+      NodeId s, c;
+      if (bits.size() >= 3) {
+        full_adder(net, bits[0], bits[1], bits[2], s, c);
+        bits.erase(bits.begin(), bits.begin() + 3);
+      } else {
+        half_adder(net, bits[0], bits[1], s, c);
+        bits.erase(bits.begin(), bits.begin() + 2);
+      }
+      bits.push_back(s);
+      if (col + 1 < columns.size()) columns[col + 1].push_back(c);
+    }
+    out.push_back(bits.empty() ? Network::kConst0 : bits[0]);
+  }
+  for (int k = 0; k < out_bits; ++k)
+    net.add_po(out[static_cast<std::size_t>(k)], "q" + std::to_string(k));
+  return net;
+}
+
+Network ones_counter(int nbits) {
+  Network net;
+  std::vector<NodeId> xs;
+  for (int i = 0; i < nbits; ++i) xs.push_back(net.add_pi("x" + std::to_string(i)));
+
+  int out_bits = 0;
+  while ((1 << out_bits) <= nbits) ++out_bits;
+
+  // Accumulate bit by bit: count' = count + x (ripple increment gated by x).
+  std::vector<NodeId> count(static_cast<std::size_t>(out_bits), Network::kConst0);
+  for (const NodeId x : xs) {
+    NodeId carry = x;
+    for (int k = 0; k < out_bits; ++k) {
+      const NodeId old = count[static_cast<std::size_t>(k)];
+      NodeId s, c;
+      if (old == Network::kConst0) {
+        s = carry;
+        c = Network::kConst0;
+      } else {
+        half_adder(net, old, carry, s, c);
+      }
+      count[static_cast<std::size_t>(k)] = s;
+      carry = c;
+      if (carry == Network::kConst0) break;
+    }
+  }
+  for (int k = 0; k < out_bits; ++k)
+    net.add_po(count[static_cast<std::size_t>(k)], "c" + std::to_string(k));
+  return net;
+}
+
+Network weight_band(int nbits, int lo, int hi) {
+  // Spec-level construction: truth table of the symmetric band. These are
+  // small (<= 10 inputs).
+  const TruthTable tt = TruthTable::from_function(nbits, [&](uint64_t m) {
+    const int w = __builtin_popcountll(m);
+    return w >= lo && w <= hi;
+  });
+  return network_from_tts({tt});
+}
+
+Network parity_chain(int nbits) {
+  Network net;
+  NodeId acc = Network::kConst0;
+  for (int i = 0; i < nbits; ++i) {
+    const NodeId x = net.add_pi("x" + std::to_string(i));
+    acc = i == 0 ? x : net.add_xor(acc, x);
+  }
+  net.add_po(acc, "p");
+  return net;
+}
+
+Network network_from_covers(const std::vector<Cover>& outputs, int num_inputs) {
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < num_inputs; ++i) pis.push_back(net.add_pi());
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    const Cover& cov = outputs[o];
+    assert(cov.nvars() == num_inputs);
+    std::vector<NodeId> terms;
+    for (const auto& cube : cov.cubes()) {
+      std::vector<NodeId> lits;
+      for (int v = 0; v < num_inputs; ++v) {
+        if (cube.has_pos(v)) lits.push_back(pis[static_cast<std::size_t>(v)]);
+        else if (cube.has_neg(v))
+          lits.push_back(net.add_not(pis[static_cast<std::size_t>(v)]));
+      }
+      if (lits.empty()) terms.push_back(Network::kConst1);
+      else if (lits.size() == 1) terms.push_back(lits[0]);
+      else terms.push_back(net.add_gate(GateType::And, std::move(lits)));
+    }
+    NodeId root;
+    if (terms.empty()) root = Network::kConst0;
+    else if (terms.size() == 1) root = terms[0];
+    else root = net.add_gate(GateType::Or, std::move(terms));
+    net.add_po(root, "z" + std::to_string(o));
+  }
+  return net;
+}
+
+Network network_from_tts(const std::vector<TruthTable>& outputs) {
+  assert(!outputs.empty());
+  std::vector<Cover> covers;
+  covers.reserve(outputs.size());
+  // Canonical minterm covers are merged into a reasonable two-level form so
+  // that SOP-based consumers (the baseline) start from a fair spec, like the
+  // minimized PLAs the IWLS'91 set ships.
+  for (const auto& tt : outputs)
+    covers.push_back(merge_distance_one(Cover::from_truth_table(tt)));
+  return network_from_covers(covers, outputs[0].nvars());
+}
+
+} // namespace rmsyn

@@ -1,0 +1,38 @@
+// Internal declarations of the per-circuit generators (see arith.cpp,
+// misc.cpp, synthetic.cpp). Users go through make_benchmark() in spec.hpp.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace rmsyn::bg {
+
+// misc.cpp — known functions.
+Network t481();
+Network comparator85();   // cm85a
+Network counter163();     // cm163a
+Network mux_bank66();     // i5
+Network barrel_shift16(); // shift
+Network fivexp1();        // 5xp1
+Network f51m();
+Network addm4();
+Network f2();
+Network bcd_div3();
+Network co14();
+Network majority5();
+Network cmb();
+Network tcon();
+
+// synthetic.cpp — documented stand-ins for circuits with no public function.
+Network cc();      // 21/20
+Network i1();      // 25/13
+Network i3();      // 132/6
+Network i4();      // 192/6
+Network m181();    // 15/9
+Network misg();    // 56/23
+Network mish();    // 94/34
+Network pcle();    // 19/9
+Network pcler8();  // 27/17
+Network pm1();     // 16/13
+Network frg1();    // 28/3
+
+} // namespace rmsyn::bg

@@ -1,0 +1,29 @@
+// Factorization Method 1 — the cube method of Section 3.
+//
+// Takes the explicit FPRM cube list, divides the cubes into groups with
+// disjoint support (step 2), recursively factors each group by the literal
+// with the highest cube count — the "maximal common support" heuristic of
+// step 3 realized as iterated application of Factorization rule
+// (d) AB ⊕ AC ⊕ … = A(B ⊕ C ⊕ …) — applies Reduction rules
+// (a) A ⊕ AB = A·B̄ and (b) AB ⊕ AC ⊕ ABC = A(B+C) where their shapes occur
+// (step 4), and joins the group subnetworks with a balanced binary tree of
+// XOR gates (step 5).
+//
+// The remaining reduction opportunities — in particular rule
+// (c) AB ⊕ B̄ = A + B̄, whose trigger involves complements created by rule
+// (a) — are discovered network-wide by the Section-4 redundancy-removal
+// pass, exactly as the paper notes at the end of Section 4.
+#pragma once
+
+#include "core/xor_expr.hpp"
+#include "fdd/fprm.hpp"
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+/// Builds a subnetwork computing the FPRM form inside `net`, with PIs
+/// provided by `pi_nodes` (global variable id -> PI node). Returns the root.
+NodeId factor_cubes(Network& net, const std::vector<NodeId>& pi_nodes,
+                    const FprmForm& form);
+
+} // namespace rmsyn

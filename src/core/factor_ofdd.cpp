@@ -1,0 +1,119 @@
+#include "core/factor_ofdd.hpp"
+
+#include <functional>
+
+namespace rmsyn {
+
+NodeId factor_ofdd(Network& net, const std::vector<NodeId>& pi_nodes,
+                   BddManager& mgr, const Ofdd& ofdd) {
+  LiteralContext ctx(net, pi_nodes, ofdd.support, ofdd.polarity);
+
+  // Memo key: (spectrum node, depth). Spectrum refs are < 2^23.
+  std::unordered_map<uint64_t, NodeId> memo;
+  const auto key_of = [](BddRef r, std::size_t depth) {
+    return (static_cast<uint64_t>(depth) << 24) | r;
+  };
+
+  const std::function<NodeId(BddRef, std::size_t)> build =
+      [&](BddRef r, std::size_t depth) -> NodeId {
+    if (depth == ofdd.support.size())
+      return r == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
+    const uint64_t key = key_of(r, depth);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+
+    const int v = ofdd.support[depth];
+    const NodeId lit = ctx.literal(depth);
+    NodeId result;
+    if (!mgr.is_terminal(r) && mgr.var_of(r) == v) {
+      const BddRef lo = mgr.lo_of(r);
+      const BddRef hi = mgr.hi_of(r);
+      const NodeId f_lo = build(lo, depth + 1);
+      const NodeId f_hi = build(hi, depth + 1);
+      if (f_hi == Network::kConst0) {
+        // No cube below contains the literal.
+        result = f_lo;
+      } else if (f_lo == Network::kConst0) {
+        // f = lit · f_hi; no XOR needed.
+        result = f_hi == Network::kConst1 ? lit : net.add_and(lit, f_hi);
+      } else {
+        const NodeId prod =
+            f_hi == Network::kConst1 ? lit : net.add_and(lit, f_hi);
+        result = net.add_xor(f_lo, prod);
+      }
+    } else {
+      // Variable skipped: both "with literal" and "without" cubes exist —
+      // f = (1 ⊕ lit)·g = lit̄·g (Reduction rule (a) materialized by the
+      // diagram itself).
+      const NodeId g = build(r, depth + 1);
+      if (g == Network::kConst0) result = Network::kConst0;
+      else {
+        const NodeId nlit = net.add_not(lit);
+        result = g == Network::kConst1 ? nlit : net.add_and(nlit, g);
+      }
+    }
+    memo.emplace(key, result);
+    return result;
+  };
+
+  return build(ofdd.root, 0);
+}
+
+SharedOfddBuilder::SharedOfddBuilder(Network& net,
+                                     const std::vector<NodeId>& pi_nodes,
+                                     BddManager& mgr, const BitVec& polarity)
+    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr), polarity_(polarity),
+      lit_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0),
+      nlit_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0) {}
+
+NodeId SharedOfddBuilder::literal(int var) {
+  auto& slot = lit_cache_[static_cast<std::size_t>(var)];
+  if (slot == Network::kConst0) {
+    const NodeId pi = (*pi_nodes_)[static_cast<std::size_t>(var)];
+    slot = polarity_.get(static_cast<std::size_t>(var)) ? pi : net_->add_not(pi);
+  }
+  return slot;
+}
+
+NodeId SharedOfddBuilder::build(BddRef spectrum) {
+  return build_rec(spectrum, 0);
+}
+
+NodeId SharedOfddBuilder::build_rec(BddRef r, int var) {
+  const int n = mgr_->nvars();
+  if (var == n) return r == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
+  // Terminal-0 short-circuit: no cubes below.
+  if (r == BddManager::kFalse) return Network::kConst0;
+  const uint64_t key = (static_cast<uint64_t>(var) << 24) | r;
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  const NodeId lit = literal(var);
+  NodeId result;
+  if (!mgr_->is_terminal(r) && mgr_->var_of(r) == var) {
+    const BddRef lo = mgr_->lo_of(r);
+    const BddRef hi = mgr_->hi_of(r);
+    const NodeId f_lo = build_rec(lo, var + 1);
+    const NodeId f_hi = build_rec(hi, var + 1);
+    if (f_hi == Network::kConst0) {
+      result = f_lo;
+    } else if (f_lo == Network::kConst0) {
+      result = f_hi == Network::kConst1 ? lit : net_->add_and(lit, f_hi);
+    } else {
+      const NodeId prod = f_hi == Network::kConst1 ? lit : net_->add_and(lit, f_hi);
+      result = net_->add_xor(f_lo, prod);
+    }
+  } else {
+    // Skipped presence bit: cube pairs {C, C·lit} — multiply by lit̄.
+    const NodeId g = build_rec(r, var + 1);
+    if (g == Network::kConst0) {
+      result = Network::kConst0;
+    } else {
+      auto& nslot = nlit_cache_[static_cast<std::size_t>(var)];
+      if (nslot == Network::kConst0) nslot = net_->add_not(lit);
+      result = g == Network::kConst1 ? nslot : net_->add_and(nslot, g);
+    }
+  }
+  memo_.emplace(key, result);
+  return result;
+}
+
+} // namespace rmsyn

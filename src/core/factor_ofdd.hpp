@@ -1,0 +1,66 @@
+// Factorization Method 2 — the OFDD method of Section 3.
+//
+// The initial multilevel network is constructed by a single traversal of
+// the OFDD: each node is replaced by one AND gate and one XOR gate
+// implementing its Davio expansion  f = f_lo ⊕ lit·f_hi.  OFDD nodes shared
+// between several parents become shared subnetworks — the factored
+// subexpressions of rule (d) the paper reads off "any set of nodes that
+// share a common child node".
+//
+// The paper's note about variables missing along a path is handled exactly:
+// in the coefficient-function view a skipped variable v means the pair of
+// cubes {C, C·lit_v} both occur, and  C ⊕ C·lit_v = C·lit̄_v, so the
+// construction inserts AND(NOT lit_v, ...) — which is precisely Reduction
+// rule (a) applied for free by the diagram.
+//
+// Multi-output sharing. The paper observes that the multioutput OFDD cannot
+// be used directly because shared nodes may sit under different support
+// sets; the per-output networks are merged by resubstitution instead. We
+// get the same effect constructively: SharedOfddBuilder constructs all
+// outputs from spectra computed over the *full* variable list under one
+// polarity vector, with a construction memo shared across outputs. Spectrum
+// subgraphs common to several outputs (e.g. the carry chains of an adder,
+// which appear inside every more-significant sum bit) then become shared
+// subnetworks — this is what lets my_adder come out as a ripple structure
+// instead of 17 independent carry look-aheads.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/xor_expr.hpp"
+#include "fdd/fprm.hpp"
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+/// Single-output convenience wrapper (support-restricted OFDD).
+NodeId factor_ofdd(Network& net, const std::vector<NodeId>& pi_nodes,
+                   BddManager& mgr, const Ofdd& ofdd);
+
+/// Multi-output Method-2 construction with cross-output sharing.
+class SharedOfddBuilder {
+public:
+  /// `polarity` applies to all outputs; spectra passed to build() must have
+  /// been computed by rm_spectrum over all mgr.nvars() variables (0..n-1)
+  /// under the same polarity.
+  SharedOfddBuilder(Network& net, const std::vector<NodeId>& pi_nodes,
+                    BddManager& mgr, const BitVec& polarity);
+
+  /// Builds (or reuses) the subnetwork for one output's spectrum.
+  NodeId build(BddRef spectrum);
+
+private:
+  NodeId build_rec(BddRef r, int var);
+  NodeId literal(int var);
+
+  Network* net_;
+  const std::vector<NodeId>* pi_nodes_;
+  BddManager* mgr_;
+  BitVec polarity_;
+  std::vector<NodeId> lit_cache_;  ///< per var; kConst0 = not yet built
+  std::vector<NodeId> nlit_cache_;
+  std::unordered_map<uint64_t, NodeId> memo_; ///< (spectrum, var) -> node
+};
+
+} // namespace rmsyn

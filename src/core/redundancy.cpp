@@ -1,0 +1,482 @@
+#include "core/redundancy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "equiv/equiv.hpp"
+#include "network/transform.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+
+PatternSet fprm_pattern_set(std::size_t num_pis,
+                            const std::vector<FprmForm>& forms,
+                            bool include_sa1, std::size_t max_patterns) {
+  PatternSet ps(num_pis, 0);
+  const auto add = [&](const BitVec& a) {
+    if (ps.num_patterns < max_patterns) ps.append(a);
+  };
+
+  // Global all-zero assignment (the AZ pattern under all-positive polarity).
+  add(BitVec(num_pis));
+
+  for (const auto& form : forms) {
+    // Assignment setting every literal of this form to `lit_value`;
+    // variables outside the support stay 0.
+    const auto literal_assignment = [&](bool lit_value) {
+      BitVec a(num_pis);
+      for (const int v : form.support) {
+        const auto iv = static_cast<std::size_t>(v);
+        a.set(iv, form.polarity.get(iv) == lit_value);
+      }
+      return a;
+    };
+    add(literal_assignment(false)); // AZ under this polarity
+    add(literal_assignment(true));  // AO
+
+    for (const auto& cube : form.cubes) {
+      // OC pattern: literals of the cube at 1, all other literals at 0.
+      BitVec oc = literal_assignment(false);
+      for (std::size_t i = cube.first_set(); i != BitVec::npos;
+           i = cube.next_set(i + 1)) {
+        const auto v = static_cast<std::size_t>(form.support[i]);
+        oc.set(v, form.polarity.get(v));
+      }
+      add(oc);
+      if (include_sa1) {
+        // SA1 patterns: OC with one cube literal dropped to 0.
+        for (std::size_t i = cube.first_set(); i != BitVec::npos;
+             i = cube.next_set(i + 1)) {
+          const auto v = static_cast<std::size_t>(form.support[i]);
+          BitVec sa1 = oc;
+          sa1.set(v, !form.polarity.get(v));
+          add(sa1);
+        }
+      }
+      if (ps.num_patterns >= max_patterns) return ps;
+    }
+  }
+  return ps;
+}
+
+namespace {
+
+/// Candidate replacement gates for a 2-input XOR whose reachable/observable
+/// input-pattern set is incomplete, cheapest first. Each entry gives the
+/// gate's value on patterns (g,h) = (0,0),(0,1),(1,0),(1,1) as a 4-bit mask
+/// (bit index = g*2+h) plus a builder.
+struct Replacement {
+  uint8_t truth; // bit (g*2+h) = output value
+  enum class Kind {
+    Const0, Const1, WireG, WireH, NotG, NotH,
+    And, Or, AndGnotH, AndNotGH, Nand, Nor, Xor, Xnor
+  } kind;
+  int cost; // rough 2-input AND/OR gate cost (inverters free)
+};
+
+constexpr Replacement kReplacements[] = {
+    {0b0000, Replacement::Kind::Const0, 0},
+    {0b1111, Replacement::Kind::Const1, 0},
+    {0b1100, Replacement::Kind::WireG, 0},
+    {0b1010, Replacement::Kind::WireH, 0},
+    {0b0011, Replacement::Kind::NotG, 0},
+    {0b0101, Replacement::Kind::NotH, 0},
+    {0b1000, Replacement::Kind::And, 1},
+    {0b1110, Replacement::Kind::Or, 1},
+    {0b0100, Replacement::Kind::AndGnotH, 1},
+    {0b0010, Replacement::Kind::AndNotGH, 1},
+    {0b0111, Replacement::Kind::Nand, 1},
+    {0b0001, Replacement::Kind::Nor, 1},
+    {0b0110, Replacement::Kind::Xor, 3},
+    {0b1001, Replacement::Kind::Xnor, 3},
+};
+
+constexpr uint8_t kXorTruth = 0b0110;
+
+/// Applies a replacement in place; returns true when the gate actually
+/// changed (i.e. the chosen kind is not Xor).
+bool apply_replacement(Network& net, NodeId n, Replacement::Kind kind,
+                       NodeId g, NodeId h) {
+  using K = Replacement::Kind;
+  switch (kind) {
+    case K::Xor: return false;
+    case K::Const0: net.rewrite_gate(n, GateType::Buf, {Network::kConst0}); break;
+    case K::Const1: net.rewrite_gate(n, GateType::Buf, {Network::kConst1}); break;
+    case K::WireG: net.rewrite_gate(n, GateType::Buf, {g}); break;
+    case K::WireH: net.rewrite_gate(n, GateType::Buf, {h}); break;
+    case K::NotG: net.rewrite_gate(n, GateType::Not, {g}); break;
+    case K::NotH: net.rewrite_gate(n, GateType::Not, {h}); break;
+    case K::And: net.rewrite_gate(n, GateType::And, {g, h}); break;
+    case K::Or: net.rewrite_gate(n, GateType::Or, {g, h}); break;
+    case K::AndGnotH:
+      net.rewrite_gate(n, GateType::And, {g, net.add_not(h)});
+      break;
+    case K::AndNotGH:
+      net.rewrite_gate(n, GateType::And, {net.add_not(g), h});
+      break;
+    case K::Nand: net.rewrite_gate(n, GateType::Nand, {g, h}); break;
+    case K::Nor: net.rewrite_gate(n, GateType::Nor, {g, h}); break;
+    case K::Xnor: net.rewrite_gate(n, GateType::Xnor, {g, h}); break;
+  }
+  return true;
+}
+
+/// Lazily maintained node-function table over one BDD manager.
+class NodeFunctions {
+public:
+  NodeFunctions(BddManager& mgr, const Network& net) : mgr_(mgr), net_(net) {
+    refresh_all();
+  }
+
+  void refresh_all() {
+    f_.assign(net_.node_count(), BddManager::kFalse);
+    known_.assign(net_.node_count(), false);
+    f_[Network::kConst1] = mgr_.bdd_true();
+    known_[Network::kConst0] = known_[Network::kConst1] = true;
+    for (std::size_t i = 0; i < net_.pi_count(); ++i) {
+      f_[net_.pis()[i]] = mgr_.var(static_cast<int>(i));
+      known_[net_.pis()[i]] = true;
+    }
+  }
+
+  BddRef of(NodeId n) {
+    grow();
+    if (known_[n]) return f_[n];
+    // Iterative evaluation of the cone below n.
+    std::vector<NodeId> stack{n};
+    while (!stack.empty()) {
+      const NodeId m = stack.back();
+      if (known_[m]) { stack.pop_back(); continue; }
+      bool ready = true;
+      for (const NodeId fi : net_.fanins(m)) {
+        if (fi < known_.size() && !known_[fi]) {
+          stack.push_back(fi);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      f_[m] = compute(m);
+      known_[m] = true;
+      stack.pop_back();
+    }
+    return f_[n];
+  }
+
+  /// Marks a node (and everything above it) stale after a function-changing
+  /// rewrite.
+  void invalidate(NodeId /*n*/) {
+    grow();
+    // Conservative: after a function-changing rewrite every internal node
+    // may be stale; recompute everything above by clearing all non-leaf
+    // entries (cheap at the network sizes this pass runs on).
+    for (NodeId m = 0; m < known_.size(); ++m) {
+      const GateType t = net_.type(m);
+      if (t != GateType::Pi && t != GateType::Const0 && t != GateType::Const1)
+        known_[m] = false;
+    }
+  }
+
+private:
+  void grow() {
+    if (f_.size() < net_.node_count()) {
+      f_.resize(net_.node_count(), BddManager::kFalse);
+      known_.resize(net_.node_count(), false);
+    }
+  }
+
+  BddRef compute(NodeId n) {
+    const auto& fi = net_.fanins(n);
+    switch (net_.type(n)) {
+      case GateType::Const0: return mgr_.bdd_false();
+      case GateType::Const1: return mgr_.bdd_true();
+      case GateType::Pi: return f_[n];
+      case GateType::Buf: return f_[fi[0]];
+      case GateType::Not: return mgr_.bdd_not(f_[fi[0]]);
+      case GateType::And: case GateType::Nand: {
+        BddRef acc = mgr_.bdd_true();
+        for (const NodeId g : fi) acc = mgr_.bdd_and(acc, f_[g]);
+        return net_.type(n) == GateType::Nand ? mgr_.bdd_not(acc) : acc;
+      }
+      case GateType::Or: case GateType::Nor: {
+        BddRef acc = mgr_.bdd_false();
+        for (const NodeId g : fi) acc = mgr_.bdd_or(acc, f_[g]);
+        return net_.type(n) == GateType::Nor ? mgr_.bdd_not(acc) : acc;
+      }
+      case GateType::Xor: case GateType::Xnor: {
+        BddRef acc = mgr_.bdd_false();
+        for (const NodeId g : fi) acc = mgr_.bdd_xor(acc, f_[g]);
+        return net_.type(n) == GateType::Xnor ? mgr_.bdd_not(acc) : acc;
+      }
+    }
+    return mgr_.bdd_false();
+  }
+
+  BddManager& mgr_;
+  const Network& net_;
+  std::vector<BddRef> f_;
+  std::vector<bool> known_;
+};
+
+} // namespace
+
+Network remove_xor_redundancy(const Network& net,
+                              const std::vector<FprmForm>& forms,
+                              const RedundancyOptions& opt,
+                              RedundancyStats* stats_out) {
+  RedundancyStats stats;
+  Network work = decompose2(strash(net));
+  const Network reference = work; // for the final equivalence assertion
+
+  BddManager mgr(static_cast<int>(work.pi_count()));
+  NodeFunctions funcs(mgr, work);
+
+  // Golden output functions — every phase must preserve these.
+  std::vector<BddRef> golden;
+  golden.reserve(work.po_count());
+  for (std::size_t i = 0; i < work.po_count(); ++i)
+    golden.push_back(funcs.of(work.po(i)));
+
+  // ---- Step 1: simulate the FPRM-derived pattern set, record which input
+  // patterns occur at each XOR gate.
+  PatternSet patterns =
+      forms.empty()
+          ? random_patterns(work.pi_count(),
+                            std::min<std::size_t>(opt.max_patterns, 1024),
+                            0xFEEDFACE)
+          : fprm_pattern_set(work.pi_count(), forms, /*include_sa1=*/false,
+                             opt.max_patterns);
+  std::vector<uint8_t> seen(work.node_count(), 0);
+  if (opt.use_pattern_filter && patterns.num_patterns > 0) {
+    const auto values = simulate(work, patterns);
+    for (NodeId n = 0; n < work.node_count(); ++n) {
+      if (work.type(n) != GateType::Xor || work.fanins(n).size() != 2) continue;
+      const BitVec& vg = values[work.fanins(n)[0]];
+      const BitVec& vh = values[work.fanins(n)[1]];
+      for (std::size_t p = 0; p < patterns.num_patterns; ++p) {
+        const unsigned idx = (vg.get(p) ? 2u : 0u) + (vh.get(p) ? 1u : 0u);
+        seen[n] |= static_cast<uint8_t>(1u << idx);
+      }
+    }
+  }
+
+  const auto topo = work.topo_order();
+
+  // ---- Step 2: controllability reductions (Properties 3/4), POs first.
+  std::vector<NodeId> xors;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it)
+    if (work.type(*it) == GateType::Xor && work.fanins(*it).size() == 2)
+      xors.push_back(*it);
+  stats.xor_gates_before = xors.size();
+
+  for (const NodeId n : xors) {
+    const NodeId g = work.fanins(n)[0];
+    const NodeId h = work.fanins(n)[1];
+    if (opt.use_pattern_filter && seen[n] == 0b1111) {
+      // Property 8/9 fast path: all four patterns demonstrated by the
+      // decidable pattern set — the gate is irreducible, no exact check.
+      ++stats.pattern_pruned;
+      continue;
+    }
+    // Decide controllability of each input pattern exactly.
+    uint8_t reachable = seen[n];
+    const BddRef fg = funcs.of(g);
+    const BddRef fh = funcs.of(h);
+    for (unsigned idx = 0; idx < 4; ++idx) {
+      if (reachable & (1u << idx)) continue;
+      ++stats.exact_checks;
+      const BddRef eg = (idx & 2u) ? fg : mgr.bdd_not(fg);
+      const BddRef eh = (idx & 1u) ? fh : mgr.bdd_not(fh);
+      if (mgr.bdd_and(eg, eh) != mgr.bdd_false()) reachable |= (1u << idx);
+    }
+    if (reachable == 0b1111) continue;
+    // Choose the cheapest gate agreeing with XOR on every reachable
+    // pattern. This subsumes Properties 3 and 4 (and the (0,0) corner).
+    for (const auto& rep : kReplacements) {
+      if (((rep.truth ^ kXorTruth) & reachable) != 0) continue;
+      if (apply_replacement(work, n, rep.kind, g, h)) {
+        using K = Replacement::Kind;
+        if (rep.kind == K::Or || rep.kind == K::Nor) ++stats.reduced_to_or;
+        else if (rep.kind == K::Nand) ++stats.reduced_to_nand;
+        else ++stats.reduced_to_andnot; // AND forms, wires and constants
+      }
+      break;
+    }
+    // Controllability rewrites preserve the node function; nothing to
+    // invalidate, but new inverter nodes may have been added.
+    (void)funcs.of(n);
+  }
+
+  // ---- Step 3: observability domino (Properties 5-7).
+  if (opt.observability_pass) {
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 16) {
+      changed = false;
+      // Fanout structure of the current network.
+      std::vector<std::vector<NodeId>> fanouts(work.node_count());
+      std::vector<uint32_t> nrefs(work.node_count(), 0);
+      const auto live = work.live_mask();
+      for (NodeId m = 0; m < work.node_count(); ++m) {
+        if (!live[m]) continue;
+        for (const NodeId fi : work.fanins(m)) {
+          fanouts[fi].push_back(m);
+          ++nrefs[fi];
+        }
+      }
+      for (std::size_t i = 0; i < work.po_count(); ++i) ++nrefs[work.po(i)];
+
+      const auto order = work.topo_order();
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId n = *it;
+        if (!live[n]) continue;
+        if (work.type(n) != GateType::Xor || work.fanins(n).size() != 2)
+          continue;
+        if (nrefs[n] != 1 || fanouts[n].size() != 1) continue;
+        // Walk up through single-fanout inverters/buffers.
+        NodeId below = n;
+        NodeId v = fanouts[n][0];
+        while ((work.type(v) == GateType::Not || work.type(v) == GateType::Buf) &&
+               nrefs[v] == 1 && fanouts[v].size() == 1) {
+          below = v;
+          v = fanouts[v][0];
+        }
+        const GateType vt = work.type(v);
+        if (vt != GateType::And && vt != GateType::Or && vt != GateType::Nand &&
+            vt != GateType::Nor)
+          continue;
+        // Local observability condition: the side inputs must be
+        // non-controlling for n's value to matter at v.
+        const bool and_like = vt == GateType::And || vt == GateType::Nand;
+        // Local analysis requires `below` to feed v exactly once.
+        if (std::count(work.fanins(v).begin(), work.fanins(v).end(), below) != 1)
+          continue;
+        BddRef obs = mgr.bdd_true();
+        for (const NodeId s : work.fanins(v)) {
+          if (s == below) continue;
+          obs = and_like ? mgr.bdd_and(obs, funcs.of(s))
+                         : mgr.bdd_and(obs, mgr.bdd_not(funcs.of(s)));
+        }
+        if (obs == mgr.bdd_true()) continue; // nothing masked
+
+        const NodeId g = work.fanins(n)[0];
+        const NodeId h = work.fanins(n)[1];
+        const BddRef fg = funcs.of(g);
+        const BddRef fh = funcs.of(h);
+        uint8_t care = 0;
+        for (unsigned idx = 0; idx < 4; ++idx) {
+          ++stats.exact_checks;
+          const BddRef eg = (idx & 2u) ? fg : mgr.bdd_not(fg);
+          const BddRef eh = (idx & 1u) ? fh : mgr.bdd_not(fh);
+          const BddRef pat = mgr.bdd_and(eg, eh);
+          if (mgr.bdd_and(pat, obs) != mgr.bdd_false()) care |= (1u << idx);
+        }
+        if (care == 0b1111) continue;
+        for (const auto& rep : kReplacements) {
+          if (((rep.truth ^ kXorTruth) & care) != 0) continue;
+          if (apply_replacement(work, n, rep.kind, g, h)) {
+            ++stats.observability_reductions;
+            changed = true;
+            // The node's own function changed on masked patterns.
+            funcs.invalidate(n);
+          }
+          break;
+        }
+        if (changed) break; // rebuild fanout structure before continuing
+      }
+    }
+  }
+
+  // ---- Step 4: first-level AND/OR fanin redundancy via OC/SA1 pattern
+  // filtering plus exact confirmation.
+  if (opt.and_fanin_pass) {
+    const PatternSet sa_patterns =
+        forms.empty()
+            ? patterns
+            : fprm_pattern_set(work.pi_count(), forms, /*include_sa1=*/true,
+                               opt.max_patterns);
+
+    const auto po_values_of = [&](const Network& candidate) {
+      const auto vals = simulate(candidate, sa_patterns);
+      std::vector<BitVec> po_vals;
+      po_vals.reserve(candidate.po_count());
+      for (std::size_t i = 0; i < candidate.po_count(); ++i)
+        po_vals.push_back(vals[candidate.po(i)]);
+      return po_vals;
+    };
+    const auto outputs_match_golden = [&](const Network& candidate) {
+      funcs.invalidate(0);
+      bool ok = true;
+      for (std::size_t i = 0; i < candidate.po_count() && ok; ++i)
+        ok = funcs.of(candidate.po(i)) == golden[i];
+      return ok;
+    };
+
+    // Accepted removals preserve the PO values on every pattern (confirmed
+    // exactly), so `base_po_values` stays valid across the whole pass.
+    const auto base_po_values = po_values_of(work);
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 4) {
+      changed = false;
+      const auto order = work.topo_order();
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId n = *it;
+        const GateType t = work.type(n);
+        if (t != GateType::And && t != GateType::Or) continue;
+        std::size_t k = 0;
+        while (k < work.fanins(n).size() && work.fanins(n).size() >= 2) {
+          // Dropping fanin k = stuck-at-noncontrolling (s-a-1 for AND,
+          // s-a-0 for OR).
+          const std::vector<NodeId> saved_fi = work.fanins(n);
+          std::vector<NodeId> rest;
+          for (std::size_t j = 0; j < saved_fi.size(); ++j)
+            if (j != k) rest.push_back(saved_fi[j]);
+          if (rest.size() == 1)
+            work.rewrite_gate(n, GateType::Buf, {rest[0]});
+          else
+            work.rewrite_gate(n, t, rest);
+
+          // Pattern filter: when the OC/SA1 set already distinguishes the
+          // candidate, the fault is testable — skip the exact check.
+          bool candidate_ok = po_values_of(work) == base_po_values;
+          if (candidate_ok) {
+            ++stats.exact_checks;
+            candidate_ok = outputs_match_golden(work);
+          } else {
+            ++stats.pattern_pruned;
+          }
+          if (candidate_ok) {
+            ++stats.fanins_removed;
+            changed = true;
+            if (work.type(n) != t) break; // became a buffer
+            // Re-test the same position (a new fanin shifted into it).
+          } else {
+            work.rewrite_gate(n, t, saved_fi);
+            funcs.invalidate(n);
+            ++k;
+          }
+        }
+      }
+    }
+  }
+
+  Network result = strash(work);
+
+  // Final safety net: the whole procedure must be function-preserving.
+  const auto check = check_equivalence(reference, result);
+  if (!check.equivalent)
+    throw std::logic_error("remove_xor_redundancy broke the network: " +
+                           check.reason);
+
+  // Post-transform XOR population for the stats.
+  for (NodeId n = 0; n < result.node_count(); ++n)
+    if (result.type(n) == GateType::Xor) ++stats.xor_gates_after;
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,67 @@
+#include "core/resub.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "equiv/equiv.hpp"
+#include "network/transform.hpp"
+
+namespace rmsyn {
+
+Network resub_merge(const Network& net, const ResubOptions& opt) {
+  Network hashed = strash(net);
+
+  try {
+    BddManager mgr(static_cast<int>(hashed.pi_count()));
+    const std::vector<BddRef> f = node_bdds(mgr, hashed);
+    if (mgr.node_count() > opt.bdd_node_limit) return hashed;
+
+    // Representative per function; complements map through an inverter.
+    std::unordered_map<BddRef, NodeId> rep;
+    Network out;
+    std::vector<NodeId> map(hashed.node_count(), Network::kConst0);
+    map[Network::kConst1] = Network::kConst1;
+    rep[mgr.bdd_false()] = Network::kConst0;
+    rep[mgr.bdd_true()] = Network::kConst1;
+    for (std::size_t i = 0; i < hashed.pi_count(); ++i) {
+      const NodeId pi = out.add_pi(hashed.name(hashed.pis()[i]));
+      map[hashed.pis()[i]] = pi;
+      rep.emplace(f[hashed.pis()[i]], pi);
+    }
+    const auto live = hashed.live_mask();
+    for (const NodeId n : hashed.topo_order()) {
+      if (!live[n]) continue;
+      const GateType t = hashed.type(n);
+      if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+        continue;
+      if (const auto it = rep.find(f[n]); it != rep.end()) {
+        map[n] = it->second;
+        continue;
+      }
+      if (opt.merge_complements) {
+        const BddRef nf = mgr.bdd_not(f[n]);
+        if (const auto it = rep.find(nf); it != rep.end()) {
+          const NodeId inv = out.add_not(it->second);
+          map[n] = inv;
+          rep.emplace(f[n], inv);
+          continue;
+        }
+      }
+      std::vector<NodeId> fi;
+      fi.reserve(hashed.fanins(n).size());
+      for (const NodeId g : hashed.fanins(n)) fi.push_back(map[g]);
+      const NodeId nn = out.add_gate(t, std::move(fi));
+      map[n] = nn;
+      rep.emplace(f[n], nn);
+    }
+    for (std::size_t i = 0; i < hashed.po_count(); ++i)
+      out.add_po(map[hashed.po(i)], hashed.po_name(i));
+    return strash(out);
+  } catch (const std::runtime_error&) {
+    // BDD node limit inside the manager: fall back to structural hashing.
+    return hashed;
+  }
+}
+
+} // namespace rmsyn

@@ -1,0 +1,21 @@
+// Multi-output merging. The paper factors each output separately and uses
+// SIS `resub` to share logic between the per-output networks. We reproduce
+// that with structural hashing plus BDD sweeping: nodes with identical (or
+// complementary) global functions are merged onto one representative.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+struct ResubOptions {
+  /// Skip the (exact) BDD sweep when the network's BDDs would exceed this
+  /// many nodes; structural hashing alone is then used.
+  std::size_t bdd_node_limit = 2'000'000;
+  bool merge_complements = true;
+};
+
+/// Returns an equivalent network with functionally identical nodes merged.
+Network resub_merge(const Network& net, const ResubOptions& opt = {});
+
+} // namespace rmsyn

@@ -1,0 +1,226 @@
+#include "core/synth.hpp"
+
+#include <stdexcept>
+
+#include "core/factor_cubes.hpp"
+#include "core/factor_ofdd.hpp"
+#include "core/resub.hpp"
+#include "equiv/equiv.hpp"
+#include "network/transform.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+struct Candidate {
+  Network net;
+  std::vector<FprmForm> forms;
+  std::vector<std::size_t> cube_counts;
+  std::size_t via_cubes = 0;
+  std::size_t via_ofdd = 0;
+  std::size_t cost = 0; // gates2 after resub
+};
+
+std::vector<NodeId> add_spec_pis(Network& out, const Network& spec) {
+  std::vector<NodeId> pi_nodes;
+  pi_nodes.reserve(spec.pi_count());
+  for (std::size_t i = 0; i < spec.pi_count(); ++i)
+    pi_nodes.push_back(out.add_pi(spec.name(spec.pis()[i])));
+  return pi_nodes;
+}
+
+/// Method 1 (cube factoring), per-output polarity search. Outputs whose
+/// cube list exceeds the cap fall back to a per-output OFDD construction.
+Candidate build_cubes_candidate(const Network& spec, BddManager& mgr,
+                                const std::vector<BddRef>& spec_fn,
+                                const SynthOptions& opt) {
+  Candidate cand;
+  const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
+  for (std::size_t j = 0; j < spec.po_count(); ++j) {
+    const BddRef f = spec_fn[j];
+    if (f == mgr.bdd_false() || f == mgr.bdd_true()) {
+      cand.net.add_po(cand.net.constant(f == mgr.bdd_true()), spec.po_name(j));
+      cand.forms.emplace_back();
+      cand.cube_counts.push_back(f == mgr.bdd_true() ? 1 : 0);
+      continue;
+    }
+    const BitVec polarity = best_polarity(mgr, f, opt.polarity);
+    const Ofdd ofdd = build_ofdd(mgr, f, polarity);
+    const FprmForm form = extract_fprm(
+        mgr, ofdd, static_cast<int>(spec.pi_count()), opt.cube_limit);
+    cand.cube_counts.push_back(static_cast<std::size_t>(
+        fprm_cube_count(mgr, ofdd.root, ofdd.support)));
+    NodeId root;
+    if (form.truncated) {
+      root = factor_ofdd(cand.net, pi_nodes, mgr, ofdd);
+      ++cand.via_ofdd;
+    } else {
+      root = factor_cubes(cand.net, pi_nodes, form);
+      ++cand.via_cubes;
+    }
+    cand.net.add_po(root, spec.po_name(j));
+    cand.forms.push_back(form);
+  }
+  return cand;
+}
+
+/// Method 2 (OFDD construction) with one global polarity vector and a
+/// construction memo shared across outputs, so common spectrum subgraphs —
+/// carry chains in particular — become shared subnetworks.
+Candidate build_ofdd_candidate(const Network& spec, BddManager& mgr,
+                               const std::vector<BddRef>& spec_fn,
+                               const SynthOptions& opt) {
+  Candidate cand;
+  const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
+  const BitVec polarity = best_polarity_multi(mgr, spec_fn, opt.polarity);
+
+  std::vector<int> all_vars;
+  all_vars.reserve(spec.pi_count());
+  for (int v = 0; v < static_cast<int>(spec.pi_count()); ++v)
+    all_vars.push_back(v);
+
+  SharedOfddBuilder builder(cand.net, pi_nodes, mgr, polarity);
+  for (std::size_t j = 0; j < spec.po_count(); ++j) {
+    const BddRef f = spec_fn[j];
+    if (f == mgr.bdd_false() || f == mgr.bdd_true()) {
+      cand.net.add_po(cand.net.constant(f == mgr.bdd_true()), spec.po_name(j));
+      cand.forms.emplace_back();
+      cand.cube_counts.push_back(f == mgr.bdd_true() ? 1 : 0);
+      continue;
+    }
+    const BddRef full_spec = rm_spectrum(mgr, f, all_vars, polarity);
+    cand.net.add_po(builder.build(full_spec), spec.po_name(j));
+    ++cand.via_ofdd;
+
+    // Support-restricted form for pattern generation / reporting.
+    const Ofdd ofdd = build_ofdd(mgr, f, polarity);
+    cand.forms.push_back(extract_fprm(
+        mgr, ofdd, static_cast<int>(spec.pi_count()), opt.cube_limit));
+    cand.cube_counts.push_back(static_cast<std::size_t>(
+        fprm_cube_count(mgr, ofdd.root, ofdd.support)));
+  }
+  return cand;
+}
+
+} // namespace
+
+Network synthesize(const Network& spec, const SynthOptions& opt,
+                   SynthReport* report) {
+  Stopwatch sw;
+  SynthReport rep;
+
+  // Candidate PI orders: the spec's natural order plus the reach heuristic.
+  std::vector<std::vector<std::size_t>> orders;
+  {
+    std::vector<std::size_t> identity(spec.pi_count());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    orders.push_back(identity);
+    if (opt.try_reach_order) {
+      if (auto h = spectrum_friendly_pi_order(spec); h != identity)
+        orders.push_back(std::move(h));
+    }
+  }
+
+  struct Best {
+    Candidate cand;
+    std::vector<std::size_t> perm;
+    bool valid = false;
+  } best;
+
+  for (const auto& perm : orders) {
+    const bool identity = perm == orders[0];
+    const Network spec_p = identity ? spec : permute_pis(spec, perm);
+    BddManager mgr(static_cast<int>(spec_p.pi_count()));
+    const std::vector<BddRef> spec_fn = output_bdds(mgr, spec_p);
+
+    // Section 3: build the factored candidates and keep the cheapest
+    // (the paper: "the results are comparable but the second method has
+    // better results on a few more test cases").
+    std::vector<Candidate> cands;
+    if (opt.method == FactorMethod::Cubes || opt.method == FactorMethod::Best)
+      cands.push_back(build_cubes_candidate(spec_p, mgr, spec_fn, opt));
+    if (opt.method == FactorMethod::Ofdd || opt.method == FactorMethod::Best)
+      cands.push_back(build_ofdd_candidate(spec_p, mgr, spec_fn, opt));
+
+    for (auto& c : cands) {
+      c.net = opt.run_resub ? resub_merge(c.net) : strash(c.net);
+      c.cost = network_stats(c.net).gates2;
+      if (!best.valid || c.cost < best.cand.cost) {
+        best.cand = std::move(c);
+        best.perm = perm;
+        best.valid = true;
+      }
+    }
+  }
+
+  Candidate& chosen = best.cand;
+  Network out = std::move(chosen.net);
+  rep.fprm_cube_counts = std::move(chosen.cube_counts);
+  rep.outputs_via_cubes = chosen.via_cubes;
+  rep.outputs_via_ofdd = chosen.via_ofdd;
+
+  // Section 4: redundancy removal (still in the permuted variable space —
+  // the FPRM forms refer to permuted PI indices).
+  if (opt.run_redundancy_removal) {
+    out = remove_xor_redundancy(out, chosen.forms, opt.redundancy,
+                                &rep.redundancy);
+  }
+  out = strash(out);
+
+  // Restore the spec's PI order.
+  const bool permuted = best.perm != orders[0];
+  if (permuted) {
+    std::vector<std::size_t> inverse(best.perm.size());
+    for (std::size_t k = 0; k < best.perm.size(); ++k)
+      inverse[best.perm[k]] = k;
+    out = permute_pis(out, inverse);
+    // Remap the reported forms back to original variable ids, keeping the
+    // cube masks aligned with the (re-sorted) support positions.
+    for (auto& form : chosen.forms) {
+      if (form.polarity.size() == 0) continue; // constant output: no form
+      std::vector<int> new_ids(form.support.size());
+      for (std::size_t i = 0; i < form.support.size(); ++i)
+        new_ids[i] = static_cast<int>(
+            best.perm[static_cast<std::size_t>(form.support[i])]);
+      std::vector<std::size_t> by_id(form.support.size());
+      for (std::size_t i = 0; i < by_id.size(); ++i) by_id[i] = i;
+      std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+        return new_ids[a] < new_ids[b];
+      });
+      std::vector<int> sorted_ids(form.support.size());
+      std::vector<std::size_t> new_pos(form.support.size());
+      for (std::size_t r = 0; r < by_id.size(); ++r) {
+        sorted_ids[r] = new_ids[by_id[r]];
+        new_pos[by_id[r]] = r;
+      }
+      for (auto& cube : form.cubes) {
+        BitVec remapped(cube.size());
+        for (std::size_t i = cube.first_set(); i != BitVec::npos;
+             i = cube.next_set(i + 1))
+          remapped.set(new_pos[i]);
+        cube = remapped;
+      }
+      form.support = std::move(sorted_ids);
+      BitVec pol(form.polarity.size());
+      for (std::size_t k = 0; k < best.perm.size(); ++k)
+        pol.set(best.perm[k], form.polarity.get(k));
+      form.polarity = pol;
+    }
+  }
+  rep.forms = std::move(chosen.forms);
+
+  if (opt.verify) {
+    const auto check = check_equivalence(spec, out);
+    if (!check.equivalent)
+      throw std::logic_error("synthesize: result not equivalent to spec: " +
+                             check.reason);
+  }
+
+  rep.seconds = sw.seconds();
+  rep.stats = network_stats(out);
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+} // namespace rmsyn

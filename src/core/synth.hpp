@@ -1,0 +1,64 @@
+// The complete synthesis flow of the paper (Sections 2-4):
+//
+//   spec → per-output ROBDD → polarity search → OFDD / FPRM cubes →
+//   algebraic factorization (Method 1 or 2) → multi-output merge (resub) →
+//   XOR redundancy removal → final network (+ internal verification).
+//
+// The input is any combinational specification given as a Network (two-level
+// or multilevel — benchmark generators produce both); the flow re-derives
+// the function via BDDs exactly as the paper derives OFDDs from the SIS BDD
+// package, so the input form does not bias the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/redundancy.hpp"
+#include "fdd/fprm.hpp"
+#include "network/network.hpp"
+#include "network/stats.hpp"
+
+namespace rmsyn {
+
+enum class FactorMethod {
+  Cubes, ///< Method 1: explicit cube factoring
+  Ofdd,  ///< Method 2: network construction from the OFDD
+  Best,  ///< run both per output, keep the smaller subnetwork
+};
+
+struct SynthOptions {
+  FactorMethod method = FactorMethod::Best;
+  PolarityOptions polarity;
+  RedundancyOptions redundancy;
+  bool run_redundancy_removal = true;
+  bool run_resub = true;
+  /// Explicit cube enumeration cap. Outputs whose FPRM exceeds it are
+  /// factored with Method 2 only (the OFDD never enumerates cubes), and
+  /// contribute only their enumerated prefix to the pattern sets.
+  std::size_t cube_limit = std::size_t{1} << 17;
+  /// Verify the result against the specification (the paper runs SIS
+  /// `verify` on every circuit). Throws std::logic_error on mismatch.
+  bool verify = true;
+  /// Also try the spectrum-friendly PI order (see transform.hpp) in
+  /// addition to the spec's natural order; off = natural order only
+  /// (used by the ordering ablation).
+  bool try_reach_order = true;
+};
+
+struct SynthReport {
+  NetworkStats stats;
+  double seconds = 0.0;
+  std::vector<FprmForm> forms;      ///< per output (possibly truncated)
+  std::vector<std::size_t> fprm_cube_counts; ///< per output
+  RedundancyStats redundancy;
+  std::size_t outputs_via_cubes = 0;
+  std::size_t outputs_via_ofdd = 0;
+};
+
+/// Runs the full flow. PI/PO order of the result matches the spec.
+/// (The spectrum-friendly PI ordering it uses internally is available as
+/// spectrum_friendly_pi_order() in network/transform.hpp.)
+Network synthesize(const Network& spec, const SynthOptions& opt = {},
+                   SynthReport* report = nullptr);
+
+} // namespace rmsyn

@@ -1,0 +1,79 @@
+#include "core/xor_expr.hpp"
+
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace rmsyn {
+
+LiteralContext::LiteralContext(Network& net, const std::vector<NodeId>& pi_nodes,
+                               const std::vector<int>& support,
+                               const BitVec& polarity)
+    : net_(&net) {
+  lit_nodes_.reserve(support.size());
+  for (const int v : support) {
+    const NodeId pi = pi_nodes[static_cast<std::size_t>(v)];
+    lit_nodes_.push_back(polarity.get(static_cast<std::size_t>(v))
+                             ? pi
+                             : net.add_not(pi));
+  }
+}
+
+NodeId LiteralContext::build_cube(const BitVec& cube) {
+  std::vector<NodeId> leaves;
+  for (std::size_t i = cube.first_set(); i != BitVec::npos; i = cube.next_set(i + 1))
+    leaves.push_back(lit_nodes_[i]);
+  return balanced_gate_tree(*net_, GateType::And, std::move(leaves));
+}
+
+NodeId balanced_gate_tree(Network& net, GateType type, std::vector<NodeId> leaves) {
+  if (leaves.empty())
+    return type == GateType::And ? Network::kConst1 : Network::kConst0;
+  while (leaves.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((leaves.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+      next.push_back(net.add_gate(type, {leaves[i], leaves[i + 1]}));
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves.swap(next);
+  }
+  return leaves[0];
+}
+
+std::vector<std::vector<std::size_t>> group_by_disjoint_support(
+    const std::vector<BitVec>& cubes) {
+  // Union-find over cube indices, joined through shared variables.
+  std::vector<std::size_t> parent(cubes.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  if (!cubes.empty()) {
+    const std::size_t width = cubes[0].size();
+    std::vector<std::size_t> owner(width, BitVec::npos);
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t b = cubes[i].first_set(); b != BitVec::npos;
+           b = cubes[i].next_set(b + 1)) {
+        if (owner[b] == BitVec::npos) owner[b] = i;
+        else parent[find(i)] = find(owner[b]);
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> root_to_group(cubes.size(), BitVec::npos);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    const std::size_t r = find(i);
+    if (root_to_group[r] == BitVec::npos) {
+      root_to_group[r] = groups.size();
+      groups.emplace_back();
+    }
+    groups[root_to_group[r]].push_back(i);
+  }
+  return groups;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,107 @@
+#include "equiv/equiv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "network/simulate.hpp"
+
+namespace rmsyn {
+
+std::vector<BddRef> node_bdds(BddManager& mgr, const Network& net) {
+  if (mgr.nvars() < static_cast<int>(net.pi_count()))
+    throw std::invalid_argument("node_bdds: manager too narrow");
+  std::vector<BddRef> f(net.node_count(), mgr.bdd_false());
+  f[Network::kConst1] = mgr.bdd_true();
+  for (std::size_t i = 0; i < net.pi_count(); ++i)
+    f[net.pis()[i]] = mgr.var(static_cast<int>(i));
+  for (const NodeId n : net.topo_order()) {
+    const auto& fi = net.fanins(n);
+    switch (net.type(n)) {
+      case GateType::Const0: case GateType::Const1: case GateType::Pi:
+        break;
+      case GateType::Buf: f[n] = f[fi[0]]; break;
+      case GateType::Not: f[n] = mgr.bdd_not(f[fi[0]]); break;
+      case GateType::And: case GateType::Nand: {
+        BddRef acc = mgr.bdd_true();
+        for (const NodeId g : fi) acc = mgr.bdd_and(acc, f[g]);
+        f[n] = net.type(n) == GateType::Nand ? mgr.bdd_not(acc) : acc;
+        break;
+      }
+      case GateType::Or: case GateType::Nor: {
+        BddRef acc = mgr.bdd_false();
+        for (const NodeId g : fi) acc = mgr.bdd_or(acc, f[g]);
+        f[n] = net.type(n) == GateType::Nor ? mgr.bdd_not(acc) : acc;
+        break;
+      }
+      case GateType::Xor: case GateType::Xnor: {
+        BddRef acc = mgr.bdd_false();
+        for (const NodeId g : fi) acc = mgr.bdd_xor(acc, f[g]);
+        f[n] = net.type(n) == GateType::Xnor ? mgr.bdd_not(acc) : acc;
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<BddRef> output_bdds(BddManager& mgr, const Network& net) {
+  const auto all = node_bdds(mgr, net);
+  std::vector<BddRef> out;
+  out.reserve(net.po_count());
+  for (std::size_t i = 0; i < net.po_count(); ++i) out.push_back(all[net.po(i)]);
+  return out;
+}
+
+EquivResult check_equivalence(const Network& a, const Network& b,
+                              uint64_t sim_seed) {
+  if (a.pi_count() != b.pi_count())
+    return {false, "PI count differs"};
+  if (a.po_count() != b.po_count())
+    return {false, "PO count differs"};
+
+  // Cheap random-simulation miter first.
+  const auto patterns = random_patterns(a.pi_count(), 256, sim_seed);
+  const auto va = simulate(a, patterns);
+  const auto vb = simulate(b, patterns);
+  for (std::size_t i = 0; i < a.po_count(); ++i) {
+    if (!(va[a.po(i)] == vb[b.po(i)])) {
+      std::ostringstream msg;
+      msg << "random simulation mismatch on output " << i << " (" << a.po_name(i)
+          << ")";
+      return {false, msg.str()};
+    }
+  }
+
+  BddManager mgr(static_cast<int>(a.pi_count()));
+  const auto fa = output_bdds(mgr, a);
+  const auto fb = output_bdds(mgr, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (fa[i] != fb[i]) {
+      const BddRef diff = mgr.bdd_xor(fa[i], fb[i]);
+      const BitVec witness = mgr.pick_sat(diff);
+      std::ostringstream msg;
+      msg << "BDD mismatch on output " << i << " (" << a.po_name(i)
+          << "), witness " << witness.to_string();
+      return {false, msg.str()};
+    }
+  }
+  return {true, {}};
+}
+
+EquivResult check_against_tts(const Network& net,
+                              const std::vector<TruthTable>& tts) {
+  if (net.po_count() != tts.size()) return {false, "PO count differs"};
+  BddManager mgr(static_cast<int>(net.pi_count()));
+  const auto fn = output_bdds(mgr, net);
+  for (std::size_t i = 0; i < tts.size(); ++i) {
+    const BddRef spec = mgr.from_cover(Cover::from_truth_table(tts[i]));
+    if (fn[i] != spec) {
+      std::ostringstream msg;
+      msg << "mismatch vs truth table on output " << i;
+      return {false, msg.str()};
+    }
+  }
+  return {true, {}};
+}
+
+} // namespace rmsyn

@@ -1,0 +1,391 @@
+#include "fdd/esop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "equiv/equiv.hpp"
+#include "fdd/kfdd.hpp"
+#include "network/transform.hpp"
+
+namespace rmsyn {
+
+bool Esop::eval(uint64_t minterm) const {
+  bool acc = false;
+  for (const auto& c : cubes)
+    if (c.eval(minterm)) acc = !acc;
+  return acc;
+}
+
+std::size_t Esop::literal_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cubes) n += static_cast<std::size_t>(c.literal_count());
+  return n;
+}
+
+TruthTable Esop::to_truth_table() const {
+  return TruthTable::from_function(nvars,
+                                   [this](uint64_t m) { return eval(m); });
+}
+
+Esop esop_from_fprm(const FprmForm& form) {
+  Esop e;
+  e.nvars = form.nvars;
+  for (const auto& mask : form.cubes) {
+    Cube c(form.nvars);
+    for (std::size_t i = mask.first_set(); i != BitVec::npos;
+         i = mask.next_set(i + 1)) {
+      const int v = form.support[i];
+      if (form.polarity.get(static_cast<std::size_t>(v))) c.add_pos(v);
+      else c.add_neg(v);
+    }
+    e.cubes.push_back(std::move(c));
+  }
+  return e;
+}
+
+namespace {
+
+/// Per-variable literal state.
+enum class LitState : uint8_t { Absent, Pos, Neg };
+
+LitState state_of(const Cube& c, int v) {
+  if (c.has_pos(v)) return LitState::Pos;
+  if (c.has_neg(v)) return LitState::Neg;
+  return LitState::Absent;
+}
+
+void set_state(Cube& c, int v, LitState s) {
+  switch (s) {
+    case LitState::Absent: c.drop_var(v); break;
+    case LitState::Pos: c.add_pos(v); break;
+    case LitState::Neg: c.add_neg(v); break;
+  }
+}
+
+/// The GF(2) combine of two distinct states: x·C ⊕ x̄·C = C,
+/// x·C ⊕ C = x̄·C, x̄·C ⊕ C = x·C — always "the third state".
+LitState third_state(LitState a, LitState b) {
+  assert(a != b);
+  if (a != LitState::Absent && b != LitState::Absent) return LitState::Absent;
+  if (a != LitState::Pos && b != LitState::Pos) return LitState::Pos;
+  return LitState::Neg;
+}
+
+/// Variables where the two cubes' literal states differ.
+std::vector<int> diff_vars(const Cube& a, const Cube& b) {
+  std::vector<int> out;
+  for (int v = 0; v < a.nvars(); ++v)
+    if (state_of(a, v) != state_of(b, v)) out.push_back(v);
+  return out;
+}
+
+} // namespace
+
+void esop_minimize(Esop& esop, const EsopMinimizeOptions& opt) {
+  auto& cs = esop.cubes;
+  // The pairwise passes are quadratic; past this size only the cheap
+  // distance-0/1 merging runs, and only for a couple of passes.
+  const bool large = cs.size() > 512;
+
+  const auto merge_d01 = [&]() {
+    bool changed = false;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      for (std::size_t j = i + 1; j < cs.size(); ++j) {
+        const auto d = diff_vars(cs[i], cs[j]);
+        if (d.size() == 0) {
+          // C ⊕ C = 0.
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          --i;
+          break;
+        }
+        if (d.size() == 1) {
+          const int v = d[0];
+          set_state(cs[i], v, third_state(state_of(cs[i], v), state_of(cs[j], v)));
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          --i;
+          break;
+        }
+      }
+    }
+    return changed;
+  };
+
+  // Would cube c merge (distance <= 1) with any cube other than skip/skip2?
+  const auto has_partner = [&](const Cube& c, std::size_t skip,
+                               std::size_t skip2) {
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      if (k == skip || k == skip2) continue;
+      if (diff_vars(c, cs[k]).size() <= 1) return true;
+    }
+    return false;
+  };
+
+  for (int pass = 0; pass < (large ? std::min(opt.max_passes, 2) : opt.max_passes);
+       ++pass) {
+    bool changed = merge_d01();
+    if (opt.use_distance2 && !large) {
+      // Distance-2 exorlink: A ⊕ B = D1 ⊕ D2 with
+      //   D1 = A with var u combined,   D2 = A with u from B, v combined
+      // (and symmetrically with u/v swapped). Accept when it reduces
+      // literals or sets up a distance-<=1 merge.
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        for (std::size_t j = i + 1; j < cs.size(); ++j) {
+          const auto d = diff_vars(cs[i], cs[j]);
+          if (d.size() != 2) continue;
+          const int old_lits =
+              cs[i].literal_count() + cs[j].literal_count();
+          bool applied = false;
+          for (int ordering = 0; ordering < 2 && !applied; ++ordering) {
+            const int u = d[ordering];
+            const int v = d[1 - ordering];
+            Cube d1 = cs[i];
+            set_state(d1, u, third_state(state_of(cs[i], u), state_of(cs[j], u)));
+            Cube d2 = cs[i];
+            set_state(d2, u, state_of(cs[j], u));
+            set_state(d2, v, third_state(state_of(cs[i], v), state_of(cs[j], v)));
+            const int new_lits = d1.literal_count() + d2.literal_count();
+            const bool gains = new_lits < old_lits ||
+                               has_partner(d1, i, j) || has_partner(d2, i, j);
+            if (gains && !(d1 == cs[i] && d2 == cs[j])) {
+              cs[i] = d1;
+              cs[j] = d2;
+              applied = true;
+              changed = true;
+            }
+          }
+        }
+      }
+      changed |= merge_d01();
+    }
+    if (!changed) break;
+  }
+}
+
+namespace {
+
+/// Section-3 cube factorizer generalized to mixed-polarity cubes.
+class EsopFactorizer {
+public:
+  EsopFactorizer(Network& net, const std::vector<NodeId>& pi_nodes)
+      : net_(&net), pis_(&pi_nodes) {}
+
+  NodeId factor(std::vector<Cube> cubes) {
+    // Cancel duplicate pairs.
+    std::sort(cubes.begin(), cubes.end());
+    std::vector<Cube> kept;
+    for (std::size_t i = 0; i < cubes.size();) {
+      if (i + 1 < cubes.size() && cubes[i] == cubes[i + 1]) i += 2;
+      else kept.push_back(cubes[i++]);
+    }
+    return factor_rec(std::move(kept));
+  }
+
+private:
+  NodeId lit_node(int v, bool positive) {
+    const NodeId pi = (*pis_)[static_cast<std::size_t>(v)];
+    return positive ? pi : net_->add_not(pi);
+  }
+
+  NodeId cube_node(const Cube& c) {
+    std::vector<NodeId> leaves;
+    for (int v = 0; v < c.nvars(); ++v) {
+      if (c.has_pos(v)) leaves.push_back(lit_node(v, true));
+      else if (c.has_neg(v)) leaves.push_back(lit_node(v, false));
+    }
+    if (leaves.empty()) return Network::kConst1;
+    if (leaves.size() == 1) return leaves[0];
+    return net_->add_gate(GateType::And, std::move(leaves));
+  }
+
+  static std::vector<std::vector<std::size_t>> disjoint_groups(
+      const std::vector<Cube>& cubes) {
+    std::vector<BitVec> supports;
+    supports.reserve(cubes.size());
+    for (const auto& c : cubes) supports.push_back(c.support());
+    return group_supports(supports);
+  }
+
+  static std::vector<std::vector<std::size_t>> group_supports(
+      const std::vector<BitVec>& supports) {
+    std::vector<std::size_t> parent(supports.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    if (!supports.empty()) {
+      std::vector<std::size_t> owner(supports[0].size(), BitVec::npos);
+      for (std::size_t i = 0; i < supports.size(); ++i) {
+        for (std::size_t b = supports[i].first_set(); b != BitVec::npos;
+             b = supports[i].next_set(b + 1)) {
+          if (owner[b] == BitVec::npos) owner[b] = i;
+          else parent[find(i)] = find(owner[b]);
+        }
+      }
+    }
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<std::size_t> slot(supports.size(), BitVec::npos);
+    for (std::size_t i = 0; i < supports.size(); ++i) {
+      const std::size_t r = find(i);
+      if (slot[r] == BitVec::npos) {
+        slot[r] = groups.size();
+        groups.emplace_back();
+      }
+      groups[slot[r]].push_back(i);
+    }
+    return groups;
+  }
+
+  NodeId factor_rec(std::vector<Cube> cubes) {
+    if (cubes.empty()) return Network::kConst0;
+    if (cubes.size() == 1) return cube_node(cubes[0]);
+
+    // Rule (b): {B, C, B·C} = B + C for clash-free B, C.
+    if (cubes.size() == 3) {
+      for (int top = 0; top < 3; ++top) {
+        const Cube& u = cubes[static_cast<std::size_t>(top)];
+        const Cube& a = cubes[static_cast<std::size_t>((top + 1) % 3)];
+        const Cube& b = cubes[static_cast<std::size_t>((top + 2) % 3)];
+        if (!a.clashes(b) && a.intersect(b) == u && a != u && b != u)
+          return net_->add_or(cube_node(a), cube_node(b));
+      }
+    }
+
+    const auto groups = disjoint_groups(cubes);
+    if (groups.size() > 1) {
+      std::vector<NodeId> parts;
+      for (const auto& g : groups) {
+        std::vector<Cube> sub;
+        for (const std::size_t i : g) sub.push_back(cubes[i]);
+        parts.push_back(factor_rec(std::move(sub)));
+      }
+      return balanced_gate_tree_xor(std::move(parts));
+    }
+
+    // Most frequent literal over the 2n-literal space.
+    const int n = cubes[0].nvars();
+    std::vector<int> cnt(static_cast<std::size_t>(2 * n), 0);
+    for (const auto& c : cubes) {
+      for (int v = 0; v < n; ++v) {
+        if (c.has_pos(v)) ++cnt[static_cast<std::size_t>(2 * v)];
+        else if (c.has_neg(v)) ++cnt[static_cast<std::size_t>(2 * v + 1)];
+      }
+    }
+    int best = -1, best_cnt = 1;
+    for (int l = 0; l < 2 * n; ++l) {
+      if (cnt[static_cast<std::size_t>(l)] > best_cnt) {
+        best_cnt = cnt[static_cast<std::size_t>(l)];
+        best = l;
+      }
+    }
+    if (best < 0) {
+      std::vector<NodeId> leaves;
+      for (const auto& c : cubes) leaves.push_back(cube_node(c));
+      return balanced_gate_tree_xor(std::move(leaves));
+    }
+
+    const int v = best / 2;
+    const bool positive = best % 2 == 0;
+    std::vector<Cube> quotient, remainder;
+    bool quotient_has_one = false;
+    for (auto& c : cubes) {
+      const bool in = positive ? c.has_pos(v) : c.has_neg(v);
+      if (in) {
+        Cube q = c;
+        q.drop_var(v);
+        if (q.is_universal()) quotient_has_one = true;
+        else quotient.push_back(std::move(q));
+      } else {
+        remainder.push_back(std::move(c));
+      }
+    }
+    const NodeId lit = lit_node(v, positive);
+    NodeId factored;
+    if (quotient_has_one) {
+      // Rule (a): lit ⊕ lit·Q = lit·Q̄.
+      if (quotient.empty()) factored = lit;
+      else factored = net_->add_and(lit, net_->add_not(factor_rec(std::move(quotient))));
+    } else {
+      const NodeId q = factor_rec(std::move(quotient));
+      factored = q == Network::kConst1 ? lit : net_->add_and(lit, q);
+    }
+    if (remainder.empty()) return factored;
+    return net_->add_xor(factored, factor_rec(std::move(remainder)));
+  }
+
+  NodeId balanced_gate_tree_xor(std::vector<NodeId> leaves) {
+    if (leaves.empty()) return Network::kConst0;
+    while (leaves.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+        next.push_back(net_->add_xor(leaves[i], leaves[i + 1]));
+      if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+      leaves = std::move(next);
+    }
+    return leaves[0];
+  }
+
+  Network* net_;
+  const std::vector<NodeId>* pis_;
+};
+
+} // namespace
+
+NodeId factor_esop(Network& net, const std::vector<NodeId>& pi_nodes,
+                   const Esop& esop) {
+  EsopFactorizer fac(net, pi_nodes);
+  return fac.factor(esop.cubes);
+}
+
+Network esop_synthesize(const Network& spec, const EsopMinimizeOptions& opt,
+                        std::vector<std::size_t>* cube_counts) {
+  BddManager mgr(static_cast<int>(spec.pi_count()));
+  const std::vector<BddRef> outs = output_bdds(mgr, spec);
+
+  Network net;
+  std::vector<NodeId> pis;
+  for (std::size_t i = 0; i < spec.pi_count(); ++i)
+    pis.push_back(net.add_pi(spec.name(spec.pis()[i])));
+  if (cube_counts != nullptr) cube_counts->clear();
+
+  // Outputs beyond this cube count are not worth explicit ESOP treatment
+  // (the quadratic exorlink passes dominate); they fall back to the
+  // decision-diagram construction below.
+  constexpr std::size_t kCubeCap = 2'000;
+  for (std::size_t j = 0; j < spec.po_count(); ++j) {
+    const BddRef f = outs[j];
+    if (f == mgr.bdd_false() || f == mgr.bdd_true()) {
+      net.add_po(net.constant(f == mgr.bdd_true()), spec.po_name(j));
+      if (cube_counts != nullptr) cube_counts->push_back(f == mgr.bdd_true());
+      continue;
+    }
+    const BitVec pol = best_polarity(mgr, f);
+    const Ofdd ofdd = build_ofdd(mgr, f, pol);
+    const FprmForm form =
+        extract_fprm(mgr, ofdd, static_cast<int>(spec.pi_count()), kCubeCap);
+    if (form.truncated) {
+      // Cube list too large to minimize explicitly: fall back to a pure
+      // Davio decision-diagram construction for this output.
+      KfddBuilder builder(net, pis, mgr,
+                          std::vector<Expansion>(spec.pi_count(),
+                                                 Expansion::PositiveDavio));
+      net.add_po(builder.build(f), spec.po_name(j));
+      if (cube_counts != nullptr) cube_counts->push_back(kCubeCap);
+      continue;
+    }
+    Esop esop = esop_from_fprm(form);
+    esop_minimize(esop, opt);
+    if (cube_counts != nullptr) cube_counts->push_back(esop.cubes.size());
+    net.add_po(factor_esop(net, pis, esop), spec.po_name(j));
+  }
+  return strash(net);
+}
+
+} // namespace rmsyn

@@ -1,0 +1,64 @@
+// ESOP (exclusive-or sum of products) minimization and factoring — the
+// Section-3/Section-6 future-work direction the paper attributes to Sasao
+// [17][18]: FPRM forms fix one polarity per variable, but letting each cube
+// choose its own literal polarities (a general ESOP) can only shrink the
+// cube list, at the price of a harder minimization problem.
+//
+// This module implements the EXORCISM-style local search: iterated
+// *exorlink* rewrites of cube pairs at Hamming distance 0/1/2 (distance-0
+// pairs cancel, distance-1 pairs merge into a single cube, distance-2 pairs
+// are re-expressed through an intermediate cube that may unlock further
+// merges), plus a factored-network construction that generalizes the cube
+// method of Section 3 to mixed-polarity literals.
+#pragma once
+
+#include <vector>
+
+#include "fdd/fprm.hpp"
+#include "network/network.hpp"
+#include "sop/cube.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rmsyn {
+
+/// An ESOP: XOR of product terms (mixed-polarity cubes over nvars inputs).
+struct Esop {
+  int nvars = 0;
+  std::vector<Cube> cubes;
+
+  bool eval(uint64_t minterm) const;
+  std::size_t literal_count() const;
+  TruthTable to_truth_table() const; ///< small nvars only
+};
+
+/// Converts an FPRM form into an (equivalent) ESOP over global variables,
+/// materializing the fixed polarities into the cubes.
+Esop esop_from_fprm(const FprmForm& form);
+
+struct EsopMinimizeOptions {
+  int max_passes = 12;
+  /// Try distance-2 exorlink rewrites (slower; distance-0/1 always run).
+  bool use_distance2 = true;
+};
+
+/// In-place exorlink minimization. Never increases the cube count;
+/// functional equivalence is preserved by construction (every rewrite is a
+/// GF(2) identity).
+void esop_minimize(Esop& esop, const EsopMinimizeOptions& opt = {});
+
+/// Builds a factored network computing the ESOP inside `net` (`pi_nodes`
+/// maps variable id -> PI node). The factorizer mirrors Section 3's cube
+/// method: disjoint-support grouping, division by the most frequent
+/// literal, and the ⊕-domain reduction rules, generalized to two literal
+/// polarities per variable.
+NodeId factor_esop(Network& net, const std::vector<NodeId>& pi_nodes,
+                   const Esop& esop);
+
+/// Complete ESOP-based synthesis of a specification (FPRM extraction per
+/// output -> exorlink minimization -> factoring -> structural cleanup).
+/// Redundancy removal is up to the caller.
+Network esop_synthesize(const Network& spec,
+                        const EsopMinimizeOptions& opt = {},
+                        std::vector<std::size_t>* cube_counts = nullptr);
+
+} // namespace rmsyn

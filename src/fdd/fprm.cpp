@@ -1,0 +1,295 @@
+#include "fdd/fprm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace rmsyn {
+
+bool FprmForm::has_constant_one_cube() const {
+  return std::any_of(cubes.begin(), cubes.end(),
+                     [](const BitVec& c) { return c.none(); });
+}
+
+std::size_t FprmForm::literal_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cubes) n += c.count();
+  return n;
+}
+
+bool FprmForm::eval(const BitVec& assignment) const {
+  bool acc = false;
+  for (const auto& cube : cubes) {
+    bool term = true;
+    for (std::size_t i = 0; i < support.size() && term; ++i) {
+      if (!cube.get(i)) continue;
+      const auto v = static_cast<std::size_t>(support[i]);
+      const bool lit = polarity.get(v) ? assignment.get(v) : !assignment.get(v);
+      term = lit;
+    }
+    acc ^= term;
+  }
+  return acc;
+}
+
+namespace {
+
+// Memo key: (node ref, depth). Refs are < 2^23 (enforced by the manager) and
+// depths < 2^9 in practice; pack exactly.
+uint64_t memo_key(BddRef f, std::size_t depth) {
+  return (static_cast<uint64_t>(depth) << 24) | f;
+}
+
+} // namespace
+
+BddRef rm_spectrum(BddManager& mgr, BddRef f, const std::vector<int>& vars,
+                   const BitVec& polarity) {
+  std::unordered_map<uint64_t, BddRef> memo;
+  const std::function<BddRef(BddRef, std::size_t)> rec =
+      [&](BddRef g, std::size_t depth) -> BddRef {
+    if (depth == vars.size()) {
+      assert(mgr.is_terminal(g));
+      return g;
+    }
+    const uint64_t key = memo_key(g, depth);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const int v = vars[depth];
+    const BddRef g0 = mgr.cofactor(g, v, false);
+    const BddRef g1 = mgr.cofactor(g, v, true);
+    const BddRef gd = mgr.bdd_xor(g0, g1); // Boolean difference
+    const bool pos = polarity.get(static_cast<std::size_t>(v));
+    const BddRef lo = rec(pos ? g0 : g1, depth + 1);
+    const BddRef hi = rec(gd, depth + 1);
+    const BddRef r = mgr.mk_node(v, lo, hi);
+    memo.emplace(key, r);
+    return r;
+  };
+  return rec(f, 0);
+}
+
+BddRef rm_inverse(BddManager& mgr, BddRef spectrum, const std::vector<int>& vars,
+                  const BitVec& polarity) {
+  std::unordered_map<uint64_t, BddRef> memo;
+  const std::function<BddRef(BddRef, std::size_t)> rec =
+      [&](BddRef r, std::size_t depth) -> BddRef {
+    if (depth == vars.size()) {
+      assert(mgr.is_terminal(r));
+      return r;
+    }
+    const uint64_t key = memo_key(r, depth);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const int v = vars[depth];
+    BddRef r_lo = r, r_hi = r;
+    if (!mgr.is_terminal(r) && mgr.var_of(r) == v) {
+      r_lo = mgr.lo_of(r);
+      r_hi = mgr.hi_of(r);
+    }
+    const BddRef base = rec(r_lo, depth + 1);  // part without the literal
+    const BddRef diff = rec(r_hi, depth + 1);  // coefficient of the literal
+    const bool pos = polarity.get(static_cast<std::size_t>(v));
+    const BddRef lit = mgr.literal(v, pos);
+    const BddRef g = mgr.bdd_xor(base, mgr.bdd_and(lit, diff));
+    memo.emplace(key, g);
+    return g;
+  };
+  return rec(spectrum, 0);
+}
+
+double fprm_cube_count(BddManager& mgr, BddRef spectrum,
+                       const std::vector<int>& vars) {
+  // sat_count counts over all manager variables; scale down to the
+  // projection onto `vars`.
+  double scale = 1.0;
+  for (int i = 0; i < mgr.nvars() - static_cast<int>(vars.size()); ++i)
+    scale *= 2.0;
+  return mgr.sat_count(spectrum) / scale;
+}
+
+Ofdd build_ofdd(BddManager& mgr, BddRef f, const BitVec& polarity) {
+  Ofdd o;
+  const BitVec sup = mgr.support(f);
+  for (std::size_t v = sup.first_set(); v != BitVec::npos; v = sup.next_set(v + 1))
+    o.support.push_back(static_cast<int>(v));
+  o.polarity = polarity;
+  o.root = rm_spectrum(mgr, f, o.support, polarity);
+  return o;
+}
+
+FprmForm extract_fprm(BddManager& mgr, const Ofdd& ofdd, int nvars,
+                      std::size_t cube_limit) {
+  FprmForm form;
+  form.nvars = nvars;
+  form.support = ofdd.support;
+  form.polarity = ofdd.polarity;
+  const bool complete = mgr.enumerate_sat(
+      ofdd.root, ofdd.support, cube_limit, [&](const BitVec& presence) {
+        form.cubes.push_back(presence);
+        return true;
+      });
+  form.truncated = !complete;
+  return form;
+}
+
+BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
+  const BitVec sup = mgr.support(f);
+  std::vector<int> vars;
+  for (std::size_t v = sup.first_set(); v != BitVec::npos; v = sup.next_set(v + 1))
+    vars.push_back(static_cast<int>(v));
+
+  BitVec best(static_cast<std::size_t>(mgr.nvars()));
+  best.set_all(); // default: all-positive (PPRM)
+  if (vars.empty()) return best;
+
+  const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
+    const BddRef spec = rm_spectrum(mgr, f, vars, pol);
+    return {fprm_cube_count(mgr, spec, vars), mgr.size(spec)};
+  };
+
+  auto best_cost = cost(best);
+
+  if (static_cast<int>(vars.size()) <= opt.exhaustive_limit) {
+    for (uint64_t mask = 0; mask < (uint64_t{1} << vars.size()); ++mask) {
+      BitVec pol(static_cast<std::size_t>(mgr.nvars()));
+      pol.set_all();
+      for (std::size_t i = 0; i < vars.size(); ++i)
+        if ((mask >> i) & 1) pol.set(static_cast<std::size_t>(vars[i]), false);
+      const auto c = cost(pol);
+      if (c < best_cost) {
+        best_cost = c;
+        best = pol;
+      }
+    }
+    return best;
+  }
+
+  // Greedy bit-flip descent from PPRM.
+  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+    bool improved = false;
+    for (const int v : vars) {
+      BitVec cand = best;
+      cand.flip(static_cast<std::size_t>(v));
+      const auto c = cost(cand);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
+                           const PolarityOptions& opt) {
+  // Union of the outputs' supports.
+  BitVec sup(static_cast<std::size_t>(mgr.nvars()));
+  for (const BddRef f : fs) sup |= mgr.support(f);
+  std::vector<int> vars;
+  for (std::size_t v = sup.first_set(); v != BitVec::npos; v = sup.next_set(v + 1))
+    vars.push_back(static_cast<int>(v));
+
+  BitVec best(static_cast<std::size_t>(mgr.nvars()));
+  best.set_all();
+  if (vars.empty()) return best;
+
+  // Per-output support lists (cube counts are projections onto them).
+  std::vector<std::vector<int>> out_vars;
+  for (const BddRef f : fs) {
+    const BitVec s = mgr.support(f);
+    std::vector<int> ov;
+    for (std::size_t v = s.first_set(); v != BitVec::npos; v = s.next_set(v + 1))
+      ov.push_back(static_cast<int>(v));
+    out_vars.push_back(std::move(ov));
+  }
+
+  const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
+    double cubes = 0;
+    std::size_t nodes = 0;
+    for (std::size_t j = 0; j < fs.size(); ++j) {
+      if (out_vars[j].empty()) continue;
+      const BddRef spec = rm_spectrum(mgr, fs[j], out_vars[j], pol);
+      cubes += fprm_cube_count(mgr, spec, out_vars[j]);
+      nodes += mgr.size(spec);
+    }
+    return {cubes, nodes};
+  };
+
+  auto best_cost = cost(best);
+  if (static_cast<int>(vars.size()) <= opt.exhaustive_limit) {
+    for (uint64_t mask = 0; mask < (uint64_t{1} << vars.size()); ++mask) {
+      BitVec pol(static_cast<std::size_t>(mgr.nvars()));
+      pol.set_all();
+      for (std::size_t i = 0; i < vars.size(); ++i)
+        if ((mask >> i) & 1) pol.set(static_cast<std::size_t>(vars[i]), false);
+      const auto c = cost(pol);
+      if (c < best_cost) {
+        best_cost = c;
+        best = pol;
+      }
+    }
+    return best;
+  }
+  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+    bool improved = false;
+    for (const int v : vars) {
+      BitVec cand = best;
+      cand.flip(static_cast<std::size_t>(v));
+      const auto c = cost(cand);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+std::vector<bool> prime_flags(const FprmForm& form) {
+  const auto& cs = form.cubes;
+  std::vector<bool> prime(cs.size(), true);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    for (std::size_t j = 0; j < cs.size(); ++j) {
+      if (i == j) continue;
+      // Properly contained: subset and not equal.
+      if (cs[i].is_subset_of(cs[j]) && cs[i] != cs[j]) {
+        prime[i] = false;
+        break;
+      }
+    }
+  }
+  return prime;
+}
+
+TruthTable fprm_spectrum_tt(const TruthTable& f, const BitVec& polarity) {
+  // For a negative-polarity variable the FPRM expands on x̄, which equals
+  // the PPRM of f with that input complemented.
+  TruthTable g = f;
+  for (int v = 0; v < f.nvars(); ++v) {
+    if (!polarity.get(static_cast<std::size_t>(v))) {
+      // Swap cofactors of variable v: g(x) := g(x with bit v flipped).
+      TruthTable swapped(f.nvars());
+      const uint64_t bit = uint64_t{1} << v;
+      for (uint64_t m = 0; m < g.size(); ++m)
+        if (g.get(m ^ bit)) swapped.set(m);
+      g = swapped;
+    }
+  }
+  g.reed_muller_transform();
+  return g;
+}
+
+TruthTable fprm_to_tt(const FprmForm& form) {
+  TruthTable out(form.nvars);
+  for (uint64_t m = 0; m < out.size(); ++m) {
+    BitVec assign(static_cast<std::size_t>(form.nvars));
+    for (int v = 0; v < form.nvars; ++v)
+      if ((m >> v) & 1) assign.set(static_cast<std::size_t>(v));
+    if (form.eval(assign)) out.set(m);
+  }
+  return out;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,146 @@
+#include "fdd/kfdd.hpp"
+
+#include "equiv/equiv.hpp"
+#include "network/stats.hpp"
+#include "network/transform.hpp"
+
+namespace rmsyn {
+
+KfddBuilder::KfddBuilder(Network& net, const std::vector<NodeId>& pi_nodes,
+                         BddManager& mgr, std::vector<Expansion> expansions)
+    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr),
+      expansions_(std::move(expansions)),
+      not_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0) {}
+
+NodeId KfddBuilder::build(BddRef f) { return build_rec(f, 0); }
+
+NodeId KfddBuilder::build_rec(BddRef f, int var) {
+  if (f == BddManager::kFalse) return Network::kConst0;
+  if (f == BddManager::kTrue) return Network::kConst1;
+  // Skip variables the function no longer depends on (the BDD is ordered,
+  // so anything above the top var is irrelevant).
+  while (var < mgr_->nvars() && mgr_->var_of(f) > var) ++var;
+  if (mgr_->is_terminal(f))
+    return f == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
+
+  const uint64_t key = (static_cast<uint64_t>(var) << 24) | f;
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  const BddRef f0 = mgr_->lo_of(f);
+  const BddRef f1 = mgr_->hi_of(f);
+  const NodeId x = (*pi_nodes_)[static_cast<std::size_t>(var)];
+  auto& nx_slot = not_cache_[static_cast<std::size_t>(var)];
+  const auto nx = [&]() -> NodeId {
+    if (nx_slot == Network::kConst0) nx_slot = net_->add_not(x);
+    return nx_slot;
+  };
+
+  NodeId result = Network::kConst0;
+  switch (expansions_[static_cast<std::size_t>(var)]) {
+    case Expansion::Shannon: {
+      const NodeId lo = build_rec(f0, var + 1);
+      const NodeId hi = build_rec(f1, var + 1);
+      if (lo == hi) { result = lo; break; }
+      if (lo == Network::kConst0) {
+        result = hi == Network::kConst1 ? x : net_->add_and(x, hi);
+      } else if (hi == Network::kConst0) {
+        result = lo == Network::kConst1 ? nx() : net_->add_and(nx(), lo);
+      } else if (lo == Network::kConst1 && hi == Network::kConst1) {
+        result = Network::kConst1;
+      } else {
+        const NodeId a = hi == Network::kConst1 ? x : net_->add_and(x, hi);
+        const NodeId b = lo == Network::kConst1 ? nx() : net_->add_and(nx(), lo);
+        result = net_->add_or(a, b);
+      }
+      break;
+    }
+    case Expansion::PositiveDavio:
+    case Expansion::NegativeDavio: {
+      const bool positive =
+          expansions_[static_cast<std::size_t>(var)] == Expansion::PositiveDavio;
+      const BddRef base_f = positive ? f0 : f1;
+      const BddRef diff = mgr_->bdd_xor(f0, f1);
+      const NodeId base = build_rec(base_f, var + 1);
+      const NodeId d = build_rec(diff, var + 1);
+      const NodeId lit = positive ? x : nx();
+      if (d == Network::kConst0) { result = base; break; }
+      const NodeId prod = d == Network::kConst1 ? lit : net_->add_and(lit, d);
+      result = base == Network::kConst0 ? prod : net_->add_xor(base, prod);
+      break;
+    }
+  }
+  memo_.emplace(key, result);
+  return result;
+}
+
+namespace {
+
+std::size_t kfdd_cost(BddManager& mgr, const std::vector<BddRef>& outputs,
+                      std::size_t num_pis, const std::vector<Expansion>& exp) {
+  Network net;
+  std::vector<NodeId> pis;
+  pis.reserve(num_pis);
+  for (std::size_t i = 0; i < num_pis; ++i) pis.push_back(net.add_pi());
+  KfddBuilder builder(net, pis, mgr, exp);
+  for (const BddRef f : outputs) net.add_po(builder.build(f));
+  return network_stats(strash(net)).gates2;
+}
+
+} // namespace
+
+std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
+                                               const std::vector<BddRef>& outputs,
+                                               const KfddSearchOptions& opt) {
+  const auto n = static_cast<std::size_t>(mgr.nvars());
+  std::vector<Expansion> best(n, Expansion::PositiveDavio);
+  std::size_t best_cost = kfdd_cost(mgr, outputs, n, best);
+  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const Expansion e : {Expansion::Shannon, Expansion::PositiveDavio,
+                                Expansion::NegativeDavio}) {
+        if (e == best[v]) continue;
+        std::vector<Expansion> cand = best;
+        cand[v] = e;
+        const std::size_t cost = kfdd_cost(mgr, outputs, n, cand);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+Network kfdd_synthesize(const Network& spec, const KfddSearchOptions& opt,
+                        std::vector<Expansion>* chosen) {
+  // Work in the spectrum-friendly variable order (carry-like inputs last)
+  // so cross-output subgraph sharing materializes, then permute back.
+  const std::vector<std::size_t> perm = spectrum_friendly_pi_order(spec);
+  const Network spec_p = permute_pis(spec, perm);
+
+  BddManager mgr(static_cast<int>(spec_p.pi_count()));
+  const std::vector<BddRef> outs = output_bdds(mgr, spec_p);
+  const std::vector<Expansion> exp = best_kfdd_decomposition(mgr, outs, opt);
+  Network net;
+  std::vector<NodeId> pis;
+  for (std::size_t i = 0; i < spec_p.pi_count(); ++i)
+    pis.push_back(net.add_pi(spec_p.name(spec_p.pis()[i])));
+  KfddBuilder builder(net, pis, mgr, exp);
+  for (std::size_t j = 0; j < spec_p.po_count(); ++j)
+    net.add_po(builder.build(outs[j]), spec_p.po_name(j));
+
+  if (chosen != nullptr) {
+    // Report expansions in the spec's original variable numbering.
+    chosen->assign(spec.pi_count(), Expansion::PositiveDavio);
+    for (std::size_t k = 0; k < perm.size(); ++k) (*chosen)[perm[k]] = exp[k];
+  }
+  std::vector<std::size_t> inverse(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) inverse[perm[k]] = k;
+  return strash(permute_pis(net, inverse));
+}
+
+} // namespace rmsyn

@@ -1,0 +1,71 @@
+// End-to-end experiment runner shared by the bench harnesses and examples:
+// runs one Table-2 circuit through both flows (ours and the SIS-style
+// baseline), technology-maps both onto the mcnc-flavoured library, and
+// collects every column of the paper's Table 2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/script.hpp"
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+#include "mapping/mapper.hpp"
+#include "power/power.hpp"
+
+namespace rmsyn {
+
+struct FlowRow {
+  std::string circuit;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  bool arithmetic = false;
+  bool exact_benchmark = false;
+
+  // Pre-mapping (Table 2 columns 3-4): 2-input AND/OR literals + seconds.
+  std::size_t base_lits = 0;
+  double base_seconds = 0.0;
+  std::size_t ours_lits = 0;
+  double ours_seconds = 0.0;
+
+  // Post-mapping (columns 5-8).
+  std::size_t base_gates = 0;
+  std::size_t base_map_lits = 0;
+  std::size_t ours_gates = 0;
+  std::size_t ours_map_lits = 0;
+
+  // Power (improve%power).
+  double base_power = 0.0;
+  double ours_power = 0.0;
+
+  double improve_lits_pct() const {
+    return base_map_lits == 0
+               ? 0.0
+               : 100.0 * (1.0 - static_cast<double>(ours_map_lits) /
+                                    static_cast<double>(base_map_lits));
+  }
+  double improve_power_pct() const {
+    return base_power == 0.0 ? 0.0
+                             : 100.0 * (1.0 - ours_power / base_power);
+  }
+};
+
+struct FlowOptions {
+  SynthOptions synth;
+  BaselineOptions baseline;
+  bool run_mapping = true;
+  bool run_power = true;
+};
+
+/// Runs one circuit through both flows. Throws on internal verification
+/// failure (both flows check equivalence against the spec).
+FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt = {});
+FlowRow run_flow(const std::string& circuit, const FlowOptions& opt = {});
+
+/// Pretty-prints rows in the paper's Table-2 layout, with Total-arith and
+/// Total-all summary rows (sums for counts/time, averages for the
+/// improvement columns, as in the paper).
+std::string format_table2(const std::vector<FlowRow>& rows);
+
+} // namespace rmsyn

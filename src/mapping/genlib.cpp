@@ -1,0 +1,353 @@
+#include "mapping/genlib.hpp"
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+namespace rmsyn {
+
+std::unique_ptr<PatNode> PatNode::input(int idx) {
+  auto n = std::make_unique<PatNode>();
+  n->kind = Kind::Input;
+  n->input_index = idx;
+  return n;
+}
+
+std::unique_ptr<PatNode> PatNode::inv(std::unique_ptr<PatNode> x) {
+  // Collapse double inverters so De Morgan rewriting yields canonical
+  // trees (INV(INV(t)) == t).
+  if (x->kind == Kind::Inv) return std::move(x->a);
+  auto n = std::make_unique<PatNode>();
+  n->kind = Kind::Inv;
+  n->a = std::move(x);
+  return n;
+}
+
+std::unique_ptr<PatNode> PatNode::nand(std::unique_ptr<PatNode> x,
+                                       std::unique_ptr<PatNode> y) {
+  auto n = std::make_unique<PatNode>();
+  n->kind = Kind::Nand;
+  n->a = std::move(x);
+  n->b = std::move(y);
+  return n;
+}
+
+std::unique_ptr<PatNode> PatNode::clone() const {
+  auto n = std::make_unique<PatNode>();
+  n->kind = kind;
+  n->input_index = input_index;
+  if (a) n->a = a->clone();
+  if (b) n->b = b->clone();
+  return n;
+}
+
+namespace {
+
+/// Boolean expression AST with n-ary AND/OR (nested same-operator nodes are
+/// flattened), from which alternative pattern shapes are generated.
+struct Ast {
+  enum class Op { Var, Not, And, Or } op = Op::Var;
+  int var = -1;
+  std::vector<Ast> kids;
+};
+
+/// Recursive-descent parser for genlib boolean expressions.
+/// Grammar:  or := and ('+' and)* ; and := lit ('*'? lit)* ;
+///           lit := '!' lit | primary '\''* ; primary := name | '(' or ')'
+class ExprParser {
+public:
+  ExprParser(const std::string& s, std::map<std::string, int>& vars)
+      : s_(s), vars_(vars) {}
+
+  Ast parse() {
+    Ast e = parse_or();
+    skip_ws();
+    if (pos_ != s_.size())
+      throw std::runtime_error("genlib: trailing characters in expression");
+    return e;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+  bool eat(char c) {
+    if (peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static Ast nary(Ast::Op op, std::vector<Ast> kids) {
+    // Flatten nested same-op children.
+    Ast n;
+    n.op = op;
+    for (auto& k : kids) {
+      if (k.op == op) {
+        for (auto& kk : k.kids) n.kids.push_back(std::move(kk));
+      } else {
+        n.kids.push_back(std::move(k));
+      }
+    }
+    if (n.kids.size() == 1) return std::move(n.kids[0]);
+    return n;
+  }
+
+  Ast parse_or() {
+    std::vector<Ast> kids;
+    kids.push_back(parse_and());
+    while (eat('+')) kids.push_back(parse_and());
+    return nary(Ast::Op::Or, std::move(kids));
+  }
+
+  Ast parse_and() {
+    std::vector<Ast> kids;
+    kids.push_back(parse_lit());
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size()) break;
+      const char c = s_[pos_];
+      if (c == '*') {
+        ++pos_;
+      } else if (c == '!' || c == '(' ||
+                 std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        // implicit AND (juxtaposition)
+      } else {
+        break;
+      }
+      kids.push_back(parse_lit());
+    }
+    return nary(Ast::Op::And, std::move(kids));
+  }
+
+  Ast parse_lit() {
+    skip_ws();
+    if (eat('!')) {
+      Ast n;
+      n.op = Ast::Op::Not;
+      n.kids.push_back(parse_lit());
+      return n;
+    }
+    Ast p = parse_primary();
+    while (eat('\'')) {
+      Ast n;
+      n.op = Ast::Op::Not;
+      n.kids.push_back(std::move(p));
+      p = std::move(n);
+    }
+    return p;
+  }
+
+  Ast parse_primary() {
+    skip_ws();
+    if (eat('(')) {
+      Ast e = parse_or();
+      if (!eat(')')) throw std::runtime_error("genlib: missing ')'");
+      return e;
+    }
+    std::string name;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_'))
+      name.push_back(s_[pos_++]);
+    if (name.empty()) throw std::runtime_error("genlib: expected identifier");
+    const auto [it, inserted] =
+        vars_.emplace(name, static_cast<int>(vars_.size()));
+    Ast n;
+    n.op = Ast::Op::Var;
+    n.var = it->second;
+    return n;
+  }
+
+  const std::string& s_;
+  std::map<std::string, int>& vars_;
+  std::size_t pos_ = 0;
+};
+
+using Pat = std::unique_ptr<PatNode>;
+
+Pat and2(Pat x, Pat y) {
+  return PatNode::inv(PatNode::nand(std::move(x), std::move(y)));
+}
+Pat or2(Pat x, Pat y) {
+  return PatNode::nand(PatNode::inv(std::move(x)), PatNode::inv(std::move(y)));
+}
+
+/// Reduces a list of operand patterns into one tree, caterpillar or
+/// balanced, with the given 2-input combiner.
+Pat reduce_shape(std::vector<Pat> ops, bool balanced, Pat (*comb)(Pat, Pat)) {
+  if (balanced) {
+    while (ops.size() > 1) {
+      std::vector<Pat> next;
+      for (std::size_t i = 0; i + 1 < ops.size(); i += 2)
+        next.push_back(comb(std::move(ops[i]), std::move(ops[i + 1])));
+      if (ops.size() % 2 == 1) next.push_back(std::move(ops.back()));
+      ops = std::move(next);
+    }
+  } else {
+    while (ops.size() > 1) {
+      Pat merged = comb(std::move(ops[0]), std::move(ops[1]));
+      ops.erase(ops.begin());
+      ops[0] = std::move(merged);
+    }
+  }
+  return std::move(ops[0]);
+}
+
+constexpr std::size_t kMaxPatternsPerCell = 8;
+
+/// All NAND/INV tree variants of an AST node (shape alternatives for wide
+/// AND/OR chains), capped.
+std::vector<Pat> emit_variants(const Ast& ast) {
+  switch (ast.op) {
+    case Ast::Op::Var: {
+      std::vector<Pat> out;
+      out.push_back(PatNode::input(ast.var));
+      return out;
+    }
+    case Ast::Op::Not: {
+      std::vector<Pat> out;
+      for (auto& k : emit_variants(ast.kids[0]))
+        out.push_back(PatNode::inv(std::move(k)));
+      return out;
+    }
+    case Ast::Op::And:
+    case Ast::Op::Or: {
+      // Cartesian product of child variants, capped.
+      std::vector<std::vector<Pat>> child_sets;
+      for (const auto& k : ast.kids) child_sets.push_back(emit_variants(k));
+      std::vector<std::vector<Pat>> combos;
+      combos.emplace_back();
+      for (auto& set : child_sets) {
+        std::vector<std::vector<Pat>> next;
+        for (auto& combo : combos) {
+          for (auto& alt : set) {
+            if (next.size() >= kMaxPatternsPerCell) break;
+            std::vector<Pat> extended;
+            for (auto& p : combo) extended.push_back(p->clone());
+            extended.push_back(alt->clone());
+            next.push_back(std::move(extended));
+          }
+        }
+        combos = std::move(next);
+      }
+      Pat (*comb)(Pat, Pat) = ast.op == Ast::Op::And ? and2 : or2;
+      const bool wide = ast.kids.size() >= 4;
+      std::vector<Pat> out;
+      for (auto& combo : combos) {
+        if (out.size() >= kMaxPatternsPerCell) break;
+        if (wide) {
+          std::vector<Pat> copy;
+          for (auto& p : combo) copy.push_back(p->clone());
+          out.push_back(reduce_shape(std::move(copy), /*balanced=*/true, comb));
+        }
+        if (out.size() >= kMaxPatternsPerCell) break;
+        out.push_back(reduce_shape(std::move(combo), /*balanced=*/false, comb));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+} // namespace
+
+CellLibrary parse_genlib(const std::string& text) {
+  CellLibrary lib;
+  std::size_t pos = 0;
+  const auto skip_ws_comments = [&] {
+    while (pos < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  const auto next_token = [&]() -> std::string {
+    skip_ws_comments();
+    std::string tok;
+    while (pos < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[pos])))
+      tok.push_back(text[pos++]);
+    return tok;
+  };
+
+  while (true) {
+    skip_ws_comments();
+    if (pos >= text.size()) break;
+    const std::string kw = next_token();
+    if (kw != "GATE")
+      throw std::runtime_error("genlib: expected GATE, got " + kw);
+    Cell cell;
+    cell.name = next_token();
+    cell.area = std::stod(next_token());
+    // Function up to ';'.
+    skip_ws_comments();
+    std::string fn;
+    while (pos < text.size() && text[pos] != ';') fn.push_back(text[pos++]);
+    if (pos >= text.size()) throw std::runtime_error("genlib: missing ';'");
+    ++pos; // ';'
+    const auto eq = fn.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("genlib: missing '=' in " + cell.name);
+    const std::string expr = fn.substr(eq + 1);
+    if (expr.find("CONST") != std::string::npos) {
+      // Constant cells carry no pattern; they are not used by the mapper.
+      cell.num_inputs = 0;
+      lib.cells.push_back(std::move(cell));
+      continue;
+    }
+    std::map<std::string, int> vars;
+    ExprParser parser(expr, vars);
+    const Ast ast = parser.parse();
+    cell.patterns = emit_variants(ast);
+    cell.num_inputs = static_cast<int>(vars.size());
+    lib.cells.push_back(std::move(cell));
+  }
+  return lib;
+}
+
+const std::string& mcnc_library_text() {
+  // Areas follow the mcnc.genlib proportions, normalized so an inverter is
+  // 1: simple 2-input gates ~2, the XOR/XNOR pair ~5 (the "XOR is roughly
+  // three AND/OR gates" cost the paper leans on), complex AOI/OAI cells
+  // between. The XNOR function is written in the complemented-XOR form so
+  // its canonical pattern tree matches the subject graph's XNOR
+  // decomposition (INV over the 4-NAND XOR tree).
+  static const std::string text = R"(
+# mcnc-flavoured standard-cell library (normalized areas)
+GATE inv1   1.0 O=!a;
+GATE nand2  2.0 O=!(a*b);
+GATE nor2   2.0 O=!(a+b);
+GATE and2   3.0 O=a*b;
+GATE or2    3.0 O=a+b;
+GATE nand3  3.0 O=!(a*b*c);
+GATE nor3   3.0 O=!(a+b+c);
+GATE nand4  4.0 O=!(a*b*c*d);
+GATE nor4   4.0 O=!(a+b+c+d);
+GATE xor2   5.0 O=a*!b+!a*b;
+GATE xnor2  5.0 O=!(a*!b+!a*b);
+GATE aoi21  3.0 O=!(a*b+c);
+GATE aoi22  4.0 O=!(a*b+c*d);
+GATE oai21  3.0 O=!((a+b)*c);
+GATE oai22  4.0 O=!((a+b)*(c+d));
+GATE zero   0.0 O=CONST0;
+GATE one    0.0 O=CONST1;
+)";
+  return text;
+}
+
+const CellLibrary& mcnc_library() {
+  static const CellLibrary lib = parse_genlib(mcnc_library_text());
+  return lib;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,67 @@
+// genlib cell-library support: the format SIS's `map` consumes
+// (lines of the form `GATE <name> <area> <output>=<expr>;` with !, *, +
+// and parentheses). Cells are compiled into NAND2/INV tree patterns for the
+// tree-covering mapper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rmsyn {
+
+/// A node of a cell's pattern tree over the NAND2/INV subject basis.
+struct PatNode {
+  enum class Kind { Input, Inv, Nand } kind = Kind::Input;
+  int input_index = -1;                  ///< for Kind::Input
+  std::unique_ptr<PatNode> a, b;         ///< Inv uses a; Nand uses a and b
+
+  static std::unique_ptr<PatNode> input(int idx);
+  static std::unique_ptr<PatNode> inv(std::unique_ptr<PatNode> x);
+  static std::unique_ptr<PatNode> nand(std::unique_ptr<PatNode> x,
+                                       std::unique_ptr<PatNode> y);
+  std::unique_ptr<PatNode> clone() const;
+};
+
+struct Cell {
+  std::string name;
+  double area = 0.0;
+  int num_inputs = 0;
+  /// Alternative NAND2/INV tree decompositions of the cell function. Wide
+  /// AND/OR chains get both the caterpillar and the balanced shape so the
+  /// tree matcher finds them regardless of how the subject graph was
+  /// decomposed (commutativity is handled by the matcher itself).
+  std::vector<std::unique_ptr<PatNode>> patterns;
+
+  Cell() = default;
+  Cell(Cell&&) = default;
+  Cell& operator=(Cell&&) = default;
+  Cell(const Cell& o)
+      : name(o.name), area(o.area), num_inputs(o.num_inputs) {
+    for (const auto& p : o.patterns) patterns.push_back(p->clone());
+  }
+};
+
+struct CellLibrary {
+  std::vector<Cell> cells;
+};
+
+/// Parses genlib text. Expressions may use variable names, !, ', *, +,
+/// parentheses, and the constants CONST0/CONST1 (constant cells are
+/// accepted but not used by the tree mapper). Throws std::runtime_error on
+/// syntax errors. AND/OR operators are compiled through De Morgan into
+/// NAND/INV with double inverters collapsed, so e.g. `a*!b + !a*b` becomes
+/// the canonical 4-NAND XOR tree.
+CellLibrary parse_genlib(const std::string& text);
+
+/// The built-in mcnc-flavoured library used for Table 2: INV, 2-input
+/// XOR/XNOR, 2-input AND/OR, NAND/NOR up to four inputs and the four
+/// complex cells (AOI21/AOI22/OAI21/OAI22), with the XOR cell ~3x the area
+/// of a 2-input AND/OR — the ratio the paper's argument depends on.
+const CellLibrary& mcnc_library();
+
+/// The genlib source text of the built-in library (also a parser test
+/// vector and a template for user libraries).
+const std::string& mcnc_library_text();
+
+} // namespace rmsyn

@@ -1,0 +1,226 @@
+#include "mapping/mapper.hpp"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "network/transform.hpp"
+
+namespace rmsyn {
+
+namespace {
+
+/// Builds NAND2/INV nodes with structural hashing local to the subject
+/// graph (the generic strash would normalize NANDs away).
+class SubjectBuilder {
+public:
+  explicit SubjectBuilder(Network& net) : net_(&net) {}
+
+  NodeId inv(NodeId a) {
+    if (a == Network::kConst0) return Network::kConst1;
+    if (a == Network::kConst1) return Network::kConst0;
+    if (net_->type(a) == GateType::Not) return net_->fanins(a)[0];
+    return hashed(GateType::Not, {a});
+  }
+
+  NodeId nand(NodeId a, NodeId b) {
+    if (a == Network::kConst0 || b == Network::kConst0) return Network::kConst1;
+    if (a == Network::kConst1) return inv(b);
+    if (b == Network::kConst1) return inv(a);
+    if (a > b) std::swap(a, b);
+    return hashed(GateType::Nand, {a, b});
+  }
+
+private:
+  NodeId hashed(GateType t, std::vector<NodeId> fi) {
+    const auto key = std::make_pair(t, fi);
+    if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+    const NodeId id = net_->add_gate(t, fi);
+    cache_.emplace(key, id);
+    return id;
+  }
+
+  Network* net_;
+  std::map<std::pair<GateType, std::vector<NodeId>>, NodeId> cache_;
+};
+
+} // namespace
+
+Network subject_graph(const Network& net) {
+  const Network src = decompose2(strash(net));
+  Network out;
+  SubjectBuilder sb(out);
+  std::vector<NodeId> map(src.node_count(), Network::kConst0);
+  map[Network::kConst1] = Network::kConst1;
+  for (std::size_t i = 0; i < src.pi_count(); ++i)
+    map[src.pis()[i]] = out.add_pi(src.name(src.pis()[i]));
+
+  const auto live = src.live_mask();
+  for (const NodeId n : src.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = src.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    const auto& fi = src.fanins(n);
+    const NodeId a = map[fi[0]];
+    const NodeId b = fi.size() > 1 ? map[fi[1]] : Network::kConst0;
+    switch (t) {
+      case GateType::Buf: map[n] = a; break;
+      case GateType::Not: map[n] = sb.inv(a); break;
+      case GateType::And: map[n] = sb.inv(sb.nand(a, b)); break;
+      case GateType::Nand: map[n] = sb.nand(a, b); break;
+      case GateType::Or: map[n] = sb.nand(sb.inv(a), sb.inv(b)); break;
+      case GateType::Nor: map[n] = sb.inv(sb.nand(sb.inv(a), sb.inv(b))); break;
+      case GateType::Xor:
+        // Canonical 4-NAND XOR tree: matches the library's `a*!b+!a*b`.
+        map[n] = sb.nand(sb.nand(a, sb.inv(b)), sb.nand(sb.inv(a), b));
+        break;
+      case GateType::Xnor:
+        map[n] = sb.inv(sb.nand(sb.nand(a, sb.inv(b)), sb.nand(sb.inv(a), b)));
+        break;
+      default:
+        throw std::logic_error("subject_graph: unexpected gate");
+    }
+  }
+  for (std::size_t i = 0; i < src.po_count(); ++i)
+    out.add_po(map[src.po(i)], src.po_name(i));
+  return sweep(out);
+}
+
+namespace {
+
+/// Enumerates all bindings of pattern `p` rooted at subject node `s`;
+/// each binding is the list of subject nodes the pattern inputs map to.
+void match_all(const PatNode* p, NodeId s, const Network& sg,
+               const std::vector<bool>& boundary, NodeId root,
+               std::vector<NodeId>& leaves,
+               std::vector<std::vector<NodeId>>& out) {
+  if (p->kind == PatNode::Kind::Input) {
+    leaves.push_back(s);
+    out.push_back(leaves);
+    leaves.pop_back();
+    return;
+  }
+  const GateType need =
+      p->kind == PatNode::Kind::Inv ? GateType::Not : GateType::Nand;
+  if (sg.type(s) != need) return;
+  if (s != root && boundary[s]) return; // matches cannot cross tree edges
+
+  if (p->kind == PatNode::Kind::Inv) {
+    match_all(p->a.get(), sg.fanins(s)[0], sg, boundary, root, leaves, out);
+    return;
+  }
+  // NAND: commutative — try both child assignments. The nested recursion
+  // needs completed left bindings before descending right, so enumerate
+  // left bindings, then extend each.
+  const NodeId f0 = sg.fanins(s)[0];
+  const NodeId f1 = sg.fanins(s)[1];
+  for (const auto& [ca, cb] :
+       {std::make_pair(f0, f1), std::make_pair(f1, f0)}) {
+    std::vector<std::vector<NodeId>> left;
+    {
+      std::vector<NodeId> scratch = leaves;
+      match_all(p->a.get(), ca, sg, boundary, root, scratch, left);
+    }
+    for (auto& lb : left) {
+      std::vector<NodeId> scratch = lb;
+      match_all(p->b.get(), cb, sg, boundary, root, scratch, out);
+    }
+    if (f0 == f1) break; // symmetric children: avoid duplicate bindings
+  }
+}
+
+struct Choice {
+  const Cell* cell = nullptr;
+  std::vector<NodeId> leaves;
+};
+
+} // namespace
+
+MapResult map_network(const Network& net, const CellLibrary& lib) {
+  const Network sg = subject_graph(net);
+  MapResult result;
+
+  const auto live = sg.live_mask();
+  const auto fanouts = sg.fanout_counts();
+  std::vector<bool> boundary(sg.node_count(), false);
+  for (NodeId n = 0; n < sg.node_count(); ++n) {
+    const GateType t = sg.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      boundary[n] = true;
+    else if (fanouts[n] > 1)
+      boundary[n] = true;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(sg.node_count(), kInf);
+  std::vector<Choice> choice(sg.node_count());
+
+  const auto leaf_cost = [&](NodeId l) -> double {
+    if (boundary[l]) return 0.0; // covered by its own tree
+    return best[l];
+  };
+
+  for (const NodeId n : sg.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = sg.type(n);
+    if (t != GateType::Not && t != GateType::Nand) continue;
+    for (const auto& cell : lib.cells) {
+      for (const auto& pattern : cell.patterns) {
+        std::vector<std::vector<NodeId>> bindings;
+        std::vector<NodeId> scratch;
+        match_all(pattern.get(), n, sg, boundary, n, scratch, bindings);
+        for (const auto& leaves : bindings) {
+          double cost = cell.area;
+          for (const NodeId l : leaves) cost += leaf_cost(l);
+          if (cost < best[n]) {
+            best[n] = cost;
+            choice[n] = {&cell, leaves};
+          }
+        }
+      }
+    }
+    if (best[n] == kInf)
+      throw std::logic_error("map_network: node has no match (library must "
+                             "contain inv and nand2)");
+  }
+
+  // Materialize covers from each tree root (multi-fanout internal nodes and
+  // PO targets). `cell_depth[n]` counts cells on the longest path from the
+  // PIs up to and including the cell rooted at n.
+  std::vector<bool> emitted(sg.node_count(), false);
+  std::vector<std::size_t> cell_depth(sg.node_count(), 0);
+  const std::function<void(NodeId)> emit = [&](NodeId r) {
+    const GateType t = sg.type(r);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      return;
+    if (emitted[r]) return;
+    emitted[r] = true;
+    const Choice& ch = choice[r];
+    result.gates.push_back({ch.cell->name, ch.cell->area, ch.cell->num_inputs});
+    result.area += ch.cell->area;
+    result.literal_count += static_cast<std::size_t>(ch.cell->num_inputs);
+    // Leaves are either roots of other trees (boundary) or interior nodes
+    // not covered by this match; both get their own chosen cover.
+    std::size_t in_depth = 0;
+    for (const NodeId l : ch.leaves) {
+      emit(l);
+      in_depth = std::max(in_depth, cell_depth[l]);
+    }
+    cell_depth[r] = in_depth + 1;
+    result.depth = std::max(result.depth, cell_depth[r]);
+  };
+  // Interior leaves are covered by their own chosen match; boundary leaves
+  // start new trees. Both paths go through emit(), which deduplicates.
+  for (NodeId n = 0; n < sg.node_count(); ++n)
+    if (live[n] && boundary[n] && sg.type(n) != GateType::Pi &&
+        sg.type(n) != GateType::Const0 && sg.type(n) != GateType::Const1)
+      emit(n);
+  for (std::size_t i = 0; i < sg.po_count(); ++i) emit(sg.po(i));
+
+  result.gate_count = result.gates.size();
+  return result;
+}
+
+} // namespace rmsyn

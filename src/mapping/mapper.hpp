@@ -1,0 +1,36 @@
+// Technology mapping by tree covering (the SIS `map` algorithm): the
+// network is decomposed into a NAND2/INV subject graph, split into trees at
+// multi-fanout points, and each tree is covered with library cells by
+// dynamic programming over the cell pattern trees (Keutzer's DAGON scheme).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/genlib.hpp"
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+struct MappedGate {
+  std::string cell;
+  double area = 0.0;
+  int pins = 0;
+};
+
+struct MapResult {
+  std::vector<MappedGate> gates;
+  double area = 0.0;
+  std::size_t gate_count = 0;
+  std::size_t literal_count = 0; ///< total cell input pins (SIS map lits)
+  std::size_t depth = 0;         ///< cells on the longest PI->PO path
+};
+
+/// Decomposes `net` into the NAND2/INV subject basis. XOR gates become the
+/// canonical 4-NAND tree so the library's XOR/XNOR cells can match them.
+Network subject_graph(const Network& net);
+
+/// Maps the network onto `lib` for minimum area.
+MapResult map_network(const Network& net, const CellLibrary& lib);
+
+} // namespace rmsyn

@@ -1,0 +1,285 @@
+#include "network/io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rmsyn {
+
+namespace {
+
+std::string node_label(const Network& net, NodeId n) {
+  if (net.type(n) == GateType::Pi) return net.name(n);
+  if (n == Network::kConst0) return "gnd";
+  if (n == Network::kConst1) return "vdd";
+  return "n" + std::to_string(n);
+}
+
+} // namespace
+
+void write_blif(std::ostream& out, const Network& net,
+                const std::string& model_name) {
+  out << ".model " << model_name << "\n.inputs";
+  for (const NodeId pi : net.pis()) out << ' ' << net.name(pi);
+  out << "\n.outputs";
+  for (std::size_t i = 0; i < net.po_count(); ++i) out << ' ' << net.po_name(i);
+  out << "\n";
+
+  const auto live = net.live_mask();
+  bool used_gnd = false, used_vdd = false;
+  for (const NodeId n : net.topo_order()) {
+    if (!live[n]) continue;
+    for (const NodeId f : net.fanins(n)) {
+      used_gnd |= f == Network::kConst0;
+      used_vdd |= f == Network::kConst1;
+    }
+  }
+  for (std::size_t i = 0; i < net.po_count(); ++i) {
+    used_gnd |= net.po(i) == Network::kConst0;
+    used_vdd |= net.po(i) == Network::kConst1;
+  }
+  if (used_gnd) out << ".names gnd\n";
+  if (used_vdd) out << ".names vdd\n1\n";
+
+  for (const NodeId n : net.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    const auto& fi = net.fanins(n);
+    out << ".names";
+    for (const NodeId f : fi) out << ' ' << node_label(net, f);
+    out << ' ' << node_label(net, n) << "\n";
+    const std::size_t k = fi.size();
+    switch (t) {
+      case GateType::Buf: out << "1 1\n"; break;
+      case GateType::Not: out << "0 1\n"; break;
+      case GateType::And: out << std::string(k, '1') << " 1\n"; break;
+      case GateType::Nand:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '0';
+          out << row << " 1\n";
+        }
+        break;
+      case GateType::Or:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '1';
+          out << row << " 1\n";
+        }
+        break;
+      case GateType::Nor: out << std::string(k, '0') << " 1\n"; break;
+      case GateType::Xor:
+        if (k != 2) throw std::invalid_argument("write_blif: XOR arity > 2");
+        out << "01 1\n10 1\n";
+        break;
+      case GateType::Xnor:
+        if (k != 2) throw std::invalid_argument("write_blif: XNOR arity > 2");
+        out << "00 1\n11 1\n";
+        break;
+      default: break;
+    }
+  }
+  // Output drivers: alias PO names onto their source nodes.
+  for (std::size_t i = 0; i < net.po_count(); ++i) {
+    out << ".names " << node_label(net, net.po(i)) << ' ' << net.po_name(i)
+        << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Network& net, const std::string& model_name) {
+  std::ostringstream ss;
+  write_blif(ss, net, model_name);
+  return ss.str();
+}
+
+namespace {
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+struct BlifNames {
+  std::vector<std::string> inputs; // signal names
+  std::string output;
+  std::vector<std::string> rows; // cube rows "10- 1"
+};
+
+} // namespace
+
+Network read_blif(std::istream& in) {
+  std::vector<std::string> input_names, output_names;
+  std::vector<BlifNames> blocks;
+
+  std::string line, pending;
+  const auto next_logical_line = [&](std::string& out_line) -> bool {
+    out_line.clear();
+    while (std::getline(in, line)) {
+      if (const auto pos = line.find('#'); pos != std::string::npos)
+        line.erase(pos);
+      while (!line.empty() &&
+             std::isspace(static_cast<unsigned char>(line.back())))
+        line.pop_back();
+      if (!line.empty() && line.back() == '\\') {
+        // Continuation: accumulate and keep reading.
+        line.pop_back();
+        out_line += line + " ";
+        continue;
+      }
+      out_line += line;
+      if (!out_line.empty()) return true;
+    }
+    return !out_line.empty();
+  };
+
+  BlifNames* current = nullptr;
+  while (next_logical_line(pending)) {
+    auto toks = split_tokens(pending);
+    if (toks.empty()) continue;
+    if (toks[0] == ".model") {
+      current = nullptr;
+    } else if (toks[0] == ".inputs") {
+      input_names.insert(input_names.end(), toks.begin() + 1, toks.end());
+      current = nullptr;
+    } else if (toks[0] == ".outputs") {
+      output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
+      current = nullptr;
+    } else if (toks[0] == ".names") {
+      if (toks.size() < 2)
+        throw std::runtime_error("read_blif: .names without output");
+      blocks.emplace_back();
+      current = &blocks.back();
+      current->inputs.assign(toks.begin() + 1, toks.end() - 1);
+      current->output = toks.back();
+    } else if (toks[0] == ".end") {
+      break;
+    } else if (toks[0] == ".latch" || toks[0] == ".subckt" ||
+               toks[0] == ".gate") {
+      throw std::runtime_error("read_blif: sequential/hierarchical BLIF not "
+                               "supported: " + toks[0]);
+    } else if (toks[0][0] == '.') {
+      // Other directives (.default_input_arrival etc.) are ignored.
+      current = nullptr;
+    } else {
+      if (current == nullptr)
+        throw std::runtime_error("read_blif: cube row outside .names: " +
+                                 pending);
+      current->rows.push_back(pending);
+    }
+  }
+
+  Network net;
+  std::map<std::string, NodeId> signal;
+  for (const auto& n : input_names) signal[n] = net.add_pi(n);
+
+  // .names blocks may be out of order; resolve iteratively.
+  std::vector<bool> done(blocks.size(), false);
+  std::size_t remaining = blocks.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      if (done[bi]) continue;
+      const BlifNames& b = blocks[bi];
+      bool ready = true;
+      for (const auto& inp : b.inputs)
+        if (!signal.count(inp)) { ready = false; break; }
+      if (!ready) continue;
+
+      NodeId node;
+      if (b.inputs.empty()) {
+        // Constant: a row "1" means const1; no rows means const0.
+        bool value = false;
+        for (const auto& row : b.rows) {
+          const auto toks = split_tokens(row);
+          if (!toks.empty() && toks.back() == "1") value = true;
+        }
+        node = net.constant(value);
+      } else {
+        std::vector<NodeId> terms;
+        bool complemented_rows = false, true_rows = false;
+        for (const auto& row : b.rows) {
+          const auto toks = split_tokens(row);
+          if (toks.size() != 2)
+            throw std::runtime_error("read_blif: bad cube row: " + row);
+          const std::string& mask = toks[0];
+          if (mask.size() != b.inputs.size())
+            throw std::runtime_error("read_blif: cube width mismatch: " + row);
+          (toks[1] == "1" ? true_rows : complemented_rows) = true;
+          std::vector<NodeId> lits;
+          for (std::size_t i = 0; i < mask.size(); ++i) {
+            const NodeId src = signal.at(b.inputs[i]);
+            if (mask[i] == '1') lits.push_back(src);
+            else if (mask[i] == '0') lits.push_back(net.add_not(src));
+            else if (mask[i] != '-')
+              throw std::runtime_error("read_blif: bad cube char: " + row);
+          }
+          if (lits.empty()) terms.push_back(Network::kConst1);
+          else if (lits.size() == 1) terms.push_back(lits[0]);
+          else terms.push_back(net.add_gate(GateType::And, std::move(lits)));
+        }
+        if (true_rows && complemented_rows)
+          throw std::runtime_error("read_blif: mixed-phase .names block");
+        if (terms.empty()) node = Network::kConst0;
+        else if (terms.size() == 1) node = terms[0];
+        else node = net.add_gate(GateType::Or, std::move(terms));
+        if (complemented_rows) node = net.add_not(node);
+      }
+      signal[b.output] = node;
+      done[bi] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0)
+    throw std::runtime_error("read_blif: unresolved (cyclic?) .names blocks");
+
+  for (const auto& n : output_names) {
+    const auto it = signal.find(n);
+    if (it == signal.end())
+      throw std::runtime_error("read_blif: undriven output " + n);
+    net.add_po(it->second, n);
+  }
+  return net;
+}
+
+Network read_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_blif(ss);
+}
+
+std::string to_dot(const Network& net, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph \"" << name << "\" {\n  rankdir=BT;\n";
+  const auto live = net.live_mask();
+  for (const NodeId n : net.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    const char* shape = t == GateType::Pi ? "box" : "ellipse";
+    out << "  n" << n << " [label=\""
+        << (t == GateType::Pi ? net.name(n) : gate_type_name(t)) << "\", shape="
+        << shape << "];\n";
+    for (const NodeId f : net.fanins(n))
+      out << "  n" << f << " -> n" << n << ";\n";
+  }
+  for (std::size_t i = 0; i < net.po_count(); ++i) {
+    out << "  po" << i << " [label=\"" << net.po_name(i)
+        << "\", shape=invtriangle];\n";
+    out << "  n" << net.po(i) << " -> po" << i << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+} // namespace rmsyn

@@ -1,0 +1,28 @@
+// Network export: BLIF (for interchange with SIS/ABC/mockturtle) and
+// Graphviz dot (for documentation and debugging).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+/// Writes the network in BLIF. Requires gates of arity <= 2 for XOR/XNOR
+/// (run decompose2 first for wider parity gates).
+void write_blif(std::ostream& out, const Network& net,
+                const std::string& model_name = "rmsyn");
+std::string write_blif_string(const Network& net,
+                              const std::string& model_name = "rmsyn");
+
+/// Reads a combinational BLIF model (.model/.inputs/.outputs/.names with
+/// single-output covers; latches and subcircuits are rejected). Each .names
+/// block becomes an OR-of-AND gate cone. Throws std::runtime_error on
+/// malformed or sequential input.
+Network read_blif(std::istream& in);
+Network read_blif_string(const std::string& text);
+
+std::string to_dot(const Network& net, const std::string& name = "net");
+
+} // namespace rmsyn

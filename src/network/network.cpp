@@ -1,0 +1,194 @@
+#include "network/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rmsyn {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Const0: return "const0";
+    case GateType::Const1: return "const1";
+    case GateType::Pi: return "pi";
+    case GateType::Buf: return "buf";
+    case GateType::Not: return "not";
+    case GateType::And: return "and";
+    case GateType::Or: return "or";
+    case GateType::Xor: return "xor";
+    case GateType::Xnor: return "xnor";
+    case GateType::Nand: return "nand";
+    case GateType::Nor: return "nor";
+  }
+  return "?";
+}
+
+Network::Network() {
+  types_ = {GateType::Const0, GateType::Const1};
+  fanins_.resize(2);
+  names_ = {"const0", "const1"};
+}
+
+NodeId Network::add_pi(std::string name) {
+  const NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(GateType::Pi);
+  fanins_.emplace_back();
+  if (name.empty()) name = "x" + std::to_string(pis_.size());
+  names_.push_back(std::move(name));
+  pis_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_gate(GateType type, std::vector<NodeId> fanins) {
+  if (type == GateType::Not || type == GateType::Buf) {
+    if (fanins.size() != 1)
+      throw std::invalid_argument("Network: NOT/BUF take one fanin");
+  } else if (type == GateType::Pi || type == GateType::Const0 ||
+             type == GateType::Const1) {
+    throw std::invalid_argument("Network: use add_pi/constant");
+  } else if (fanins.empty()) {
+    throw std::invalid_argument("Network: gate needs fanins");
+  }
+  for (const NodeId f : fanins)
+    if (f >= types_.size())
+      throw std::invalid_argument("Network: fanin does not exist");
+  const NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  fanins_.push_back(std::move(fanins));
+  names_.emplace_back();
+  return id;
+}
+
+void Network::add_po(NodeId node, std::string name) {
+  assert(node < types_.size());
+  if (name.empty()) name = "z" + std::to_string(pos_.size());
+  pos_.push_back(node);
+  po_names_.push_back(std::move(name));
+}
+
+std::size_t Network::pi_index(NodeId n) const {
+  for (std::size_t i = 0; i < pis_.size(); ++i)
+    if (pis_[i] == n) return i;
+  throw std::invalid_argument("Network::pi_index: not a PI");
+}
+
+void Network::rewrite_gate(NodeId n, GateType type, std::vector<NodeId> fanins) {
+  assert(n >= 2 && n < types_.size());
+  assert(types_[n] != GateType::Pi);
+  types_[n] = type;
+  fanins_[n] = std::move(fanins);
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  std::vector<uint8_t> state(types_.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<NodeId> order;
+  order.reserve(types_.size());
+  // Iterative DFS to avoid stack overflow on deep chains.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  const auto visit = [&](NodeId root) {
+    if (state[root] == 2) return;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [n, idx] = stack.back();
+      if (state[n] == 2) { stack.pop_back(); continue; }
+      state[n] = 1;
+      if (idx < fanins_[n].size()) {
+        const NodeId f = fanins_[n][idx++];
+        if (state[f] == 0) stack.emplace_back(f, 0);
+        else if (state[f] == 1)
+          throw std::logic_error("Network: cycle detected");
+      } else {
+        state[n] = 2;
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  };
+  visit(kConst0);
+  visit(kConst1);
+  for (const NodeId pi : pis_) visit(pi);
+  for (const NodeId po : pos_) visit(po);
+  return order;
+}
+
+std::vector<bool> Network::live_mask() const {
+  std::vector<bool> live(types_.size(), false);
+  std::vector<NodeId> stack(pos_.begin(), pos_.end());
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (live[n]) continue;
+    live[n] = true;
+    for (const NodeId f : fanins_[n]) stack.push_back(f);
+  }
+  for (const NodeId pi : pis_) live[pi] = true;
+  live[kConst0] = live[kConst1] = true;
+  return live;
+}
+
+std::vector<uint32_t> Network::fanout_counts() const {
+  std::vector<uint32_t> counts(types_.size(), 0);
+  const auto live = live_mask();
+  for (NodeId n = 0; n < types_.size(); ++n) {
+    if (!live[n]) continue;
+    for (const NodeId f : fanins_[n]) ++counts[f];
+  }
+  for (const NodeId po : pos_) ++counts[po];
+  return counts;
+}
+
+std::vector<bool> Network::eval(const std::vector<bool>& pi_values) const {
+  assert(pi_values.size() == pis_.size());
+  std::vector<bool> value(types_.size(), false);
+  value[kConst1] = true;
+  for (std::size_t i = 0; i < pis_.size(); ++i) value[pis_[i]] = pi_values[i];
+  for (const NodeId n : topo_order()) {
+    const auto& fi = fanins_[n];
+    switch (types_[n]) {
+      case GateType::Const0: case GateType::Const1: case GateType::Pi:
+        break;
+      case GateType::Buf: value[n] = value[fi[0]]; break;
+      case GateType::Not: value[n] = !value[fi[0]]; break;
+      case GateType::And: {
+        bool v = true;
+        for (const NodeId f : fi) v = v && value[f];
+        value[n] = v;
+        break;
+      }
+      case GateType::Nand: {
+        bool v = true;
+        for (const NodeId f : fi) v = v && value[f];
+        value[n] = !v;
+        break;
+      }
+      case GateType::Or: {
+        bool v = false;
+        for (const NodeId f : fi) v = v || value[f];
+        value[n] = v;
+        break;
+      }
+      case GateType::Nor: {
+        bool v = false;
+        for (const NodeId f : fi) v = v || value[f];
+        value[n] = !v;
+        break;
+      }
+      case GateType::Xor: {
+        bool v = false;
+        for (const NodeId f : fi) v = v != value[f];
+        value[n] = v;
+        break;
+      }
+      case GateType::Xnor: {
+        bool v = false;
+        for (const NodeId f : fi) v = v != value[f];
+        value[n] = !v;
+        break;
+      }
+    }
+  }
+  std::vector<bool> out(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i) out[i] = value[pos_[i]];
+  return out;
+}
+
+} // namespace rmsyn

@@ -1,0 +1,109 @@
+// Gate-level Boolean network: the object every synthesis pass in rmsyn
+// produces and transforms. Nodes are n-ary gates over node ids; ids 0 and 1
+// are the constant-0/constant-1 nodes of every network.
+//
+// The paper's cost metric is implemented in stats.hpp on top of this class:
+// circuits are counted in 2-input AND/OR gates, with each 2-input XOR worth
+// three AND/OR gates and inverters free (this reproduces the paper's t481
+// arithmetic: 25 gates for the closed-form network, 50 "literals").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmsyn {
+
+enum class GateType : uint8_t {
+  Const0,
+  Const1,
+  Pi,
+  Buf,
+  Not,
+  And,
+  Or,
+  Xor,
+  Xnor,
+  Nand,
+  Nor,
+};
+
+const char* gate_type_name(GateType t);
+
+/// True for the gate types an n-ary simulation/cost model treats as parity.
+inline bool is_xor_like(GateType t) { return t == GateType::Xor || t == GateType::Xnor; }
+
+using NodeId = uint32_t;
+
+class Network {
+public:
+  static constexpr NodeId kConst0 = 0;
+  static constexpr NodeId kConst1 = 1;
+
+  Network();
+
+  /// Adds a primary input and returns its node id. PI order is the pattern
+  /// order used by the simulator and the pattern generators.
+  NodeId add_pi(std::string name = {});
+
+  /// Adds a gate whose fanins must already exist. And/Or/Xor/Xnor/Nand/Nor
+  /// accept >= 1 fanins; Not/Buf exactly one.
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins);
+
+  NodeId add_not(NodeId a) { return add_gate(GateType::Not, {a}); }
+  NodeId add_and(NodeId a, NodeId b) { return add_gate(GateType::And, {a, b}); }
+  NodeId add_or(NodeId a, NodeId b) { return add_gate(GateType::Or, {a, b}); }
+  NodeId add_xor(NodeId a, NodeId b) { return add_gate(GateType::Xor, {a, b}); }
+  NodeId constant(bool v) const { return v ? kConst1 : kConst0; }
+
+  /// Registers a primary output pointing at `node`.
+  void add_po(NodeId node, std::string name = {});
+
+  std::size_t node_count() const { return types_.size(); }
+  std::size_t pi_count() const { return pis_.size(); }
+  std::size_t po_count() const { return pos_.size(); }
+
+  GateType type(NodeId n) const { return types_[n]; }
+  const std::vector<NodeId>& fanins(NodeId n) const { return fanins_[n]; }
+  const std::string& name(NodeId n) const { return names_[n]; }
+  void set_name(NodeId n, std::string name) { names_[n] = std::move(name); }
+
+  const std::vector<NodeId>& pis() const { return pis_; }
+  const std::vector<NodeId>& pos() const { return pos_; }
+  const std::string& po_name(std::size_t i) const { return po_names_[i]; }
+  NodeId po(std::size_t i) const { return pos_[i]; }
+
+  /// Index of a PI node in pi order; requires type(n)==Pi.
+  std::size_t pi_index(NodeId n) const;
+
+  /// Redirects primary output i to a different node.
+  void retarget_po(std::size_t i, NodeId node) { pos_[i] = node; }
+
+  /// In-place gate rewrite (used by redundancy removal): replaces the
+  /// type/fanins of an existing node. The new fanins must have lower ids or
+  /// be acyclic; callers are responsible for acyclicity.
+  void rewrite_gate(NodeId n, GateType type, std::vector<NodeId> fanins);
+
+  /// Nodes in topological order (fanins before fanouts), restricted to the
+  /// cone of the POs plus all PIs/constants.
+  std::vector<NodeId> topo_order() const;
+
+  /// Nodes reachable from the POs (the "live" cone), including PIs.
+  std::vector<bool> live_mask() const;
+
+  /// Number of fanout references of each node (POs count once each).
+  std::vector<uint32_t> fanout_counts() const;
+
+  /// Evaluates the network on one input assignment (bit i = PI i).
+  std::vector<bool> eval(const std::vector<bool>& pi_values) const;
+
+private:
+  std::vector<GateType> types_;
+  std::vector<std::vector<NodeId>> fanins_;
+  std::vector<std::string> names_;
+  std::vector<NodeId> pis_;
+  std::vector<NodeId> pos_;
+  std::vector<std::string> po_names_;
+};
+
+} // namespace rmsyn

@@ -1,0 +1,93 @@
+#include "network/simulate.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace rmsyn {
+
+void PatternSet::append(const BitVec& assignment) {
+  assert(assignment.size() == bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i].resize(num_patterns + 1);
+    bits[i].set(num_patterns, assignment.get(i));
+  }
+  ++num_patterns;
+}
+
+std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
+  assert(patterns.bits.size() == net.pi_count());
+  const std::size_t np = patterns.num_patterns;
+  std::vector<BitVec> value(net.node_count(), BitVec(np));
+  value[Network::kConst1].set_all();
+  for (std::size_t i = 0; i < net.pi_count(); ++i)
+    value[net.pis()[i]] = patterns.bits[i];
+
+  for (const NodeId n : net.topo_order()) {
+    const auto& fi = net.fanins(n);
+    auto& out = value[n];
+    switch (net.type(n)) {
+      case GateType::Const0: case GateType::Const1: case GateType::Pi:
+        break;
+      case GateType::Buf:
+        out = value[fi[0]];
+        break;
+      case GateType::Not:
+        out = value[fi[0]];
+        for (std::size_t w = 0; w < out.words(); ++w) out.word(w) = ~out.word(w);
+        // Mask stray tail bits by re-anding with an all-ones vector of the
+        // right width.
+        {
+          BitVec ones(np);
+          ones.set_all();
+          out &= ones;
+        }
+        break;
+      case GateType::And: case GateType::Nand: {
+        out = value[fi[0]];
+        for (std::size_t k = 1; k < fi.size(); ++k) out &= value[fi[k]];
+        if (net.type(n) == GateType::Nand) {
+          BitVec ones(np);
+          ones.set_all();
+          out ^= ones;
+        }
+        break;
+      }
+      case GateType::Or: case GateType::Nor: {
+        out = value[fi[0]];
+        for (std::size_t k = 1; k < fi.size(); ++k) out |= value[fi[k]];
+        if (net.type(n) == GateType::Nor) {
+          BitVec ones(np);
+          ones.set_all();
+          out ^= ones;
+        }
+        break;
+      }
+      case GateType::Xor: case GateType::Xnor: {
+        out = value[fi[0]];
+        for (std::size_t k = 1; k < fi.size(); ++k) out ^= value[fi[k]];
+        if (net.type(n) == GateType::Xnor) {
+          BitVec ones(np);
+          ones.set_all();
+          out ^= ones;
+        }
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed) {
+  Rng rng(seed);
+  PatternSet ps(num_pis, count);
+  for (auto& b : ps.bits)
+    for (std::size_t w = 0; w < b.words(); ++w) b.word(w) = rng.next();
+  // Mask tails.
+  BitVec ones(count);
+  ones.set_all();
+  for (auto& b : ps.bits) b &= ones;
+  return ps;
+}
+
+} // namespace rmsyn

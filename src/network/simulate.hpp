@@ -1,0 +1,32 @@
+// 64-way bit-parallel simulation. The paper's redundancy-removal procedure
+// is driven by simulating small pattern sets (AZ, AO, OC, SA1) — this
+// simulator evaluates 64 patterns per word per pass.
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "util/bitvec.hpp"
+
+namespace rmsyn {
+
+/// A batch of input patterns: pattern p assigns bit p of `bits[i]` to PI i.
+struct PatternSet {
+  std::size_t num_patterns = 0;
+  std::vector<BitVec> bits; // one BitVec of num_patterns bits per PI
+
+  explicit PatternSet(std::size_t num_pis = 0, std::size_t num_patterns_ = 0)
+      : num_patterns(num_patterns_),
+        bits(num_pis, BitVec(num_patterns_)) {}
+
+  /// Appends one pattern given as a PI-indexed assignment.
+  void append(const BitVec& assignment);
+};
+
+/// Simulates all patterns; result[n] holds node n's value for each pattern.
+std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns);
+
+/// Simulates `count` uniformly random patterns (seeded).
+PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed);
+
+} // namespace rmsyn

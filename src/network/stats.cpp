@@ -1,0 +1,72 @@
+#include "network/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace rmsyn {
+
+namespace {
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+} // namespace
+
+NetworkStats network_stats(const Network& net) {
+  NetworkStats s;
+  s.num_pis = net.pi_count();
+  s.num_pos = net.po_count();
+  const auto live = net.live_mask();
+  std::vector<std::size_t> level(net.node_count(), 0);
+  for (const NodeId n : net.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    const std::size_t k = net.fanins(n).size();
+    std::size_t in_level = 0;
+    for (const NodeId f : net.fanins(n)) in_level = std::max(in_level, level[f]);
+    switch (t) {
+      case GateType::Const0: case GateType::Const1: case GateType::Pi:
+        break;
+      case GateType::Buf:
+        level[n] = in_level;
+        ++s.num_nodes;
+        break;
+      case GateType::Not:
+        level[n] = in_level; // inverters are free in the paper's metric
+        ++s.num_nodes;
+        ++s.num_inverters;
+        break;
+      case GateType::And: case GateType::Or:
+      case GateType::Nand: case GateType::Nor:
+        s.gates2 += k - 1;
+        level[n] = in_level + ceil_log2(std::max<std::size_t>(k, 2));
+        ++s.num_nodes;
+        break;
+      case GateType::Xor: case GateType::Xnor:
+        s.gates2 += 3 * (k - 1);
+        s.num_xor2 += k - 1;
+        // An expanded XOR2 is two levels of AND/OR.
+        level[n] = in_level + 2 * ceil_log2(std::max<std::size_t>(k, 2));
+        ++s.num_nodes;
+        break;
+    }
+    s.depth = std::max(s.depth, level[n]);
+  }
+  s.lits = 2 * s.gates2;
+  return s;
+}
+
+std::string to_string(const NetworkStats& s) {
+  std::ostringstream out;
+  out << "pi=" << s.num_pis << " po=" << s.num_pos << " nodes=" << s.num_nodes
+      << " xor2=" << s.num_xor2 << " gates2=" << s.gates2 << " lits=" << s.lits
+      << " depth=" << s.depth;
+  return out.str();
+}
+
+} // namespace rmsyn

@@ -1,0 +1,34 @@
+// Cost metrics in the paper's units.
+//
+// The pre-mapping columns of Table 2 count circuits in 2-input AND/OR gates:
+// an n-ary AND/OR is n-1 two-input gates, each 2-input XOR/XNOR is three
+// AND/OR gates (a ⊕ b = (a+b)·(ab)'), and inverters are free. The paper's
+// "lits" figure is twice the 2-input gate count (every 2-input gate has two
+// literals) — e.g. the closed-form t481 network is 25 gates / 50 lits,
+// matching the paper's table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+struct NetworkStats {
+  std::size_t num_pis = 0;
+  std::size_t num_pos = 0;
+  std::size_t num_nodes = 0;       ///< live internal gates (any arity)
+  std::size_t num_inverters = 0;   ///< live NOT gates
+  std::size_t num_xor2 = 0;        ///< 2-input XOR/XNOR equivalents
+  std::size_t gates2 = 0;          ///< 2-input AND/OR gate equivalents (XOR=3)
+  std::size_t lits = 0;            ///< paper metric: 2 * gates2
+  std::size_t depth = 0;           ///< levels over 2-input decomposition
+};
+
+NetworkStats network_stats(const Network& net);
+
+/// One-line human-readable rendering.
+std::string to_string(const NetworkStats& s);
+
+} // namespace rmsyn

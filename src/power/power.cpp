@@ -1,0 +1,59 @@
+#include "power/power.hpp"
+
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+#include "equiv/equiv.hpp"
+#include "network/simulate.hpp"
+
+namespace rmsyn {
+
+PowerReport estimate_power(const Network& net, const PowerOptions& opt) {
+  PowerReport rep;
+  const auto live = net.live_mask();
+  const auto fanouts = net.fanout_counts();
+
+  std::vector<double> prob(net.node_count(), 0.0);
+  bool exact_ok = false;
+  if (opt.exact) {
+    try {
+      BddManager mgr(static_cast<int>(net.pi_count()));
+      const auto f = node_bdds(mgr, net);
+      if (mgr.node_count() <= opt.bdd_node_limit) {
+        for (NodeId n = 0; n < net.node_count(); ++n)
+          if (live[n]) prob[n] = mgr.density(f[n]);
+        exact_ok = true;
+      }
+    } catch (const std::runtime_error&) {
+      exact_ok = false; // node limit inside the manager
+    }
+  }
+  if (!exact_ok) {
+    const auto patterns =
+        random_patterns(net.pi_count(), opt.sim_patterns, opt.sim_seed);
+    const auto values = simulate(net, patterns);
+    for (NodeId n = 0; n < net.node_count(); ++n)
+      if (live[n])
+        prob[n] = static_cast<double>(values[n].count()) /
+                  static_cast<double>(patterns.num_patterns);
+  }
+  rep.exact = exact_ok;
+
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    // Inverters/buffers do not add switching nets of their own under the
+    // zero-delay model (their output toggles iff the input does); their
+    // load is attributed to the driver via fanout.
+    if (t == GateType::Buf) continue;
+    const double activity = 2.0 * prob[n] * (1.0 - prob[n]);
+    const double load = 1.0 + static_cast<double>(fanouts[n]);
+    rep.switching_sum += activity;
+    rep.total += activity * load;
+    ++rep.nets;
+  }
+  return rep;
+}
+
+} // namespace rmsyn

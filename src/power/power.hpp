@@ -1,0 +1,32 @@
+// Switching-activity power estimation — the SIS `power_estimate` model the
+// paper's improve%power column uses: zero-delay, temporally independent
+// inputs with signal probability 0.5, switching activity 2·p·(1-p) per net,
+// net capacitance proportional to fanout, P ∝ Σ activity·load.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace rmsyn {
+
+struct PowerOptions {
+  /// Use exact BDD signal probabilities; falls back to random-simulation
+  /// estimates when the BDDs exceed the node limit.
+  bool exact = true;
+  std::size_t bdd_node_limit = 2'000'000;
+  std::size_t sim_patterns = 16384;
+  uint64_t sim_seed = 0x50FE12;
+};
+
+struct PowerReport {
+  double total = 0.0;              ///< Σ activity·(1+fanout), arbitrary units
+  double switching_sum = 0.0;      ///< Σ activity
+  std::size_t nets = 0;
+  bool exact = false;              ///< true when BDD probabilities were used
+};
+
+/// Estimates power of the network (any gate mix). The metric is relative:
+/// only ratios between two estimates are meaningful, as in the paper's
+/// improvement column.
+PowerReport estimate_power(const Network& net, const PowerOptions& opt = {});
+
+} // namespace rmsyn

@@ -1,0 +1,235 @@
+#include "sop/cover.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rmsyn {
+namespace {
+struct TautologyBudgetExceeded {};
+} // namespace
+} // namespace rmsyn
+
+namespace rmsyn {
+
+Cover Cover::constant(int nvars, bool value) {
+  Cover c(nvars);
+  if (value) c.add(Cube(nvars));
+  return c;
+}
+
+Cover Cover::literal(int nvars, int var, bool positive) {
+  Cube cube(nvars);
+  if (positive) cube.add_pos(var); else cube.add_neg(var);
+  Cover c(nvars);
+  c.add(cube);
+  return c;
+}
+
+Cover Cover::from_truth_table(const TruthTable& tt) {
+  Cover c(tt.nvars());
+  for (uint64_t m = 0; m < tt.size(); ++m) {
+    if (!tt.get(m)) continue;
+    Cube cube(tt.nvars());
+    for (int v = 0; v < tt.nvars(); ++v) {
+      if ((m >> v) & 1) cube.add_pos(v); else cube.add_neg(v);
+    }
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+int Cover::literal_count() const {
+  int n = 0;
+  for (const auto& c : cubes_) n += c.literal_count();
+  return n;
+}
+
+bool Cover::has_universal_cube() const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [](const Cube& c) { return c.is_universal(); });
+}
+
+bool Cover::eval(uint64_t minterm) const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [&](const Cube& c) { return c.eval(minterm); });
+}
+
+bool Cover::eval(const BitVec& assignment) const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [&](const Cube& c) { return c.eval(assignment); });
+}
+
+Cover Cover::cofactor(int var, bool value) const {
+  Cover r(nvars_);
+  for (Cube c : cubes_) {
+    if (c.cofactor_inplace(var, value)) r.add(std::move(c));
+  }
+  return r;
+}
+
+Cover Cover::cofactor(const Cube& cube) const {
+  Cover r = *this;
+  for (int v = 0; v < nvars_; ++v) {
+    if (cube.has_pos(v)) r = r.cofactor(v, true);
+    else if (cube.has_neg(v)) r = r.cofactor(v, false);
+  }
+  return r;
+}
+
+namespace {
+
+// Selects the most binate variable (appears in both polarities, maximizing
+// total occurrences); returns -1 when the cover is unate.
+int most_binate_var(const Cover& f) {
+  const int n = f.nvars();
+  std::vector<int> pos_cnt(static_cast<std::size_t>(n), 0);
+  std::vector<int> neg_cnt(static_cast<std::size_t>(n), 0);
+  for (const auto& c : f.cubes()) {
+    for (int v = 0; v < n; ++v) {
+      if (c.has_pos(v)) ++pos_cnt[static_cast<std::size_t>(v)];
+      else if (c.has_neg(v)) ++neg_cnt[static_cast<std::size_t>(v)];
+    }
+  }
+  int best = -1, best_score = -1;
+  for (int v = 0; v < n; ++v) {
+    const auto iv = static_cast<std::size_t>(v);
+    if (pos_cnt[iv] > 0 && neg_cnt[iv] > 0) {
+      const int score = pos_cnt[iv] + neg_cnt[iv];
+      if (score > best_score) { best_score = score; best = v; }
+    }
+  }
+  return best;
+}
+
+// Any variable with a literal (used for complementing unate covers).
+int any_var(const Cover& f) {
+  for (const auto& c : f.cubes()) {
+    const auto sup = c.support();
+    const auto v = sup.first_set();
+    if (v != BitVec::npos) return static_cast<int>(v);
+  }
+  return -1;
+}
+
+bool tautology_rec(const Cover& f, long& budget) {
+  if (f.has_universal_cube()) return true;
+  if (f.empty()) return false;
+  if (--budget < 0) throw TautologyBudgetExceeded{};
+  const int v = most_binate_var(f);
+  if (v < 0) {
+    // Unate cover: tautology iff it contains the universal cube (already
+    // checked above).
+    return false;
+  }
+  return tautology_rec(f.cofactor(v, false), budget) &&
+         tautology_rec(f.cofactor(v, true), budget);
+}
+
+struct ComplementBudgetExceeded {};
+
+Cover complement_rec(const Cover& f, long& budget) {
+  const int n = f.nvars();
+  if (--budget < 0) throw ComplementBudgetExceeded{};
+  if (f.empty()) return Cover::constant(n, true);
+  if (f.has_universal_cube()) return Cover(n);
+  if (f.size() == 1) {
+    // De Morgan on a single cube.
+    Cover r(n);
+    const Cube& c = f.cubes()[0];
+    for (int v = 0; v < n; ++v) {
+      if (c.has_pos(v)) r.add(Cube::parse(std::string(static_cast<std::size_t>(v), '-') + "0" + std::string(static_cast<std::size_t>(n - v - 1), '-')));
+      else if (c.has_neg(v)) r.add(Cube::parse(std::string(static_cast<std::size_t>(v), '-') + "1" + std::string(static_cast<std::size_t>(n - v - 1), '-')));
+    }
+    return r;
+  }
+  int v = most_binate_var(f);
+  if (v < 0) v = any_var(f);
+  if (v < 0) return Cover(n); // only universal cubes; handled above
+  const Cover c0 = complement_rec(f.cofactor(v, false), budget);
+  const Cover c1 = complement_rec(f.cofactor(v, true), budget);
+  Cover r(n);
+  for (Cube c : c0.cubes()) {
+    if (!c.has_var(v)) c.add_neg(v);
+    r.add(std::move(c));
+  }
+  for (Cube c : c1.cubes()) {
+    if (!c.has_var(v)) c.add_pos(v);
+    r.add(std::move(c));
+  }
+  return r;
+}
+
+} // namespace
+
+bool Cover::is_tautology() const {
+  long budget = std::numeric_limits<long>::max();
+  return tautology_rec(*this, budget);
+}
+
+bool Cover::is_tautology_bounded(long budget, bool* decided) const {
+  try {
+    const bool r = tautology_rec(*this, budget);
+    if (decided != nullptr) *decided = true;
+    return r;
+  } catch (const TautologyBudgetExceeded&) {
+    if (decided != nullptr) *decided = false;
+    return false;
+  }
+}
+
+Cover Cover::complement() const {
+  long budget = std::numeric_limits<long>::max();
+  return complement_rec(*this, budget);
+}
+
+std::optional<Cover> Cover::complement_bounded(long budget) const {
+  try {
+    return complement_rec(*this, budget);
+  } catch (const ComplementBudgetExceeded&) {
+    return std::nullopt;
+  }
+}
+
+bool Cover::covers_cube(const Cube& c) const {
+  return cofactor(c).is_tautology();
+}
+
+BitVec Cover::support() const {
+  BitVec s(static_cast<std::size_t>(nvars_));
+  for (const auto& c : cubes_) s |= c.support();
+  return s;
+}
+
+Cover Cover::operator|(const Cover& o) const {
+  assert(nvars_ == o.nvars_);
+  Cover r = *this;
+  for (const auto& c : o.cubes_) r.add(c);
+  return r;
+}
+
+Cover Cover::operator&(const Cover& o) const {
+  assert(nvars_ == o.nvars_);
+  Cover r(nvars_);
+  for (const auto& a : cubes_) {
+    for (const auto& b : o.cubes_) {
+      if (!a.clashes(b)) r.add(a.intersect(b));
+    }
+  }
+  return r;
+}
+
+TruthTable Cover::to_truth_table() const {
+  return TruthTable::from_function(nvars_, [this](uint64_t m) { return eval(m); });
+}
+
+std::string Cover::to_string() const {
+  std::string s;
+  for (const auto& c : cubes_) {
+    s += c.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+} // namespace rmsyn

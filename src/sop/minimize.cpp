@@ -1,0 +1,123 @@
+#include "sop/minimize.hpp"
+
+#include <algorithm>
+
+namespace rmsyn {
+
+Cover single_cube_containment(const Cover& f) {
+  const auto& cs = f.cubes();
+  std::vector<bool> dead(cs.size(), false);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < cs.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (cs[i].covers(cs[j])) {
+        // cs[j] is inside cs[i]; drop j. Identical cubes: keep lower index.
+        if (cs[j].covers(cs[i]) && j < i) continue;
+        dead[j] = true;
+      }
+    }
+  }
+  Cover r(f.nvars());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (!dead[i]) r.add(cs[i]);
+  return r;
+}
+
+Cover merge_distance_one(const Cover& f) {
+  Cover cur = single_cube_containment(f);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& cs = cur.cubes();
+    for (std::size_t i = 0; i < cs.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cs.size() && !changed; ++j) {
+        if (cs[i].distance(cs[j]) != 1) continue;
+        // Find the clashing variable; merge when the rest is identical.
+        Cube a = cs[i], b = cs[j];
+        int clash_var = -1;
+        for (int v = 0; v < cur.nvars(); ++v) {
+          if ((a.has_pos(v) && b.has_neg(v)) || (a.has_neg(v) && b.has_pos(v))) {
+            clash_var = v;
+            break;
+          }
+        }
+        a.drop_var(clash_var);
+        b.drop_var(clash_var);
+        if (a == b) {
+          cs[i] = a;
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+    if (changed) cur = single_cube_containment(cur);
+  }
+  return cur;
+}
+
+Cover irredundant(const Cover& f) {
+  Cover cur = single_cube_containment(f);
+  // Greedy: try removing cubes largest-first; a cube is redundant when the
+  // remaining cover still covers it.
+  auto order = std::vector<std::size_t>(cur.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cur.cubes()[a].literal_count() > cur.cubes()[b].literal_count();
+  });
+  std::vector<bool> dead(cur.size(), false);
+  for (const std::size_t i : order) {
+    Cover rest(cur.nvars());
+    for (std::size_t j = 0; j < cur.size(); ++j)
+      if (j != i && !dead[j]) rest.add(cur.cubes()[j]);
+    // Bounded effort: an undecided check keeps the cube (safe).
+    if (rest.cofactor(cur.cubes()[i]).is_tautology_bounded(20000))
+      dead[i] = true;
+  }
+  Cover r(cur.nvars());
+  for (std::size_t j = 0; j < cur.size(); ++j)
+    if (!dead[j]) r.add(cur.cubes()[j]);
+  return r;
+}
+
+Cover expand(const Cover& f, const Cover* offset) {
+  Cover off_local;
+  if (offset == nullptr) {
+    off_local = f.complement();
+    offset = &off_local;
+  }
+  Cover r(f.nvars());
+  for (Cube c : f.cubes()) {
+    // Try dropping literals one at a time; the expansion is valid when the
+    // expanded cube stays disjoint from the OFF-set.
+    for (int v = 0; v < f.nvars(); ++v) {
+      if (!c.has_var(v)) continue;
+      Cube wider = c;
+      wider.drop_var(v);
+      bool hits_off = false;
+      for (const auto& oc : offset->cubes()) {
+        if (!wider.clashes(oc)) { hits_off = true; break; }
+      }
+      if (!hits_off) c = wider;
+    }
+    r.add(std::move(c));
+  }
+  return single_cube_containment(r);
+}
+
+Cover espresso_lite(const Cover& f) {
+  Cover cur = merge_distance_one(single_cube_containment(f));
+  // Guard against complement blow-up: expansion is an optimization, not
+  // needed for correctness, so an undecided complement simply skips it.
+  if (cur.size() <= 2048) {
+    if (const auto off = cur.complement_bounded(200'000);
+        off && off->size() <= 16384) {
+      cur = expand(cur, &*off);
+      // Expansion opens new merge opportunities.
+      cur = merge_distance_one(cur);
+    }
+  }
+  return irredundant(cur);
+}
+
+} // namespace rmsyn

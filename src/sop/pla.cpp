@@ -1,0 +1,127 @@
+#include "sop/pla.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmsyn {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+} // namespace
+
+PlaFile read_pla(std::istream& in) {
+  PlaFile pla;
+  std::string line;
+  bool sized = false;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    if (const auto pos = line.find('#'); pos != std::string::npos)
+      line.erase(pos);
+    const auto toks = split_ws(line);
+    if (toks.empty()) continue;
+    if (toks[0] == ".i") {
+      pla.num_inputs = std::stoi(toks.at(1));
+    } else if (toks[0] == ".o") {
+      pla.num_outputs = std::stoi(toks.at(1));
+    } else if (toks[0] == ".ilb") {
+      pla.input_names.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".ob") {
+      pla.output_names.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".p" || toks[0] == ".type") {
+      // cube count / type hints — ignored; we accept fd semantics.
+    } else if (toks[0] == ".e" || toks[0] == ".end") {
+      break;
+    } else if (toks[0][0] == '.') {
+      throw std::runtime_error("read_pla: unsupported directive " + toks[0]);
+    } else {
+      if (!sized) {
+        if (pla.num_inputs <= 0 || pla.num_outputs <= 0)
+          throw std::runtime_error("read_pla: cube before .i/.o");
+        pla.outputs.assign(static_cast<std::size_t>(pla.num_outputs),
+                           Cover(pla.num_inputs));
+        sized = true;
+      }
+      if (toks.size() != 2)
+        throw std::runtime_error("read_pla: bad cube line: " + line);
+      const std::string& in_part = toks[0];
+      const std::string& out_part = toks[1];
+      if (static_cast<int>(in_part.size()) != pla.num_inputs ||
+          static_cast<int>(out_part.size()) != pla.num_outputs)
+        throw std::runtime_error("read_pla: cube width mismatch: " + line);
+      const Cube cube = Cube::parse(in_part);
+      for (int o = 0; o < pla.num_outputs; ++o) {
+        const char c = out_part[static_cast<std::size_t>(o)];
+        if (c == '1' || c == '4')
+          pla.outputs[static_cast<std::size_t>(o)].add(cube);
+        // '0' and '~' mean "not in this output's ON-set"; '-'/'2' (don't
+        // care) is treated as OFF for type fd reproducibility.
+      }
+    }
+  }
+  if (!sized) {
+    if (pla.num_inputs <= 0 || pla.num_outputs <= 0)
+      throw std::runtime_error("read_pla: missing .i/.o");
+    pla.outputs.assign(static_cast<std::size_t>(pla.num_outputs),
+                       Cover(pla.num_inputs));
+  }
+  return pla;
+}
+
+PlaFile read_pla_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_pla(ss);
+}
+
+void write_pla(std::ostream& out, const PlaFile& pla) {
+  out << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n";
+  if (!pla.input_names.empty()) {
+    out << ".ilb";
+    for (const auto& n : pla.input_names) out << ' ' << n;
+    out << "\n";
+  }
+  if (!pla.output_names.empty()) {
+    out << ".ob";
+    for (const auto& n : pla.output_names) out << ' ' << n;
+    out << "\n";
+  }
+  // Merge identical input cubes across outputs for compactness.
+  std::vector<std::pair<Cube, std::string>> rows;
+  for (int o = 0; o < pla.num_outputs; ++o) {
+    for (const auto& cube : pla.outputs[static_cast<std::size_t>(o)].cubes()) {
+      bool found = false;
+      for (auto& [c, bits] : rows) {
+        if (c == cube) {
+          bits[static_cast<std::size_t>(o)] = '1';
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::string bits(static_cast<std::size_t>(pla.num_outputs), '0');
+        bits[static_cast<std::size_t>(o)] = '1';
+        rows.emplace_back(cube, std::move(bits));
+      }
+    }
+  }
+  out << ".p " << rows.size() << "\n";
+  for (const auto& [c, bits] : rows) out << c.to_string() << ' ' << bits << "\n";
+  out << ".e\n";
+}
+
+std::string write_pla_string(const PlaFile& pla) {
+  std::ostringstream ss;
+  write_pla(ss, pla);
+  return ss.str();
+}
+
+} // namespace rmsyn

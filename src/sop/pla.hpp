@@ -1,0 +1,31 @@
+// Reader/writer for the espresso PLA format (type fd), the interchange
+// format the IWLS'91 two-level benchmarks ship in. The benchmark generators
+// can emit PLA so a user can diff against original benchmark files, and the
+// flow can consume user-supplied PLA specs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace rmsyn {
+
+struct PlaFile {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::string> input_names;  // may be empty
+  std::vector<std::string> output_names; // may be empty
+  /// One ON-set cover per output, all over num_inputs variables.
+  std::vector<Cover> outputs;
+};
+
+/// Parses a PLA document. Throws std::runtime_error on malformed input.
+PlaFile read_pla(std::istream& in);
+PlaFile read_pla_string(const std::string& text);
+
+void write_pla(std::ostream& out, const PlaFile& pla);
+std::string write_pla_string(const PlaFile& pla);
+
+} // namespace rmsyn

@@ -1,0 +1,165 @@
+#include "testability/faults.hpp"
+
+#include <sstream>
+
+#include "bdd/bdd.hpp"
+
+namespace rmsyn {
+
+std::vector<Fault> enumerate_faults(const Network& net) {
+  std::vector<Fault> faults;
+  const auto live = net.live_mask();
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    faults.push_back({n, -1, false});
+    faults.push_back({n, -1, true});
+    if (t == GateType::Pi) continue;
+    for (int k = 0; k < static_cast<int>(net.fanins(n).size()); ++k) {
+      faults.push_back({n, k, false});
+      faults.push_back({n, k, true});
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// Word-parallel simulation with one injected fault.
+std::vector<BitVec> simulate_faulty(const Network& net,
+                                    const PatternSet& patterns,
+                                    const Fault& fault) {
+  const std::size_t np = patterns.num_patterns;
+  BitVec ones(np);
+  ones.set_all();
+  std::vector<BitVec> value(net.node_count(), BitVec(np));
+  value[Network::kConst1] = ones;
+  for (std::size_t i = 0; i < net.pi_count(); ++i)
+    value[net.pis()[i]] = patterns.bits[i];
+
+  const auto in_val = [&](NodeId n, std::size_t k) -> BitVec {
+    if (n == fault.node && fault.fanin_index == static_cast<int>(k))
+      return fault.stuck_value ? ones : BitVec(np);
+    return value[net.fanins(n)[k]];
+  };
+
+  for (const NodeId n : net.topo_order()) {
+    const auto& fi = net.fanins(n);
+    const GateType t = net.type(n);
+    if (t != GateType::Pi && t != GateType::Const0 && t != GateType::Const1) {
+      BitVec out = in_val(n, 0);
+      switch (t) {
+        case GateType::Buf: break;
+        case GateType::Not: out ^= ones; break;
+        case GateType::And: case GateType::Nand:
+          for (std::size_t k = 1; k < fi.size(); ++k) out &= in_val(n, k);
+          if (t == GateType::Nand) out ^= ones;
+          break;
+        case GateType::Or: case GateType::Nor:
+          for (std::size_t k = 1; k < fi.size(); ++k) out |= in_val(n, k);
+          if (t == GateType::Nor) out ^= ones;
+          break;
+        case GateType::Xor: case GateType::Xnor:
+          for (std::size_t k = 1; k < fi.size(); ++k) out ^= in_val(n, k);
+          if (t == GateType::Xnor) out ^= ones;
+          break;
+        default: break;
+      }
+      value[n] = std::move(out);
+    }
+    if (n == fault.node && fault.fanin_index == -1)
+      value[n] = fault.stuck_value ? ones : BitVec(np);
+  }
+  return value;
+}
+
+} // namespace
+
+FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns) {
+  FaultSimResult result;
+  const auto faults = enumerate_faults(net);
+  result.total = faults.size();
+
+  const auto good = simulate(net, patterns);
+  for (const auto& fault : faults) {
+    const auto bad = simulate_faulty(net, patterns, fault);
+    bool detected = false;
+    for (std::size_t i = 0; i < net.po_count() && !detected; ++i)
+      detected = !(good[net.po(i)] == bad[net.po(i)]);
+    if (detected) ++result.detected;
+    else result.undetected.push_back(fault);
+  }
+  return result;
+}
+
+bool is_irredundant(const Network& net) {
+  BddManager mgr(static_cast<int>(net.pi_count()));
+
+  // Good outputs.
+  const auto compute_outputs = [&](const Fault* fault) {
+    std::vector<BddRef> f(net.node_count(), mgr.bdd_false());
+    f[Network::kConst1] = mgr.bdd_true();
+    for (std::size_t i = 0; i < net.pi_count(); ++i)
+      f[net.pis()[i]] = mgr.var(static_cast<int>(i));
+    const auto in_f = [&](NodeId n, std::size_t k) -> BddRef {
+      if (fault != nullptr && n == fault->node &&
+          fault->fanin_index == static_cast<int>(k))
+        return fault->stuck_value ? mgr.bdd_true() : mgr.bdd_false();
+      return f[net.fanins(n)[k]];
+    };
+    for (const NodeId n : net.topo_order()) {
+      const auto& fi = net.fanins(n);
+      const GateType t = net.type(n);
+      if (t != GateType::Pi && t != GateType::Const0 && t != GateType::Const1) {
+        BddRef acc = in_f(n, 0);
+        switch (t) {
+          case GateType::Buf: break;
+          case GateType::Not: acc = mgr.bdd_not(acc); break;
+          case GateType::And: case GateType::Nand:
+            for (std::size_t k = 1; k < fi.size(); ++k)
+              acc = mgr.bdd_and(acc, in_f(n, k));
+            if (t == GateType::Nand) acc = mgr.bdd_not(acc);
+            break;
+          case GateType::Or: case GateType::Nor:
+            for (std::size_t k = 1; k < fi.size(); ++k)
+              acc = mgr.bdd_or(acc, in_f(n, k));
+            if (t == GateType::Nor) acc = mgr.bdd_not(acc);
+            break;
+          case GateType::Xor: case GateType::Xnor:
+            for (std::size_t k = 1; k < fi.size(); ++k)
+              acc = mgr.bdd_xor(acc, in_f(n, k));
+            if (t == GateType::Xnor) acc = mgr.bdd_not(acc);
+            break;
+          default: break;
+        }
+        f[n] = acc;
+      }
+      if (fault != nullptr && n == fault->node && fault->fanin_index == -1)
+        f[n] = fault->stuck_value ? mgr.bdd_true() : mgr.bdd_false();
+    }
+    std::vector<BddRef> out;
+    for (std::size_t i = 0; i < net.po_count(); ++i) out.push_back(f[net.po(i)]);
+    return out;
+  };
+
+  const auto good = compute_outputs(nullptr);
+  for (const auto& fault : enumerate_faults(net)) {
+    const auto bad = compute_outputs(&fault);
+    bool detectable = false;
+    for (std::size_t i = 0; i < good.size() && !detectable; ++i)
+      detectable = good[i] != bad[i];
+    if (!detectable) return false;
+  }
+  return true;
+}
+
+std::string to_string(const Fault& f, const Network& net) {
+  std::ostringstream out;
+  out << gate_type_name(net.type(f.node)) << f.node;
+  if (f.fanin_index >= 0) out << ".in" << f.fanin_index;
+  out << " s-a-" << (f.stuck_value ? 1 : 0);
+  return out.str();
+}
+
+} // namespace rmsyn

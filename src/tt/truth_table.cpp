@@ -1,0 +1,117 @@
+#include "tt/truth_table.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rmsyn {
+
+namespace {
+constexpr int kMaxVars = 26; // 64 Mi minterms; beyond this use BDDs.
+}
+
+TruthTable::TruthTable(int nvars) : nvars_(nvars) {
+  if (nvars < 0 || nvars > kMaxVars)
+    throw std::invalid_argument("TruthTable: variable count out of range");
+  bits_ = BitVec(uint64_t{1} << nvars);
+}
+
+TruthTable TruthTable::from_function(int nvars, const std::function<bool(uint64_t)>& fn) {
+  TruthTable t(nvars);
+  for (uint64_t m = 0; m < t.size(); ++m)
+    if (fn(m)) t.bits_.set(m);
+  return t;
+}
+
+TruthTable TruthTable::variable(int nvars, int var) {
+  assert(var >= 0 && var < nvars);
+  return from_function(nvars, [var](uint64_t m) { return (m >> var) & 1; });
+}
+
+TruthTable TruthTable::constant(int nvars, bool value) {
+  TruthTable t(nvars);
+  if (value) t.bits_.set_all();
+  return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  assert(nvars_ == o.nvars_);
+  TruthTable r = *this;
+  r.bits_ &= o.bits_;
+  return r;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  assert(nvars_ == o.nvars_);
+  TruthTable r = *this;
+  r.bits_ |= o.bits_;
+  return r;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  assert(nvars_ == o.nvars_);
+  TruthTable r = *this;
+  r.bits_ ^= o.bits_;
+  return r;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable r(nvars_);
+  for (uint64_t m = 0; m < size(); ++m)
+    if (!bits_.get(m)) r.bits_.set(m);
+  return r;
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  assert(var >= 0 && var < nvars_);
+  TruthTable r(nvars_);
+  const uint64_t bit = uint64_t{1} << var;
+  for (uint64_t m = 0; m < size(); ++m) {
+    const uint64_t src = value ? (m | bit) : (m & ~bit);
+    if (bits_.get(src)) r.bits_.set(m);
+  }
+  return r;
+}
+
+bool TruthTable::depends_on(int var) const {
+  const uint64_t bit = uint64_t{1} << var;
+  for (uint64_t m = 0; m < size(); ++m) {
+    if ((m & bit) == 0 && bits_.get(m) != bits_.get(m | bit)) return true;
+  }
+  return false;
+}
+
+std::vector<int> TruthTable::support() const {
+  std::vector<int> vars;
+  for (int v = 0; v < nvars_; ++v)
+    if (depends_on(v)) vars.push_back(v);
+  return vars;
+}
+
+void TruthTable::reed_muller_transform() {
+  // Butterfly: for each variable, XOR the cofactor-0 half into the
+  // cofactor-1 half. Word-level for stride >= 64, bit-level below.
+  const uint64_t n = size();
+  for (int v = 0; v < nvars_; ++v) {
+    const uint64_t stride = uint64_t{1} << v;
+    if (stride >= 64) {
+      const uint64_t wstride = stride >> 6;
+      for (uint64_t base = 0; base < (n >> 6); base += 2 * wstride)
+        for (uint64_t w = 0; w < wstride; ++w)
+          bits_.word(base + wstride + w) ^= bits_.word(base + w);
+    } else {
+      for (uint64_t base = 0; base < n; base += 2 * stride)
+        for (uint64_t i = 0; i < stride; ++i)
+          if (bits_.get(base + i)) bits_.flip(base + stride + i);
+    }
+  }
+}
+
+TruthTable TruthTable::pprm_spectrum() const {
+  TruthTable r = *this;
+  r.reed_muller_transform();
+  return r;
+}
+
+std::string TruthTable::to_binary_string() const { return bits_.to_string(); }
+
+} // namespace rmsyn

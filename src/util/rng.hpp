@@ -1,0 +1,50 @@
+// Deterministic RNG used by tests, benchmark-circuit generators and the
+// random-simulation pre-pass of the equivalence checker. All randomness in
+// rmsyn is seeded so that every experiment is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace rmsyn {
+
+/// xoshiro256** — small, fast, and good enough for pattern generation.
+class Rng {
+public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t below(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  bool flip() { return (next() >> 63) != 0; }
+
+  /// Bernoulli with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+} // namespace rmsyn

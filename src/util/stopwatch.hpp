@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for the run-time columns of Table 2.
+#pragma once
+
+#include <chrono>
+
+namespace rmsyn {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace rmsyn

@@ -1,0 +1,196 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+/// Oracle: converts a BDD to a truth table by evaluation.
+TruthTable to_tt(BddManager& mgr, BddRef f, int nvars) {
+  TruthTable t(nvars);
+  for (uint64_t m = 0; m < t.size(); ++m) {
+    BitVec a(static_cast<std::size_t>(nvars));
+    for (int v = 0; v < nvars; ++v)
+      if ((m >> v) & 1) a.set(static_cast<std::size_t>(v));
+    if (mgr.eval(f, a)) t.set(m);
+  }
+  return t;
+}
+
+TEST(Bdd, TerminalsAndLiterals) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_true()), mgr.bdd_false());
+  EXPECT_EQ(mgr.var(0), mgr.var(0)); // interned
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(mgr.var(1))), mgr.var(1));
+  EXPECT_EQ(to_tt(mgr, mgr.var(2), 3), TruthTable::variable(3, 2));
+  EXPECT_EQ(to_tt(mgr, mgr.nvar(2), 3), ~TruthTable::variable(3, 2));
+}
+
+TEST(Bdd, CanonicityMergesEqualFunctions) {
+  BddManager mgr(2);
+  // a ⊕ b built two different ways must intern to the same node.
+  const BddRef x1 = mgr.bdd_xor(mgr.var(0), mgr.var(1));
+  const BddRef x2 = mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.nvar(1)),
+                               mgr.bdd_and(mgr.nvar(0), mgr.var(1)));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(Bdd, IteMatchesDefinition) {
+  BddManager mgr(3);
+  const BddRef f = mgr.bdd_ite(mgr.var(0), mgr.var(1), mgr.var(2));
+  const auto tt = to_tt(mgr, f, 3);
+  for (uint64_t m = 0; m < 8; ++m) {
+    const bool expect = (m & 1) ? ((m >> 1) & 1) : ((m >> 2) & 1);
+    EXPECT_EQ(tt.get(m), expect);
+  }
+}
+
+TEST(Bdd, CofactorAndSupport) {
+  BddManager mgr(3);
+  const BddRef f =
+      mgr.bdd_xor(mgr.var(0), mgr.bdd_and(mgr.var(1), mgr.var(2)));
+  EXPECT_EQ(mgr.cofactor(f, 1, false), mgr.var(0));
+  EXPECT_TRUE(mgr.depends_on(f, 2));
+  EXPECT_FALSE(mgr.depends_on(mgr.cofactor(f, 2, false), 1));
+  const BitVec sup = mgr.support(f);
+  EXPECT_EQ(sup.count(), 3u);
+}
+
+TEST(Bdd, SatCountAndDensity) {
+  BddManager mgr(4);
+  const BddRef f = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 4.0); // 2^2 free vars
+  EXPECT_DOUBLE_EQ(mgr.density(f), 0.25);
+  EXPECT_DOUBLE_EQ(mgr.density(mgr.bdd_true()), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_false()), 0.0);
+}
+
+TEST(Bdd, PickSatSatisfies) {
+  BddManager mgr(5);
+  const BddRef f = mgr.bdd_and(mgr.bdd_xor(mgr.var(0), mgr.var(3)),
+                               mgr.nvar(2));
+  const BitVec a = mgr.pick_sat(f);
+  EXPECT_TRUE(mgr.eval(f, a));
+}
+
+TEST(Bdd, EnumerateSatExpandsFreeVariables) {
+  BddManager mgr(3);
+  const BddRef f = mgr.var(0); // free in vars {0,1}: two assignments
+  std::vector<std::string> seen;
+  EXPECT_TRUE(mgr.enumerate_sat(f, {0, 1}, 100, [&](const BitVec& a) {
+    seen.push_back(a.to_string());
+    return true;
+  }));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "10");
+  EXPECT_EQ(seen[1], "11");
+}
+
+TEST(Bdd, EnumerateSatHonorsLimit) {
+  BddManager mgr(4);
+  std::size_t count = 0;
+  const bool complete = mgr.enumerate_sat(
+      mgr.bdd_true(), {0, 1, 2, 3}, 5, [&](const BitVec&) {
+        ++count;
+        return true;
+      });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Bdd, FromCubeAndCover) {
+  BddManager mgr(3);
+  const Cube c = Cube::parse("1-0");
+  const BddRef f = mgr.from_cube(c);
+  EXPECT_EQ(to_tt(mgr, f, 3),
+            TruthTable::from_function(3, [&](uint64_t m) { return c.eval(m); }));
+  Cover cov(3);
+  cov.add(Cube::parse("11-"));
+  cov.add(Cube::parse("--0"));
+  EXPECT_EQ(to_tt(mgr, mgr.from_cover(cov), 3), cov.to_truth_table());
+}
+
+TEST(Bdd, SizeCountsUniqueNodes) {
+  BddManager mgr(2);
+  EXPECT_EQ(mgr.size(mgr.bdd_true()), 0u);
+  EXPECT_EQ(mgr.size(mgr.var(0)), 1u);
+  // XOR needs one x0 node plus two x1 nodes (no complement edges).
+  EXPECT_EQ(mgr.size(mgr.bdd_xor(mgr.var(0), mgr.var(1))), 3u);
+}
+
+TEST(Bdd, EnumerateSatRejectsUncoveredSupport) {
+  BddManager mgr(3);
+  const BddRef f = mgr.bdd_and(mgr.var(0), mgr.var(2));
+  // vars {0,1} do not cover support {0,2}: precondition violation.
+  EXPECT_THROW(mgr.enumerate_sat(f, {0, 1}, 100,
+                                 [](const BitVec&) { return true; }),
+               std::logic_error);
+}
+
+TEST(Bdd, CofactorOfLowerVariableRebuilds) {
+  BddManager mgr(3);
+  const BddRef f =
+      mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)), mgr.var(2));
+  // Cofactor on var 2, which sits below the root var.
+  EXPECT_EQ(mgr.cofactor(f, 2, true), mgr.bdd_true());
+  EXPECT_EQ(mgr.cofactor(f, 2, false), mgr.bdd_and(mgr.var(0), mgr.var(1)));
+}
+
+TEST(Bdd, CofactorOfIrrelevantVariableIsIdentity) {
+  BddManager mgr(4);
+  const BddRef f = mgr.bdd_xor(mgr.var(1), mgr.var(3));
+  EXPECT_EQ(mgr.cofactor(f, 0, true), f);
+  EXPECT_EQ(mgr.cofactor(f, 2, false), f);
+}
+
+TEST(Bdd, DotOutputMentionsNodes) {
+  BddManager mgr(2);
+  const std::string dot = mgr.to_dot(mgr.bdd_and(mgr.var(0), mgr.var(1)), "g");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+}
+
+class BddRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandom, OpsMatchTruthTableOracle) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 77 + 13);
+  BddManager mgr(n);
+
+  // Build random expressions bottom-up, in parallel on TT and BDD.
+  for (int iter = 0; iter < 15; ++iter) {
+    std::vector<std::pair<BddRef, TruthTable>> pool;
+    for (int v = 0; v < n; ++v)
+      pool.emplace_back(mgr.var(v), TruthTable::variable(n, v));
+    for (int step = 0; step < 12; ++step) {
+      const auto& a = pool[rng.below(pool.size())];
+      const auto& b = pool[rng.below(pool.size())];
+      switch (rng.below(4)) {
+        case 0:
+          pool.emplace_back(mgr.bdd_and(a.first, b.first), a.second & b.second);
+          break;
+        case 1:
+          pool.emplace_back(mgr.bdd_or(a.first, b.first), a.second | b.second);
+          break;
+        case 2:
+          pool.emplace_back(mgr.bdd_xor(a.first, b.first), a.second ^ b.second);
+          break;
+        default:
+          pool.emplace_back(mgr.bdd_not(a.first), ~a.second);
+          break;
+      }
+    }
+    const auto& [f, tt] = pool.back();
+    EXPECT_EQ(to_tt(mgr, f, n), tt);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f), static_cast<double>(tt.count_ones()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BddRandom, ::testing::Values(2, 3, 4, 5, 6, 8, 10));
+
+} // namespace
+} // namespace rmsyn

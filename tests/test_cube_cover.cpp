@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "sop/cover.hpp"
+#include "sop/cube.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(Cube, ParseAndToString) {
+  const Cube c = Cube::parse("1-0-");
+  EXPECT_EQ(c.nvars(), 4);
+  EXPECT_TRUE(c.has_pos(0));
+  EXPECT_FALSE(c.has_var(1));
+  EXPECT_TRUE(c.has_neg(2));
+  EXPECT_EQ(c.to_string(), "1-0-");
+  EXPECT_EQ(c.literal_count(), 2);
+}
+
+TEST(Cube, EvalAgainstMinterms) {
+  const Cube c = Cube::parse("1-0");
+  EXPECT_TRUE(c.eval(uint64_t{0b001}));  // x0=1 x2=0
+  EXPECT_TRUE(c.eval(uint64_t{0b011}));
+  EXPECT_FALSE(c.eval(uint64_t{0b000})); // x0=0
+  EXPECT_FALSE(c.eval(uint64_t{0b101})); // x2=1
+}
+
+TEST(Cube, CoversAndClash) {
+  const Cube wide = Cube::parse("1--");
+  const Cube narrow = Cube::parse("110");
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_FALSE(wide.clashes(narrow));
+  const Cube neg = Cube::parse("0--");
+  EXPECT_TRUE(wide.clashes(neg));
+  EXPECT_EQ(wide.distance(neg), 1);
+}
+
+TEST(Cube, IntersectAndDivide) {
+  const Cube a = Cube::parse("1--");
+  const Cube b = Cube::parse("-0-");
+  const Cube ab = a.intersect(b);
+  EXPECT_EQ(ab.to_string(), "10-");
+  EXPECT_TRUE(ab.divisible_by(a));
+  EXPECT_EQ(ab.divide(a).to_string(), "-0-");
+}
+
+TEST(Cube, CofactorInplace) {
+  Cube c = Cube::parse("10-");
+  EXPECT_TRUE(c.cofactor_inplace(0, true));
+  EXPECT_EQ(c.to_string(), "-0-");
+  EXPECT_FALSE(c.cofactor_inplace(1, true)); // clashes with the 0 literal
+}
+
+TEST(Cover, TautologyBasics) {
+  Cover f(2);
+  f.add(Cube::parse("1-"));
+  EXPECT_FALSE(f.is_tautology());
+  f.add(Cube::parse("0-"));
+  EXPECT_TRUE(f.is_tautology());
+  EXPECT_TRUE(Cover::constant(3, true).is_tautology());
+  EXPECT_FALSE(Cover(3).is_tautology());
+}
+
+TEST(Cover, CoversCube) {
+  Cover f(3);
+  f.add(Cube::parse("11-"));
+  f.add(Cube::parse("10-"));
+  EXPECT_TRUE(f.covers_cube(Cube::parse("1--")));
+  EXPECT_FALSE(f.covers_cube(Cube::parse("0--")));
+}
+
+class CoverRandom : public ::testing::TestWithParam<int> {};
+
+Cover random_cover(int nvars, int ncubes, Rng& rng) {
+  Cover f(nvars);
+  for (int c = 0; c < ncubes; ++c) {
+    Cube cube(nvars);
+    for (int v = 0; v < nvars; ++v) {
+      const auto r = rng.below(3);
+      if (r == 0) cube.add_pos(v);
+      else if (r == 1) cube.add_neg(v);
+    }
+    f.add(std::move(cube));
+  }
+  return f;
+}
+
+TEST_P(CoverRandom, ComplementMatchesTruthTable) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 1000 + 17);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Cover f = random_cover(n, 1 + static_cast<int>(rng.below(6)), rng);
+    const Cover fc = f.complement();
+    const TruthTable tf = f.to_truth_table();
+    const TruthTable tfc = fc.to_truth_table();
+    EXPECT_EQ(tfc, ~tf);
+  }
+}
+
+TEST_P(CoverRandom, TautologyMatchesTruthTable) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 2000 + 29);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Cover f = random_cover(n, 1 + static_cast<int>(rng.below(8)), rng);
+    EXPECT_EQ(f.is_tautology(), f.to_truth_table().is_const1());
+  }
+}
+
+TEST_P(CoverRandom, AndOrMatchTruthTables) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 3000 + 31);
+  const Cover f = random_cover(n, 4, rng);
+  const Cover g = random_cover(n, 4, rng);
+  EXPECT_EQ((f | g).to_truth_table(), f.to_truth_table() | g.to_truth_table());
+  EXPECT_EQ((f & g).to_truth_table(), f.to_truth_table() & g.to_truth_table());
+}
+
+TEST_P(CoverRandom, CofactorMatchesTruthTable) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 4000 + 37);
+  const Cover f = random_cover(n, 5, rng);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(f.cofactor(v, true).to_truth_table(),
+              f.to_truth_table().cofactor(v, true));
+    EXPECT_EQ(f.cofactor(v, false).to_truth_table(),
+              f.to_truth_table().cofactor(v, false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoverRandom, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(Cover, FromTruthTableRoundTrip) {
+  Rng rng(123);
+  for (int iter = 0; iter < 10; ++iter) {
+    TruthTable f(4);
+    for (uint64_t m = 0; m < f.size(); ++m)
+      if (rng.flip()) f.set(m);
+    EXPECT_EQ(Cover::from_truth_table(f).to_truth_table(), f);
+  }
+}
+
+TEST(Cover, BoundedTautologyReportsUndecided) {
+  // A binate cover large enough to exceed a tiny budget.
+  Rng rng(7);
+  const Cover f = random_cover(6, 12, rng);
+  bool decided = true;
+  (void)f.is_tautology_bounded(1, &decided);
+  EXPECT_FALSE(decided);
+  bool decided2 = false;
+  const bool r = f.is_tautology_bounded(1'000'000, &decided2);
+  EXPECT_TRUE(decided2);
+  EXPECT_EQ(r, f.is_tautology());
+}
+
+} // namespace
+} // namespace rmsyn

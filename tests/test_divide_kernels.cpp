@@ -1,0 +1,186 @@
+// Algebraic division and kernel tests (the Brayton-McMullen substrate of
+// the baseline).
+#include <gtest/gtest.h>
+
+#include "baseline/divide.hpp"
+#include "baseline/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+Cover cover_of(std::initializer_list<const char*> cubes) {
+  Cover f(0);
+  bool first = true;
+  for (const char* s : cubes) {
+    const Cube c = Cube::parse(s);
+    if (first) {
+      f = Cover(c.nvars());
+      first = false;
+    }
+    f.add(c);
+  }
+  return f;
+}
+
+TEST(Divide, ByCube) {
+  // F = abc + abd + e; divide by ab.
+  const Cover f = cover_of({"111--", "11-1-", "----1"});
+  Cube ab(5);
+  ab.add_pos(0);
+  ab.add_pos(1);
+  const auto [q, r] = divide_by_cube(f, ab);
+  EXPECT_EQ(q.size(), 2u); // c + d
+  EXPECT_EQ(r.size(), 1u); // e
+}
+
+TEST(Divide, ByMultiCubeDivisor) {
+  // F = ac + ad + bc + bd + e = (a+b)(c+d) + e; divide by (c+d).
+  const Cover f = cover_of({"1-1--", "1--1-", "-11--", "-1-1-", "----1"});
+  const Cover d = cover_of({"--1--", "---1-"});
+  const auto [q, r] = divide(f, d);
+  EXPECT_EQ(q.size(), 2u); // a + b
+  EXPECT_EQ(r.size(), 1u); // e
+  // Reconstruction: F == Q·D + R as functions.
+  const Cover rebuilt = (q & d) | r;
+  EXPECT_EQ(rebuilt.to_truth_table(), f.to_truth_table());
+}
+
+TEST(Divide, EmptyQuotientLeavesRemainder) {
+  const Cover f = cover_of({"1--", "-1-"});
+  const Cover d = cover_of({"--1", "0--"});
+  const auto [q, r] = divide(f, d);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(r.size(), f.size());
+}
+
+TEST(Divide, LargestCommonCube) {
+  const Cover f = cover_of({"11-1", "1-11"});
+  const Cube c = largest_common_cube(f);
+  EXPECT_EQ(c.to_string(), "1--1");
+  EXPECT_FALSE(is_cube_free(f));
+  EXPECT_TRUE(is_cube_free(cover_of({"1-", "-1"})));
+}
+
+TEST(Kernels, TextbookExample) {
+  // F = adf + aef + bdf + bef + cdf + cef + g
+  //   = (a+b+c)(d+e)f + g. Kernels include (d+e) and (a+b+c) and F itself.
+  const int A = 0, B = 1, C = 2, D = 3, E = 4, Fv = 5, G = 6;
+  Cover f(7);
+  const auto add3 = [&](int x, int y, int z) {
+    Cube c(7);
+    c.add_pos(x);
+    c.add_pos(y);
+    c.add_pos(z);
+    f.add(c);
+  };
+  add3(A, D, Fv);
+  add3(A, E, Fv);
+  add3(B, D, Fv);
+  add3(B, E, Fv);
+  add3(C, D, Fv);
+  add3(C, E, Fv);
+  Cube g(7);
+  g.add_pos(G);
+  f.add(g);
+
+  const auto ks = kernels(f);
+  // Look for the (d+e) kernel.
+  bool found_de = false, found_abc = false;
+  for (const auto& k : ks) {
+    if (k.kernel.size() == 2) {
+      bool d_found = false, e_found = false;
+      for (const auto& c : k.kernel.cubes()) {
+        if (c.has_pos(D) && c.literal_count() == 1) d_found = true;
+        if (c.has_pos(E) && c.literal_count() == 1) e_found = true;
+      }
+      found_de |= d_found && e_found;
+    }
+    if (k.kernel.size() == 3) {
+      int singles = 0;
+      for (const auto& c : k.kernel.cubes())
+        if (c.literal_count() == 1 &&
+            (c.has_pos(A) || c.has_pos(B) || c.has_pos(C)))
+          ++singles;
+      found_abc |= singles == 3;
+    }
+  }
+  EXPECT_TRUE(found_de);
+  EXPECT_TRUE(found_abc);
+  // Every kernel must be cube-free.
+  for (const auto& k : ks)
+    EXPECT_TRUE(k.kernel.size() < 2 || is_cube_free(k.kernel));
+}
+
+TEST(Kernels, CoKernelReconstruction) {
+  // Each kernel satisfies: divide(F, kernel).quotient contains co_kernel.
+  const Cover f = cover_of({"11--", "1-1-", "-11-", "---1"});
+  for (const auto& k : kernels(f)) {
+    if (k.kernel.size() < 2) continue;
+    const auto [q, r] = divide(f, k.kernel);
+    (void)r;
+    bool has_cokernel = false;
+    for (const auto& c : q.cubes())
+      if (c == k.co_kernel) has_cokernel = true;
+    EXPECT_TRUE(has_cokernel);
+  }
+}
+
+TEST(Kernels, CubeFreeFunctionIsItsOwnKernel) {
+  const Cover f = cover_of({"1-", "-1"});
+  const auto ks = kernels(f);
+  bool self = false;
+  for (const auto& k : ks)
+    if (k.kernel.size() == f.size() && k.co_kernel.is_universal()) self = true;
+  EXPECT_TRUE(self);
+}
+
+TEST(Kernels, SingleCubeHasNoKernels) {
+  EXPECT_TRUE(kernels(cover_of({"110"})).empty());
+  EXPECT_TRUE(level0_kernels(cover_of({"110"})).empty());
+}
+
+TEST(Kernels, Level0AreKernelsWithoutSubkernels) {
+  const Cover f = cover_of({"11-", "1-1", "-11"});
+  for (const auto& k : level0_kernels(f)) {
+    // A level-0 kernel has no literal appearing in two of its cubes.
+    const auto& cubes = k.kernel.cubes();
+    for (int v = 0; v < k.kernel.nvars(); ++v) {
+      int pos = 0, neg = 0;
+      for (const auto& c : cubes) {
+        if (c.has_pos(v)) ++pos;
+        if (c.has_neg(v)) ++neg;
+      }
+      EXPECT_LE(pos, 1);
+      EXPECT_LE(neg, 1);
+    }
+  }
+}
+
+TEST(Divide, RandomizedQuotientRemainderInvariant) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int n = 5;
+    Cover f(n);
+    const int ncubes = 2 + static_cast<int>(rng.below(6));
+    for (int c = 0; c < ncubes; ++c) {
+      Cube cube(n);
+      for (int v = 0; v < n; ++v) {
+        const auto r = rng.below(4);
+        if (r == 0) cube.add_pos(v);
+        else if (r == 1) cube.add_neg(v);
+      }
+      f.add(std::move(cube));
+    }
+    for (const auto& k : kernels(f, 16)) {
+      if (k.kernel.empty()) continue;
+      const auto [q, r] = divide(f, k.kernel);
+      if (q.empty()) continue;
+      const Cover rebuilt = (q & k.kernel) | r;
+      EXPECT_EQ(rebuilt.to_truth_table(), f.to_truth_table());
+    }
+  }
+}
+
+} // namespace
+} // namespace rmsyn

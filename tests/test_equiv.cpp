@@ -1,0 +1,79 @@
+#include "equiv/equiv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmsyn {
+namespace {
+
+Network xor_via_andor() {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  net.add_po(net.add_or(net.add_and(a, net.add_not(b)),
+                        net.add_and(net.add_not(a), b)));
+  return net;
+}
+
+Network xor_direct() {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  net.add_po(net.add_xor(a, b));
+  return net;
+}
+
+TEST(Equiv, EquivalentImplementationsAccepted) {
+  const auto r = check_equivalence(xor_direct(), xor_via_andor());
+  EXPECT_TRUE(r.equivalent) << r.reason;
+}
+
+TEST(Equiv, InequivalentDetectedWithWitness) {
+  Network wrong;
+  const NodeId a = wrong.add_pi();
+  const NodeId b = wrong.add_pi();
+  wrong.add_po(wrong.add_or(a, b)); // OR != XOR at (1,1)
+  const auto r = check_equivalence(xor_direct(), wrong);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Equiv, InterfaceMismatchReported) {
+  Network one_pi;
+  one_pi.add_po(one_pi.add_pi());
+  EXPECT_FALSE(check_equivalence(one_pi, xor_direct()).equivalent);
+  Network two_pos = xor_direct();
+  two_pos.add_po(two_pos.po(0));
+  EXPECT_FALSE(check_equivalence(xor_direct(), two_pos).equivalent);
+}
+
+TEST(Equiv, AgainstTruthTables) {
+  const auto tt = TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  EXPECT_TRUE(check_against_tts(xor_via_andor(), {tt}).equivalent);
+  EXPECT_FALSE(check_against_tts(xor_via_andor(), {~tt}).equivalent);
+}
+
+TEST(Equiv, NodeBddsMatchSimulation) {
+  const Network net = xor_via_andor();
+  BddManager mgr(2);
+  const auto f = output_bdds(mgr, net);
+  ASSERT_EQ(f.size(), 1u);
+  for (uint64_t m = 0; m < 4; ++m) {
+    BitVec a(2);
+    if (m & 1) a.set(0);
+    if (m & 2) a.set(1);
+    EXPECT_EQ(mgr.eval(f[0], a), net.eval({(m & 1) != 0, (m & 2) != 0})[0]);
+  }
+}
+
+TEST(Equiv, ConstantOutputs) {
+  Network c0;
+  c0.add_pi();
+  c0.add_po(Network::kConst0);
+  Network c0b;
+  const NodeId a = c0b.add_pi();
+  c0b.add_po(c0b.add_and(a, c0b.add_not(a)));
+  EXPECT_TRUE(check_equivalence(c0, c0b).equivalent);
+}
+
+} // namespace
+} // namespace rmsyn

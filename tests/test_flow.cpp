@@ -1,0 +1,72 @@
+// Integration tests over the shared experiment runner (both flows +
+// mapping + power), checking the qualitative Table-2 shape on a few
+// representative circuits.
+#include "flow/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmsyn {
+namespace {
+
+TEST(Flow, T481OursWinsDecisively) {
+  const FlowRow row = run_flow("t481");
+  EXPECT_LT(row.ours_lits, row.base_lits);
+  EXPECT_LT(row.ours_map_lits, row.base_map_lits);
+  // Paper: 89% mapped-literal improvement; shape check: > 30%.
+  EXPECT_GT(row.improve_lits_pct(), 30.0);
+  // Run-time: the FPRM flow is far faster on t481 (paper: 1372s vs 0.7s).
+  EXPECT_LT(row.ours_seconds, row.base_seconds);
+}
+
+TEST(Flow, AdderFamilyWins) {
+  for (const char* name : {"z4ml", "adr4"}) {
+    const FlowRow row = run_flow(name);
+    EXPECT_LE(row.ours_lits, row.base_lits) << name;
+    EXPECT_LE(row.ours_map_lits, row.base_map_lits) << name;
+  }
+}
+
+TEST(Flow, RowCarriesMetadata) {
+  const FlowRow row = run_flow("z4ml");
+  EXPECT_EQ(row.circuit, "z4ml");
+  EXPECT_EQ(row.num_inputs, 7);
+  EXPECT_EQ(row.num_outputs, 4);
+  EXPECT_TRUE(row.arithmetic);
+  EXPECT_TRUE(row.exact_benchmark);
+  EXPECT_GT(row.base_power, 0.0);
+  EXPECT_GT(row.ours_power, 0.0);
+}
+
+TEST(Flow, MappingAndPowerCanBeSkipped) {
+  FlowOptions opt;
+  opt.run_mapping = false;
+  opt.run_power = false;
+  const FlowRow row = run_flow("rd53", opt);
+  EXPECT_EQ(row.ours_gates, 0u);
+  EXPECT_EQ(row.ours_power, 0.0);
+  EXPECT_GT(row.ours_lits, 0u);
+}
+
+TEST(Flow, FormatTable2ContainsRowsAndTotals) {
+  std::vector<FlowRow> rows;
+  rows.push_back(run_flow("z4ml"));
+  rows.push_back(run_flow("majority"));
+  const std::string table = format_table2(rows);
+  EXPECT_NE(table.find("z4ml"), std::string::npos);
+  EXPECT_NE(table.find("majority"), std::string::npos);
+  EXPECT_NE(table.find("Tot.arith"), std::string::npos);
+  EXPECT_NE(table.find("Tot.all"), std::string::npos);
+}
+
+TEST(Flow, ImprovementPercentagesConsistent) {
+  FlowRow row;
+  row.base_map_lits = 100;
+  row.ours_map_lits = 80;
+  EXPECT_DOUBLE_EQ(row.improve_lits_pct(), 20.0);
+  row.base_power = 50.0;
+  row.ours_power = 60.0;
+  EXPECT_DOUBLE_EQ(row.improve_power_pct(), -20.0);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -1,0 +1,279 @@
+// FPRM / OFDD tests, including the paper's Figure 1 and the prime-cube
+// property of Csanky et al. used in Section 2.
+#include "fdd/fprm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+TruthTable random_tt(int n, Rng& rng) {
+  TruthTable f(n);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if (rng.flip()) f.set(m);
+  return f;
+}
+
+BddRef tt_to_bdd(BddManager& mgr, const TruthTable& tt) {
+  return mgr.from_cover(Cover::from_truth_table(tt));
+}
+
+TEST(Fprm, SpectrumOfAndIsSingleCube) {
+  BddManager mgr(2);
+  const BddRef f = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  BitVec pol(2);
+  pol.set_all();
+  const Ofdd o = build_ofdd(mgr, f, pol);
+  const FprmForm form = extract_fprm(mgr, o, 2);
+  ASSERT_EQ(form.cube_count(), 1u);
+  EXPECT_EQ(form.cubes[0].count(), 2u);
+}
+
+TEST(Fprm, Figure1Example) {
+  // f = x̄1 ⊕ x̄1x3 ⊕ x̄1x2 ⊕ x̄1x2x3 ⊕ x3 ⊕ x2 with V = (0 1 1):
+  // 6 cubes under this polarity. Variables are 0-indexed here: x1->0 etc.
+  const int n = 3;
+  const auto x = [&](int i) { return TruthTable::variable(n, i); };
+  const auto nx1 = ~x(0);
+  const TruthTable f = nx1 ^ (nx1 & x(2)) ^ (nx1 & x(1)) ^
+                       (nx1 & x(1) & x(2)) ^ x(2) ^ x(1);
+
+  BddManager mgr(n);
+  const BddRef fb = tt_to_bdd(mgr, f);
+  BitVec pol(3);
+  pol.set(1);
+  pol.set(2); // V = (0 1 1): x1 negative, x2 x3 positive
+  const Ofdd o = build_ofdd(mgr, fb, pol);
+  const FprmForm form = extract_fprm(mgr, o, n);
+  EXPECT_EQ(form.cube_count(), 6u);
+  EXPECT_EQ(fprm_to_tt(form), f);
+  // Figure 1 draws one node per variable (3); without complement edges the
+  // x2 ⊕ x3 substructure needs two x3 nodes, so our canonical OFDD has 4.
+  // The x1-present branch covers the first four cubes directly, as in the
+  // paper's path description.
+  EXPECT_EQ(mgr.size(o.root), 4u);
+  const BddRef present_branch = mgr.hi_of(o.root);
+  EXPECT_EQ(present_branch, mgr.bdd_true()); // 4 cubes: all (x2,x3) subsets
+}
+
+TEST(Fprm, SpectrumMatchesButterflyOracleAllPolarities) {
+  const int n = 4;
+  Rng rng(42);
+  for (int iter = 0; iter < 10; ++iter) {
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = tt_to_bdd(mgr, f);
+    for (uint64_t mask = 0; mask < (1u << n); ++mask) {
+      BitVec pol(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v)
+        if ((mask >> v) & 1) pol.set(static_cast<std::size_t>(v));
+      const std::vector<int> vars{0, 1, 2, 3};
+      const BddRef spec = rm_spectrum(mgr, fb, vars, pol);
+      const TruthTable oracle = fprm_spectrum_tt(f, pol);
+      // Compare coefficient by coefficient: spectrum BDD evaluated on the
+      // presence assignment == oracle table.
+      for (uint64_t s = 0; s < f.size(); ++s) {
+        BitVec a(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v)
+          if ((s >> v) & 1) a.set(static_cast<std::size_t>(v));
+        EXPECT_EQ(mgr.eval(spec, a), oracle.get(s))
+            << "polarity " << mask << " coeff " << s;
+      }
+    }
+  }
+}
+
+TEST(Fprm, InverseRoundTrip) {
+  const int n = 5;
+  Rng rng(77);
+  BddManager mgr(n);
+  const std::vector<int> vars{0, 1, 2, 3, 4};
+  for (int iter = 0; iter < 20; ++iter) {
+    const TruthTable f = random_tt(n, rng);
+    const BddRef fb = tt_to_bdd(mgr, f);
+    BitVec pol(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+      if (rng.flip()) pol.set(static_cast<std::size_t>(v));
+    const BddRef spec = rm_spectrum(mgr, fb, vars, pol);
+    EXPECT_EQ(rm_inverse(mgr, spec, vars, pol), fb);
+  }
+}
+
+TEST(Fprm, ExtractedFormEvaluatesToFunction) {
+  const int n = 5;
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = tt_to_bdd(mgr, f);
+    BitVec pol(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+      if (rng.flip()) pol.set(static_cast<std::size_t>(v));
+    const Ofdd o = build_ofdd(mgr, fb, pol);
+    const FprmForm form = extract_fprm(mgr, o, n);
+    EXPECT_EQ(fprm_to_tt(form), f);
+    EXPECT_EQ(static_cast<double>(form.cube_count()),
+              fprm_cube_count(mgr, o.root, o.support));
+  }
+}
+
+TEST(Fprm, CubeCountMatchesSpectrumWeight) {
+  // XOR of n variables has exactly n PPRM cubes.
+  const int n = 6;
+  BddManager mgr(n);
+  BddRef f = mgr.bdd_false();
+  for (int v = 0; v < n; ++v) f = mgr.bdd_xor(f, mgr.var(v));
+  BitVec pol(static_cast<std::size_t>(n));
+  pol.set_all();
+  const Ofdd o = build_ofdd(mgr, f, pol);
+  EXPECT_DOUBLE_EQ(fprm_cube_count(mgr, o.root, o.support), 6.0);
+}
+
+TEST(Fprm, BestPolarityNeverWorseThanPositive) {
+  const int n = 5;
+  Rng rng(1234);
+  for (int iter = 0; iter < 15; ++iter) {
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = tt_to_bdd(mgr, f);
+    BitVec all_pos(static_cast<std::size_t>(n));
+    all_pos.set_all();
+    const Ofdd pprm = build_ofdd(mgr, fb, all_pos);
+    const double pprm_cubes = fprm_cube_count(mgr, pprm.root, pprm.support);
+    const BitVec best = best_polarity(mgr, fb);
+    const Ofdd opt = build_ofdd(mgr, fb, best);
+    EXPECT_LE(fprm_cube_count(mgr, opt.root, opt.support), pprm_cubes);
+  }
+}
+
+TEST(Fprm, PrimeCubesInvariantUnderPolarity) {
+  // Csanky et al.: every prime cube occurs in all 2^n FPRM forms.
+  const int n = 4;
+  Rng rng(4321);
+  for (int iter = 0; iter < 10; ++iter) {
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = tt_to_bdd(mgr, f);
+
+    // Collect prime-cube support sets of the PPRM.
+    BitVec all_pos(static_cast<std::size_t>(n));
+    all_pos.set_all();
+    const FprmForm pprm = extract_fprm(mgr, build_ofdd(mgr, fb, all_pos), n);
+    const auto primes = prime_flags(pprm);
+    std::vector<BitVec> prime_supports;
+    for (std::size_t i = 0; i < pprm.cubes.size(); ++i)
+      if (primes[i]) prime_supports.push_back(pprm.cubes[i]);
+
+    // Support sets are positions into pprm.support; map to variable sets.
+    const auto to_varset = [](const FprmForm& form, const BitVec& cube) {
+      std::vector<int> vars;
+      for (std::size_t i = cube.first_set(); i != BitVec::npos;
+           i = cube.next_set(i + 1))
+        vars.push_back(form.support[i]);
+      return vars;
+    };
+
+    for (uint64_t mask = 1; mask < (1u << n); mask += 5) { // sample polarities
+      BitVec pol(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v)
+        if ((mask >> v) & 1) pol.set(static_cast<std::size_t>(v));
+      const FprmForm form = extract_fprm(mgr, build_ofdd(mgr, fb, pol), n);
+      for (const auto& pc : prime_supports) {
+        const auto want = to_varset(pprm, pc);
+        bool found = false;
+        for (const auto& cube : form.cubes) {
+          if (to_varset(form, cube) == want) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "prime cube missing under polarity " << mask;
+      }
+    }
+  }
+}
+
+TEST(Fprm, MultiOutputPolaritySharedVector) {
+  const int n = 4;
+  Rng rng(555);
+  BddManager mgr(n);
+  std::vector<BddRef> fs;
+  for (int k = 0; k < 3; ++k) fs.push_back(tt_to_bdd(mgr, random_tt(n, rng)));
+  const BitVec pol = best_polarity_multi(mgr, fs);
+  EXPECT_EQ(pol.size(), static_cast<std::size_t>(n));
+  // Must not be worse than PPRM in total cube count.
+  BitVec all_pos(static_cast<std::size_t>(n));
+  all_pos.set_all();
+  double total_best = 0, total_pprm = 0;
+  for (const BddRef f : fs) {
+    const Ofdd a = build_ofdd(mgr, f, pol);
+    const Ofdd b = build_ofdd(mgr, f, all_pos);
+    total_best += fprm_cube_count(mgr, a.root, a.support);
+    total_pprm += fprm_cube_count(mgr, b.root, b.support);
+  }
+  EXPECT_LE(total_best, total_pprm);
+}
+
+TEST(Fprm, ConstantOneCubeShowsInForm) {
+  // f = 1 ⊕ x0x1 (i.e. NAND): the PPRM contains the constant-1 cube.
+  BddManager mgr(2);
+  const BddRef f = mgr.bdd_not(mgr.bdd_and(mgr.var(0), mgr.var(1)));
+  BitVec pol(2);
+  pol.set_all();
+  const FprmForm form = extract_fprm(mgr, build_ofdd(mgr, f, pol), 2);
+  EXPECT_TRUE(form.has_constant_one_cube());
+  EXPECT_EQ(form.cube_count(), 2u);
+  EXPECT_EQ(fprm_to_tt(form),
+            ~(TruthTable::variable(2, 0) & TruthTable::variable(2, 1)));
+}
+
+TEST(Fprm, LiteralCountSumsCubeSizes) {
+  FprmForm form;
+  form.nvars = 3;
+  form.support = {0, 1, 2};
+  form.polarity = BitVec(3);
+  form.polarity.set_all();
+  BitVec a(3), b(3);
+  a.set(0);
+  b.set(1);
+  b.set(2);
+  form.cubes = {a, b, BitVec(3)};
+  EXPECT_EQ(form.literal_count(), 3u);
+  EXPECT_TRUE(form.has_constant_one_cube());
+}
+
+TEST(Fprm, SingleVariableAndConstantFunctions) {
+  BddManager mgr(3);
+  BitVec pol(3);
+  pol.set_all();
+  // f = x1: one cube {x1}.
+  const FprmForm fx = extract_fprm(mgr, build_ofdd(mgr, mgr.var(1), pol), 3);
+  EXPECT_EQ(fx.cube_count(), 1u);
+  EXPECT_EQ(fx.support, (std::vector<int>{1}));
+  // f = x̄1 under positive polarity: 1 ⊕ x1 (two cubes).
+  const FprmForm fn = extract_fprm(mgr, build_ofdd(mgr, mgr.nvar(1), pol), 3);
+  EXPECT_EQ(fn.cube_count(), 2u);
+  // f = x̄1 under negative polarity of x1: a single cube.
+  BitVec pneg(3);
+  pneg.set_all();
+  pneg.set(1, false);
+  const FprmForm f1 = extract_fprm(mgr, build_ofdd(mgr, mgr.nvar(1), pneg), 3);
+  EXPECT_EQ(f1.cube_count(), 1u);
+}
+
+TEST(Fprm, TruncationFlag) {
+  BddManager mgr(6);
+  BddRef f = mgr.bdd_false();
+  for (int v = 0; v < 6; ++v) f = mgr.bdd_xor(f, mgr.var(v));
+  BitVec pol(6);
+  pol.set_all();
+  const Ofdd o = build_ofdd(mgr, f, pol);
+  const FprmForm form = extract_fprm(mgr, o, 6, /*cube_limit=*/3);
+  EXPECT_TRUE(form.truncated);
+  EXPECT_EQ(form.cube_count(), 3u);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -1,0 +1,133 @@
+// BLIF reader/writer round trips and error handling.
+#include "network/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/spec.hpp"
+#include "equiv/equiv.hpp"
+#include "network/transform.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(BlifReader, ParsesHandWrittenModel) {
+  const std::string text = R"(
+# a full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b t1
+01 1
+10 1
+.names t1 cin sum
+01 1
+10 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+)";
+  const Network net = read_blif_string(text);
+  EXPECT_EQ(net.pi_count(), 3u);
+  EXPECT_EQ(net.po_count(), 2u);
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c) {
+        const auto out = net.eval({a != 0, b != 0, c != 0});
+        EXPECT_EQ(out[0], ((a + b + c) & 1) != 0);
+        EXPECT_EQ(out[1], a + b + c >= 2);
+      }
+}
+
+TEST(BlifReader, OffsetRowsComplement) {
+  // Rows with output 0 enumerate the OFF-set.
+  const std::string text = R"(
+.model nor
+.inputs a b
+.outputs f
+.names a b f
+1- 0
+-1 0
+.end
+)";
+  const Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({false, false})[0]);
+  EXPECT_FALSE(net.eval({true, false})[0]);
+  EXPECT_FALSE(net.eval({false, true})[0]);
+}
+
+TEST(BlifReader, ConstantsAndBuffers) {
+  const std::string text = R"(
+.model k
+.inputs a
+.outputs one zero thru
+.names one
+1
+.names zero
+.names a thru
+1 1
+.end
+)";
+  const Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({false})[0]);
+  EXPECT_FALSE(net.eval({false})[1]);
+  EXPECT_TRUE(net.eval({true})[2]);
+}
+
+TEST(BlifReader, OutOfOrderBlocksResolve) {
+  const std::string text = R"(
+.model ooo
+.inputs a b
+.outputs f
+.names t f
+0 1
+.names a b t
+11 1
+.end
+)";
+  const Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({false, true})[0]);
+  EXPECT_FALSE(net.eval({true, true})[0]);
+}
+
+TEST(BlifReader, ContinuationLines) {
+  const std::string text = ".model c\n.inputs a \\\nb\n.outputs f\n"
+                           ".names a b f\n11 1\n.end\n";
+  const Network net = read_blif_string(text);
+  EXPECT_EQ(net.pi_count(), 2u);
+  EXPECT_TRUE(net.eval({true, true})[0]);
+}
+
+TEST(BlifReader, RejectsSequentialAndMalformed) {
+  EXPECT_THROW(read_blif_string(".model s\n.inputs a\n.outputs q\n"
+                                ".latch a q re clk 0\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs f\n"
+                                ".names a f\n111 1\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_blif_string(".model u\n.inputs a\n.outputs f\n.end\n"),
+               std::runtime_error); // undriven output
+  EXPECT_THROW(read_blif_string(".model x\n.inputs a\n.outputs f\n"
+                                ".names f g\n1 1\n.names g f\n1 1\n.end\n"),
+               std::runtime_error); // combinational cycle
+}
+
+class BlifRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BlifRoundTrip, WriteThenReadIsEquivalent) {
+  const Benchmark bench = make_benchmark(GetParam());
+  // The writer requires <=2-input XOR gates.
+  const Network net = decompose2(strash(bench.spec));
+  const Network back = read_blif_string(write_blif_string(net, "rt"));
+  const auto check = check_equivalence(net, back);
+  EXPECT_TRUE(check.equivalent) << check.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, BlifRoundTrip,
+                         ::testing::Values("z4ml", "rd53", "t481", "cm85a",
+                                           "majority", "tcon", "pcle",
+                                           "bcd-div3"));
+
+} // namespace
+} // namespace rmsyn

@@ -1,0 +1,125 @@
+// Kronecker-FDD extension tests: mixed Shannon/Davio expansions must stay
+// functionally exact and beat pure-Davio on control-dominated functions.
+#include "fdd/kfdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/spec.hpp"
+#include "equiv/equiv.hpp"
+#include "network/stats.hpp"
+#include "network/transform.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+TruthTable random_tt(int n, Rng& rng) {
+  TruthTable f(n);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if (rng.flip()) f.set(m);
+  return f;
+}
+
+class KfddExpansion : public ::testing::TestWithParam<Expansion> {};
+
+TEST_P(KfddExpansion, UniformExpansionIsExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 5);
+  for (int iter = 0; iter < 15; ++iter) {
+    const int n = 4 + static_cast<int>(rng.below(2));
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = mgr.from_cover(Cover::from_truth_table(f));
+    Network net;
+    std::vector<NodeId> pis;
+    for (int v = 0; v < n; ++v) pis.push_back(net.add_pi());
+    KfddBuilder builder(net, pis, mgr,
+                        std::vector<Expansion>(static_cast<std::size_t>(n),
+                                               GetParam()));
+    net.add_po(builder.build(fb));
+    const auto check = check_against_tts(net, {f});
+    EXPECT_TRUE(check.equivalent) << check.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, KfddExpansion,
+                         ::testing::Values(Expansion::Shannon,
+                                           Expansion::PositiveDavio,
+                                           Expansion::NegativeDavio));
+
+TEST(Kfdd, MixedExpansionsAreExact) {
+  Rng rng(777);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 5;
+    const TruthTable f = random_tt(n, rng);
+    BddManager mgr(n);
+    const BddRef fb = mgr.from_cover(Cover::from_truth_table(f));
+    std::vector<Expansion> exp;
+    for (int v = 0; v < n; ++v)
+      exp.push_back(static_cast<Expansion>(rng.below(3)));
+    Network net;
+    std::vector<NodeId> pis;
+    for (int v = 0; v < n; ++v) pis.push_back(net.add_pi());
+    KfddBuilder builder(net, pis, mgr, exp);
+    net.add_po(builder.build(fb));
+    EXPECT_TRUE(check_against_tts(net, {f}).equivalent);
+  }
+}
+
+TEST(Kfdd, SynthesizeIsEquivalentOnBenchmarks) {
+  for (const char* name : {"z4ml", "rd53", "majority", "cm85a", "pcle"}) {
+    const Benchmark bench = make_benchmark(name);
+    const Network out = kfdd_synthesize(bench.spec);
+    const auto check = check_equivalence(bench.spec, out);
+    EXPECT_TRUE(check.equivalent) << name << ": " << check.reason;
+  }
+}
+
+TEST(Kfdd, ShannonWinsOnMultiplexers) {
+  // A 4:1 mux: pure Davio pays XOR cost, Shannon on the selects does not.
+  Network spec;
+  const NodeId s0 = spec.add_pi("s0");
+  const NodeId s1 = spec.add_pi("s1");
+  std::vector<NodeId> d;
+  for (int i = 0; i < 4; ++i) d.push_back(spec.add_pi("d" + std::to_string(i)));
+  const NodeId ns0 = spec.add_not(s0);
+  const NodeId ns1 = spec.add_not(s1);
+  const NodeId y = spec.add_gate(
+      GateType::Or,
+      {spec.add_gate(GateType::And, {ns1, ns0, d[0]}),
+       spec.add_gate(GateType::And, {ns1, s0, d[1]}),
+       spec.add_gate(GateType::And, {s1, ns0, d[2]}),
+       spec.add_gate(GateType::And, {s1, s0, d[3]})});
+  spec.add_po(y, "y");
+
+  BddManager mgr(static_cast<int>(spec.pi_count()));
+  const auto outs = output_bdds(mgr, spec);
+  const std::vector<Expansion> chosen = best_kfdd_decomposition(mgr, outs);
+  // The greedy search must not be worse than pure positive Davio.
+  Network davio_net, kfdd_net;
+  std::vector<NodeId> pis1, pis2;
+  for (std::size_t i = 0; i < spec.pi_count(); ++i) {
+    pis1.push_back(davio_net.add_pi());
+    pis2.push_back(kfdd_net.add_pi());
+  }
+  KfddBuilder davio(davio_net, pis1, mgr,
+                    std::vector<Expansion>(spec.pi_count(),
+                                           Expansion::PositiveDavio));
+  davio_net.add_po(davio.build(outs[0]));
+  KfddBuilder mixed(kfdd_net, pis2, mgr, chosen);
+  kfdd_net.add_po(mixed.build(outs[0]));
+  EXPECT_LT(network_stats(strash(kfdd_net)).gates2,
+            network_stats(strash(davio_net)).gates2);
+  EXPECT_TRUE(check_equivalence(davio_net, kfdd_net).equivalent);
+}
+
+TEST(Kfdd, CrossOutputSharing) {
+  // Two adder outputs share carry logic through the shared memo.
+  const Network spec = ripple_adder(4, true, true);
+  const Network out = kfdd_synthesize(spec);
+  EXPECT_TRUE(check_equivalence(spec, out).equivalent);
+  // Cost must be in the same class as the FPRM flow (not exponential).
+  EXPECT_LE(network_stats(out).gates2, 80u);
+}
+
+} // namespace
+} // namespace rmsyn

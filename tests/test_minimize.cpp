@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sop/minimize.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+Cover random_cover(int nvars, int ncubes, Rng& rng) {
+  Cover f(nvars);
+  for (int c = 0; c < ncubes; ++c) {
+    Cube cube(nvars);
+    for (int v = 0; v < nvars; ++v) {
+      const auto r = rng.below(3);
+      if (r == 0) cube.add_pos(v);
+      else if (r == 1) cube.add_neg(v);
+    }
+    f.add(std::move(cube));
+  }
+  return f;
+}
+
+TEST(Minimize, SingleCubeContainmentDropsContained) {
+  Cover f(3);
+  f.add(Cube::parse("1--"));
+  f.add(Cube::parse("11-")); // contained in the first
+  f.add(Cube::parse("0-1"));
+  const Cover r = single_cube_containment(f);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.to_truth_table(), f.to_truth_table());
+}
+
+TEST(Minimize, MergeDistanceOneCombines) {
+  Cover f(2);
+  f.add(Cube::parse("10"));
+  f.add(Cube::parse("11"));
+  const Cover r = merge_distance_one(f);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.cubes()[0].to_string(), "1-");
+}
+
+TEST(Minimize, MergeChainsToSingleCube) {
+  // All four minterms of two variables merge to the universal cube.
+  Cover f(2);
+  f.add(Cube::parse("00"));
+  f.add(Cube::parse("01"));
+  f.add(Cube::parse("10"));
+  f.add(Cube::parse("11"));
+  const Cover r = merge_distance_one(f);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.cubes()[0].is_universal());
+}
+
+TEST(Minimize, IrredundantRemovesConsensusCube) {
+  // ab + āc + bc: the bc cube is redundant.
+  Cover f(3);
+  f.add(Cube::parse("11-"));
+  f.add(Cube::parse("0-1"));
+  f.add(Cube::parse("-11"));
+  const Cover r = irredundant(f);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.to_truth_table(), f.to_truth_table());
+}
+
+TEST(Minimize, ExpandWidensAgainstOffset) {
+  // f = ab + āb ≡ b: expansion of either cube should reach "b".
+  Cover f(2);
+  f.add(Cube::parse("11"));
+  f.add(Cube::parse("01"));
+  const Cover r = expand(f);
+  EXPECT_EQ(r.to_truth_table(), f.to_truth_table());
+  EXPECT_LE(r.literal_count(), f.literal_count());
+}
+
+class MinimizeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeRandom, EspressoLitePreservesFunctionAndNeverGrows) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 555 + 5);
+  for (int iter = 0; iter < 25; ++iter) {
+    const Cover f = random_cover(n, 2 + static_cast<int>(rng.below(10)), rng);
+    const Cover g = espresso_lite(f);
+    EXPECT_EQ(g.to_truth_table(), f.to_truth_table());
+    EXPECT_LE(g.literal_count(), f.literal_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MinimizeRandom, ::testing::Values(2, 3, 4, 5, 6, 7));
+
+} // namespace
+} // namespace rmsyn

@@ -1,0 +1,163 @@
+// Tests for the Section-4 parity-of-cubes controllability procedure:
+// soundness (every reported pattern has a genuine witness), agreement with
+// the exact BDD decision, and the paper's Properties 8/9 as corollaries.
+#include "core/parity_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equiv.hpp"
+#include "network/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+FprmForm form_of(const TruthTable& f, const BitVec& polarity) {
+  BddManager mgr(f.nvars());
+  const BddRef fb = mgr.from_cover(Cover::from_truth_table(f));
+  return extract_fprm(mgr, build_ofdd(mgr, fb, polarity), f.nvars());
+}
+
+TruthTable random_tt(int n, Rng& rng) {
+  TruthTable f(n);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if (rng.flip()) f.set(m);
+  return f;
+}
+
+TEST(AnnotatedTree, ComputesTheFunction) {
+  Rng rng(31);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 4 + static_cast<int>(rng.below(2));
+    const TruthTable f = random_tt(n, rng);
+    BitVec pol(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+      if (rng.flip()) pol.set(static_cast<std::size_t>(v));
+    const AnnotatedXorTree tree = build_annotated_tree(form_of(f, pol));
+    EXPECT_TRUE(check_against_tts(tree.net, {f}).equivalent);
+    // Cube-set bookkeeping: the root XOR covers all non-constant cubes.
+    if (!tree.xor_gates.empty()) {
+      const NodeId root = tree.xor_gates.back();
+      std::size_t nonconst = 0;
+      for (const auto& c : tree.form.cubes)
+        if (c.any()) ++nonconst;
+      const auto& fi = tree.net.fanins(root);
+      EXPECT_EQ(tree.cube_sets[fi[0]].size() + tree.cube_sets[fi[1]].size(),
+                nonconst);
+    }
+  }
+}
+
+TEST(ParityAnalysis, WitnessesAreGenuine) {
+  Rng rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = 5;
+    const TruthTable f = random_tt(n, rng);
+    BitVec pol(static_cast<std::size_t>(n));
+    pol.set_all();
+    const AnnotatedXorTree tree = build_annotated_tree(form_of(f, pol));
+    const auto verdicts = analyze_tree(tree);
+    for (std::size_t k = 0; k < verdicts.size(); ++k) {
+      const NodeId gate = tree.xor_gates[k];
+      const auto& fi = tree.net.fanins(gate);
+      for (unsigned idx = 0; idx < 4; ++idx) {
+        if ((verdicts[k].achieved & (1u << idx)) == 0) continue;
+        PatternSet ps(tree.net.pi_count(), 0);
+        ps.append(verdicts[k].witness[idx]);
+        const auto values = simulate(tree.net, ps);
+        const unsigned got = (values[fi[0]].get(0) ? 2u : 0u) +
+                             (values[fi[1]].get(0) ? 1u : 0u);
+        EXPECT_EQ(got, idx) << "bogus witness at gate " << gate;
+      }
+    }
+  }
+}
+
+TEST(ParityAnalysis, NeverClaimsMoreThanExactControllability) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = 5;
+    const TruthTable f = random_tt(n, rng);
+    BitVec pol(static_cast<std::size_t>(n));
+    pol.set_all();
+    const AnnotatedXorTree tree = build_annotated_tree(form_of(f, pol));
+    const auto verdicts = analyze_tree(tree);
+    BddManager mgr(n);
+    const auto fn = node_bdds(mgr, tree.net);
+    for (std::size_t k = 0; k < verdicts.size(); ++k) {
+      const auto& fi = tree.net.fanins(tree.xor_gates[k]);
+      uint8_t exact = 0;
+      for (unsigned idx = 0; idx < 4; ++idx) {
+        const BddRef eg = (idx & 2u) ? fn[fi[0]] : mgr.bdd_not(fn[fi[0]]);
+        const BddRef eh = (idx & 1u) ? fn[fi[1]] : mgr.bdd_not(fn[fi[1]]);
+        if (mgr.bdd_and(eg, eh) != mgr.bdd_false()) exact |= (1u << idx);
+      }
+      EXPECT_EQ(verdicts[k].achieved & ~exact, 0)
+          << "parity method claimed an uncontrollable pattern";
+    }
+  }
+}
+
+TEST(ParityAnalysis, DecidesParityTreeCompletely) {
+  // n-input parity: every XOR gate has all four patterns controllable and
+  // the subset enumeration proves it (Property 2 + the paper's claim that
+  // parity trees are irreducible).
+  FprmForm form;
+  form.nvars = 8;
+  form.support = {0, 1, 2, 3, 4, 5, 6, 7};
+  form.polarity = BitVec(8);
+  form.polarity.set_all();
+  for (int i = 0; i < 8; ++i) {
+    BitVec c(8);
+    c.set(static_cast<std::size_t>(i));
+    form.cubes.push_back(c);
+  }
+  const AnnotatedXorTree tree = build_annotated_tree(form);
+  for (const auto& v : analyze_tree(tree)) EXPECT_EQ(v.achieved, 0b1111);
+}
+
+TEST(ParityAnalysis, FindsUncontrollablePatternOfContainedCube) {
+  // f = a ⊕ ab: at the XOR gate the pattern (g=0, h=1) — a=0 with ab=1 —
+  // is impossible; everything else must be demonstrated.
+  FprmForm form;
+  form.nvars = 2;
+  form.support = {0, 1};
+  form.polarity = BitVec(2);
+  form.polarity.set_all();
+  BitVec ca(2), cab(2);
+  ca.set(0);
+  cab.set(0);
+  cab.set(1);
+  form.cubes = {ca, cab};
+  const AnnotatedXorTree tree = build_annotated_tree(form);
+  ASSERT_EQ(tree.xor_gates.size(), 1u);
+  const auto v = analyze_tree(tree)[0];
+  // Leaf order: g = a (cube 0), h = ab (cube 1).
+  EXPECT_EQ(v.achieved & 0b0010, 0) << "(g=0,h=1) must stay unreachable";
+  EXPECT_EQ(v.achieved, 0b1101);
+}
+
+TEST(ParityAnalysis, Property9FollowsFromSingletons) {
+  // At least two of the three nonzero patterns come from the singleton
+  // (OC) activations alone — cap the subsets at 1 and check.
+  Rng rng(123);
+  for (int iter = 0; iter < 15; ++iter) {
+    const TruthTable f = random_tt(5, rng);
+    BitVec pol(5);
+    pol.set_all();
+    const FprmForm form = form_of(f, pol);
+    if (form.cube_count() < 2) continue;
+    const AnnotatedXorTree tree = build_annotated_tree(form);
+    ParityAnalysisOptions oc_only;
+    oc_only.max_subset = 1;
+    for (const auto& v : analyze_tree(tree, oc_only)) {
+      int nonzero = 0;
+      for (unsigned idx = 1; idx < 4; ++idx)
+        if (v.achieved & (1u << idx)) ++nonzero;
+      EXPECT_GE(nonzero, 2);
+    }
+  }
+}
+
+} // namespace
+} // namespace rmsyn

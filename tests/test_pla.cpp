@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sop/pla.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(Pla, ParseBasicDocument) {
+  const std::string text = R"(
+# a 2-in 2-out example
+.i 2
+.o 2
+.ilb a b
+.ob f g
+.p 3
+11 10
+0- 01
+-1 01
+.e
+)";
+  const PlaFile pla = read_pla_string(text);
+  EXPECT_EQ(pla.num_inputs, 2);
+  EXPECT_EQ(pla.num_outputs, 2);
+  ASSERT_EQ(pla.outputs.size(), 2u);
+  EXPECT_EQ(pla.outputs[0].size(), 1u);
+  EXPECT_EQ(pla.outputs[1].size(), 2u);
+  EXPECT_EQ(pla.input_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(pla.output_names, (std::vector<std::string>{"f", "g"}));
+  // f = ab
+  EXPECT_TRUE(pla.outputs[0].eval(uint64_t{0b11}));
+  EXPECT_FALSE(pla.outputs[0].eval(uint64_t{0b01}));
+  // g = ā + b
+  EXPECT_TRUE(pla.outputs[1].eval(uint64_t{0b00}));
+  EXPECT_TRUE(pla.outputs[1].eval(uint64_t{0b10}));
+  EXPECT_FALSE(pla.outputs[1].eval(uint64_t{0b01}));
+}
+
+TEST(Pla, RoundTripPreservesFunctions) {
+  PlaFile pla;
+  pla.num_inputs = 3;
+  pla.num_outputs = 2;
+  pla.outputs.assign(2, Cover(3));
+  pla.outputs[0].add(Cube::parse("1-0"));
+  pla.outputs[0].add(Cube::parse("01-"));
+  pla.outputs[1].add(Cube::parse("1-0")); // shared cube with output 0
+  const std::string text = write_pla_string(pla);
+  const PlaFile back = read_pla_string(text);
+  ASSERT_EQ(back.outputs.size(), 2u);
+  for (int o = 0; o < 2; ++o) {
+    EXPECT_EQ(back.outputs[static_cast<std::size_t>(o)].to_truth_table(),
+              pla.outputs[static_cast<std::size_t>(o)].to_truth_table());
+  }
+  // The shared cube must have been merged into one row.
+  EXPECT_NE(text.find(".p 2"), std::string::npos);
+}
+
+TEST(Pla, RejectsMalformedInput) {
+  EXPECT_THROW(read_pla_string("11 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n111 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n.kiss\n"), std::runtime_error);
+}
+
+TEST(Pla, EmptyOnSetIsAccepted) {
+  const PlaFile pla = read_pla_string(".i 2\n.o 1\n.e\n");
+  ASSERT_EQ(pla.outputs.size(), 1u);
+  EXPECT_TRUE(pla.outputs[0].is_const0());
+}
+
+} // namespace
+} // namespace rmsyn

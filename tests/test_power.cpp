@@ -1,0 +1,92 @@
+#include "power/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(Power, ExactProbabilitiesOnKnownGates) {
+  // Single AND gate: p = 1/4, activity = 2·(1/4)·(3/4) = 3/8; load = PO
+  // fanout 1 + 1 = 2.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  net.add_po(net.add_and(a, b));
+  const PowerReport r = estimate_power(net);
+  EXPECT_TRUE(r.exact);
+  // Nets: two PIs (activity 1/2 each) + the AND output.
+  EXPECT_EQ(r.nets, 3u);
+  const double and_act = 2.0 * 0.25 * 0.75;
+  EXPECT_NEAR(r.switching_sum, 0.5 + 0.5 + and_act, 1e-12);
+}
+
+TEST(Power, SimulationFallbackApproximatesExact) {
+  const Benchmark bench = make_benchmark("rd53");
+  PowerOptions exact_opt;
+  PowerOptions sim_opt;
+  sim_opt.exact = false;
+  sim_opt.sim_patterns = 1 << 15;
+  const PowerReport pe = estimate_power(bench.spec, exact_opt);
+  const PowerReport ps = estimate_power(bench.spec, sim_opt);
+  EXPECT_TRUE(pe.exact);
+  EXPECT_FALSE(ps.exact);
+  EXPECT_NEAR(ps.total / pe.total, 1.0, 0.05);
+}
+
+TEST(Power, ConstantsContributeNothing) {
+  Network net;
+  net.add_pi();
+  net.add_po(Network::kConst1);
+  const PowerReport r = estimate_power(net);
+  // Only the PI net remains, activity 1/2, load 1 (no readers).
+  EXPECT_NEAR(r.switching_sum, 0.5, 1e-12);
+}
+
+TEST(Power, RedundancyRemovalDoesNotIncreasePower) {
+  // The Section-4 pass shrinks the network (and converts maximal-activity
+  // XOR nets to AND/OR nets), so the power estimate must not grow.
+  const Benchmark bench = make_benchmark("adr4");
+  SynthOptions with, without;
+  without.run_redundancy_removal = false;
+  const Network net_with = synthesize(bench.spec, with, nullptr);
+  const Network net_without = synthesize(bench.spec, without, nullptr);
+  EXPECT_LE(estimate_power(net_with).total,
+            estimate_power(net_without).total * 1.02);
+}
+
+TEST(Power, FanoutWeightsLoad) {
+  // One driver feeding two readers carries load 3 (two fanins + PO... the
+  // driver has fanout 2 and no PO, so load 1+2; each reader 1+1).
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId t = net.add_and(a, b);
+  net.add_po(net.add_or(t, a));
+  net.add_po(net.add_and(t, b));
+  const PowerReport r = estimate_power(net);
+  EXPECT_TRUE(r.exact);
+  EXPECT_GT(r.total, r.switching_sum); // loads > 1 somewhere
+}
+
+TEST(Power, DeterministicSimulationFallback) {
+  const Network net = make_benchmark("cm85a").spec;
+  PowerOptions o;
+  o.exact = false;
+  const PowerReport a = estimate_power(net, o);
+  const PowerReport b = estimate_power(net, o);
+  EXPECT_DOUBLE_EQ(a.total, b.total);
+}
+
+TEST(Power, XorChainActivityIsMaximal) {
+  // Every net of a parity chain has p = 1/2 → activity exactly 1/2.
+  const Benchmark bench = make_benchmark("xor10");
+  const PowerReport r = estimate_power(bench.spec);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.switching_sum, 0.5 * static_cast<double>(r.nets), 1e-9);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -1,0 +1,67 @@
+// Quality-floor regression tests: the flow's results on the deterministic
+// arithmetic circuits must stay within loose bounds of the currently
+// measured quality (about +20% headroom). These are deliberately not exact
+// pins — heuristics may shift — but a regression that doubles an adder or
+// loses t481's two-orders-of-magnitude win must fail loudly.
+#include <gtest/gtest.h>
+
+#include "baseline/script.hpp"
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+
+namespace rmsyn {
+namespace {
+
+struct Bound {
+  const char* circuit;
+  std::size_t max_ours_lits; // measured * ~1.2
+};
+
+// Measured values (see EXPERIMENTS.md): z4ml 54, adr4 62, add6 98,
+// my_adder 288, rd53 62, rd73 114, rd84 152, 9sym 230, t481 54, mlp4 492,
+// cm82a 36, f2 20, parity 90, xor10 54, sym10 276, squar5 90, sqr6 230.
+constexpr Bound kBounds[] = {
+    {"z4ml", 66},    {"adr4", 75},   {"add6", 118},  {"my_adder", 350},
+    {"rd53", 75},    {"rd73", 137},  {"rd84", 183},  {"9sym", 276},
+    {"t481", 65},    {"mlp4", 591},  {"cm82a", 44},  {"f2", 24},
+    {"parity", 108}, {"xor10", 65},  {"sym10", 332}, {"squar5", 108},
+    {"sqr6", 276},
+};
+
+class QualityFloor : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QualityFloor, OursStaysWithinMeasuredQuality) {
+  const Bound& b = kBounds[GetParam()];
+  SynthReport rep;
+  (void)synthesize(make_benchmark(b.circuit).spec, {}, &rep);
+  EXPECT_LE(rep.stats.lits, b.max_ours_lits) << b.circuit;
+}
+
+INSTANTIATE_TEST_SUITE_P(Arithmetic, QualityFloor,
+                         ::testing::Range<std::size_t>(0, std::size(kBounds)));
+
+TEST(QualityFloor, OursBeatsBaselineOnArithmeticHeadliners) {
+  // The core claim of the paper, as a regression test.
+  for (const char* name : {"z4ml", "adr4", "add6", "rd73", "rd84", "9sym",
+                           "sym10", "t481", "mlp4", "f51m", "5xp1"}) {
+    SynthReport ours;
+    BaselineReport base;
+    const Benchmark bench = make_benchmark(name);
+    (void)synthesize(bench.spec, {}, &ours);
+    (void)baseline_synthesize(bench.spec, {}, &base);
+    EXPECT_LT(ours.stats.lits, base.stats.lits) << name;
+  }
+}
+
+TEST(QualityFloor, RuntimeStaysInteractive) {
+  // The paper's speed claim, loosely: every arithmetic circuit synthesizes
+  // in a few seconds on a laptop-class machine.
+  for (const char* name : {"z4ml", "t481", "sym10", "rd84", "mlp4"}) {
+    SynthReport rep;
+    (void)synthesize(make_benchmark(name).spec, {}, &rep);
+    EXPECT_LT(rep.seconds, 10.0) << name;
+  }
+}
+
+} // namespace
+} // namespace rmsyn

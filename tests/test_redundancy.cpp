@@ -1,0 +1,290 @@
+// Section 4 tests: the paper's Table 1 semantics, the worked example
+// (B ⊕ C) ⊕ BC → B + C, pattern-set construction, irreducibility of parity,
+// and function preservation on random XOR networks.
+#include "core/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equiv.hpp"
+#include "network/stats.hpp"
+#include "network/transform.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(Table1, ImpliedFunctionsMatchXorOnReducedDomains) {
+  // Table 1 of the paper: when a pattern can never occur, XOR coincides
+  // with one of {OR, g·h̄, ḡ·h} on the remaining patterns.
+  const auto xor_v = [](bool g, bool h) { return g != h; };
+  const auto or_v = [](bool g, bool h) { return g || h; };
+  const auto gnh = [](bool g, bool h) { return g && !h; };
+  const auto ngh = [](bool g, bool h) { return !g && h; };
+  for (const auto& [g, h] : {std::pair{false, false}, {false, true},
+                             {true, false}, {true, true}}) {
+    if (!(g && h)) {
+      EXPECT_EQ(xor_v(g, h), or_v(g, h)); // (1,1) missing
+    }
+    if (!(!g && h)) {
+      EXPECT_EQ(xor_v(g, h), gnh(g, h)); // (0,1) missing
+    }
+    if (!(g && !h)) {
+      EXPECT_EQ(xor_v(g, h), ngh(g, h)); // (1,0) missing
+    }
+  }
+}
+
+TEST(PatternSets, AzAoOcSa1Construction) {
+  // One form: support {0,2}, polarity: x0 positive, x2 negative; one cube
+  // containing both literals.
+  FprmForm form;
+  form.nvars = 3;
+  form.support = {0, 2};
+  form.polarity = BitVec(3);
+  form.polarity.set(0); // x0 positive, x2 negative (bit 2 clear)
+  BitVec cube(2);
+  cube.set(0);
+  cube.set(1);
+  form.cubes = {cube};
+
+  const PatternSet ps = fprm_pattern_set(3, {form}, /*include_sa1=*/true, 100);
+  // global AZ + per-form AZ + AO + OC + 2 SA1 = 6 patterns.
+  EXPECT_EQ(ps.num_patterns, 6u);
+  // Per-form AZ: literals at 0 → x0=0, x2=1 (negative literal off means
+  // the variable is 1... literal x̄2=0 → x2=1).
+  EXPECT_FALSE(ps.bits[0].get(1));
+  EXPECT_TRUE(ps.bits[2].get(1));
+  // AO: x0=1, x2=0.
+  EXPECT_TRUE(ps.bits[0].get(2));
+  EXPECT_FALSE(ps.bits[2].get(2));
+  // OC (same as AO here since the only cube holds both literals).
+  EXPECT_TRUE(ps.bits[0].get(3));
+  EXPECT_FALSE(ps.bits[2].get(3));
+  // SA1 patterns flip exactly one literal of the cube each.
+  EXPECT_FALSE(ps.bits[0].get(4)); // x0 literal dropped
+  EXPECT_FALSE(ps.bits[2].get(4));
+  EXPECT_TRUE(ps.bits[0].get(5));
+  EXPECT_TRUE(ps.bits[2].get(5)); // x2 literal dropped -> x2=1
+}
+
+TEST(PatternSets, CapIsHonored) {
+  FprmForm form;
+  form.nvars = 4;
+  form.support = {0, 1, 2, 3};
+  form.polarity = BitVec(4);
+  form.polarity.set_all();
+  for (int i = 0; i < 10; ++i) {
+    BitVec c(4);
+    c.set(static_cast<std::size_t>(i % 4));
+    form.cubes.push_back(c);
+  }
+  const PatternSet ps = fprm_pattern_set(4, {form}, true, 7);
+  EXPECT_EQ(ps.num_patterns, 7u);
+}
+
+/// The paper's end-of-Section-4 example:
+/// (B ⊕ C) ⊕ BC  →  (B ⊕ C) + BC  →  (B + C) + BC  →  B + C.
+TEST(Redundancy, PaperExampleCollapsesToSingleOr) {
+  Network net;
+  const NodeId b = net.add_pi("B");
+  const NodeId c = net.add_pi("C");
+  const NodeId inner = net.add_xor(b, c);
+  const NodeId bc = net.add_and(b, c);
+  net.add_po(net.add_xor(inner, bc), "f");
+
+  // The FPRM of f = B + C (PPRM: B ⊕ C ⊕ BC).
+  FprmForm form;
+  form.nvars = 2;
+  form.support = {0, 1};
+  form.polarity = BitVec(2);
+  form.polarity.set_all();
+  BitVec cb(2), cc(2), cbc(2);
+  cb.set(0);
+  cc.set(1);
+  cbc.set(0);
+  cbc.set(1);
+  form.cubes = {cb, cc, cbc};
+
+  RedundancyStats stats;
+  const Network out = remove_xor_redundancy(net, {form}, {}, &stats);
+  const auto s = network_stats(out);
+  EXPECT_EQ(s.num_xor2, 0u);
+  EXPECT_EQ(s.gates2, 1u) << "expected a single OR gate";
+  EXPECT_GE(stats.reduced_to_or, 1u);          // Property 3 fired
+  EXPECT_GE(stats.observability_reductions +
+                stats.fanins_removed, 1u);      // the domino + cleanup
+  const auto tt = TruthTable::variable(2, 0) | TruthTable::variable(2, 1);
+  EXPECT_TRUE(check_against_tts(out, {tt}).equivalent);
+}
+
+TEST(Redundancy, ParityIsIrreducible) {
+  // All XOR gates of a parity tree must survive (the paper: "all the XOR
+  // gates in a parity function are not reducible").
+  Network net;
+  std::vector<NodeId> xs;
+  for (int i = 0; i < 8; ++i) xs.push_back(net.add_pi());
+  NodeId acc = xs[0];
+  for (int i = 1; i < 8; ++i) acc = net.add_xor(acc, xs[static_cast<std::size_t>(i)]);
+  net.add_po(acc);
+
+  FprmForm form;
+  form.nvars = 8;
+  form.support = {0, 1, 2, 3, 4, 5, 6, 7};
+  form.polarity = BitVec(8);
+  form.polarity.set_all();
+  for (int i = 0; i < 8; ++i) {
+    BitVec c(8);
+    c.set(static_cast<std::size_t>(i));
+    form.cubes.push_back(c);
+  }
+  RedundancyStats stats;
+  const Network out = remove_xor_redundancy(net, {form}, {}, &stats);
+  EXPECT_EQ(network_stats(out).num_xor2, 7u);
+  EXPECT_EQ(stats.xor_gates_after, stats.xor_gates_before);
+}
+
+TEST(Redundancy, Property3UncontrollableOneOne) {
+  // f = ab ⊕ āc: (1,1) needs ab=1 and āc=1 — impossible → OR.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  const NodeId h = net.add_and(net.add_not(a), c);
+  net.add_po(net.add_xor(g, h));
+  RedundancyStats stats;
+  const Network out = remove_xor_redundancy(net, {}, {}, &stats);
+  EXPECT_EQ(network_stats(out).num_xor2, 0u);
+  EXPECT_GE(stats.reduced_to_or, 1u);
+}
+
+TEST(Redundancy, Property4UncontrollablePattern) {
+  // f = a ⊕ ab: (0,1) impossible (ab=1 forces a=1) → f = a·(ab)'... which
+  // simplifies to a·b̄.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  net.add_po(net.add_xor(a, net.add_and(a, b)));
+  const Network out = remove_xor_redundancy(net, {}, {}, nullptr);
+  EXPECT_EQ(network_stats(out).num_xor2, 0u);
+  const auto tt = TruthTable::variable(2, 0) & ~TruthTable::variable(2, 1);
+  EXPECT_TRUE(check_against_tts(out, {tt}).equivalent);
+}
+
+TEST(Redundancy, AndFaninStuckAtRemoval) {
+  // f = (a+b)·(a+b+c): the second term's c (indeed the whole second gate)
+  // is redundant; the pass must shrink it to a + b.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId t1 = net.add_or(a, b);
+  const NodeId t2 = net.add_gate(GateType::Or, {a, b, c});
+  net.add_po(net.add_and(t1, t2));
+  RedundancyStats stats;
+  const Network out = remove_xor_redundancy(net, {}, {}, &stats);
+  EXPECT_EQ(network_stats(out).gates2, 1u);
+  EXPECT_GE(stats.fanins_removed, 1u);
+  const auto tt = TruthTable::variable(3, 0) | TruthTable::variable(3, 1);
+  EXPECT_TRUE(check_against_tts(out, {tt}).equivalent);
+}
+
+class RedundancyRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RedundancyRandom, PreservesFunctionAndNeverGrows) {
+  Rng rng(GetParam());
+  Network net;
+  std::vector<NodeId> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(net.add_pi());
+  for (int g = 0; g < 30; ++g) {
+    const NodeId a = pool[rng.below(pool.size())];
+    const NodeId b = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(net.add_and(a, b)); break;
+      case 1: pool.push_back(net.add_or(a, b)); break;
+      case 2: pool.push_back(net.add_not(a)); break;
+      default: pool.push_back(net.add_xor(a, b)); break;
+    }
+  }
+  net.add_po(pool[pool.size() - 1]);
+  net.add_po(pool[pool.size() - 2]);
+
+  const Network reference = strash(net);
+  const Network out = remove_xor_redundancy(net, {}, {}, nullptr);
+  EXPECT_TRUE(check_equivalence(reference, out).equivalent);
+  EXPECT_LE(network_stats(out).gates2, network_stats(decompose2(reference)).gates2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyRandom,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80, 90, 100));
+
+/// Every combination of the pass toggles must stay sound.
+class RedundancyOptionCombos
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(RedundancyOptionCombos, AllTogglesPreserveFunction) {
+  const auto [patterns, observability, fanins] = GetParam();
+  RedundancyOptions opt;
+  opt.use_pattern_filter = patterns;
+  opt.observability_pass = observability;
+  opt.and_fanin_pass = fanins;
+
+  Rng rng(1234 + (patterns ? 1 : 0) + (observability ? 2 : 0) +
+          (fanins ? 4 : 0));
+  for (int iter = 0; iter < 5; ++iter) {
+    Network net;
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(net.add_pi());
+    for (int g = 0; g < 25; ++g) {
+      const NodeId a = pool[rng.below(pool.size())];
+      const NodeId b = pool[rng.below(pool.size())];
+      switch (rng.below(4)) {
+        case 0: pool.push_back(net.add_and(a, b)); break;
+        case 1: pool.push_back(net.add_or(a, b)); break;
+        case 2: pool.push_back(net.add_not(a)); break;
+        default: pool.push_back(net.add_xor(a, b)); break;
+      }
+    }
+    net.add_po(pool.back());
+    const Network out = remove_xor_redundancy(net, {}, opt, nullptr);
+    EXPECT_TRUE(check_equivalence(strash(net), out).equivalent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Toggles, RedundancyOptionCombos,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Redundancy, PatternFilterReportsPrunes) {
+  // On a parity tree the OC set demonstrates all four patterns at every
+  // XOR gate, so every gate should be pruned without exact checks.
+  Network net;
+  std::vector<NodeId> xs;
+  for (int i = 0; i < 6; ++i) xs.push_back(net.add_pi());
+  NodeId acc = xs[0];
+  for (int i = 1; i < 6; ++i) acc = net.add_xor(acc, xs[static_cast<std::size_t>(i)]);
+  net.add_po(acc);
+  FprmForm form;
+  form.nvars = 6;
+  form.support = {0, 1, 2, 3, 4, 5};
+  form.polarity = BitVec(6);
+  form.polarity.set_all();
+  for (int i = 0; i < 6; ++i) {
+    BitVec cc(6);
+    cc.set(static_cast<std::size_t>(i));
+    form.cubes.push_back(cc);
+  }
+  RedundancyStats with_filter;
+  (void)remove_xor_redundancy(net, {form}, {}, &with_filter);
+  EXPECT_GT(with_filter.pattern_pruned, 0u);
+
+  RedundancyOptions no_filter;
+  no_filter.use_pattern_filter = false;
+  RedundancyStats without;
+  (void)remove_xor_redundancy(net, {form}, no_filter, &without);
+  EXPECT_GT(without.exact_checks, with_filter.exact_checks);
+}
+
+} // namespace
+} // namespace rmsyn

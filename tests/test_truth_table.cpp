@@ -1,0 +1,102 @@
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(TruthTable, ConstantsAndVariables) {
+  const auto zero = TruthTable::constant(3, false);
+  const auto one = TruthTable::constant(3, true);
+  EXPECT_TRUE(zero.is_const0());
+  EXPECT_TRUE(one.is_const1());
+  const auto x1 = TruthTable::variable(3, 1);
+  EXPECT_EQ(x1.count_ones(), 4u);
+  EXPECT_FALSE(x1.get(0b000));
+  EXPECT_TRUE(x1.get(0b010));
+}
+
+TEST(TruthTable, BooleanOps) {
+  const auto a = TruthTable::variable(2, 0);
+  const auto b = TruthTable::variable(2, 1);
+  const auto axb = a ^ b;
+  EXPECT_FALSE(axb.get(0b00));
+  EXPECT_TRUE(axb.get(0b01));
+  EXPECT_TRUE(axb.get(0b10));
+  EXPECT_FALSE(axb.get(0b11));
+  EXPECT_EQ((a & b).count_ones(), 1u);
+  EXPECT_EQ((a | b).count_ones(), 3u);
+  EXPECT_EQ((~a).count_ones(), 2u);
+}
+
+TEST(TruthTable, CofactorAndSupport) {
+  // f = x0 ⊕ x1x2
+  const auto f = TruthTable::variable(3, 0) ^
+                 (TruthTable::variable(3, 1) & TruthTable::variable(3, 2));
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_TRUE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  const auto f1 = f.cofactor(1, false); // x1=0: f = x0
+  EXPECT_EQ(f1, TruthTable::variable(3, 0));
+  EXPECT_EQ(f.support(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(f1.support(), (std::vector<int>{0}));
+}
+
+TEST(TruthTable, ReedMullerOfKnownFunctions) {
+  // PPRM of AND is the single coefficient x0x1.
+  const auto andf = TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  auto spec = andf.pprm_spectrum();
+  EXPECT_EQ(spec.count_ones(), 1u);
+  EXPECT_TRUE(spec.get(0b11));
+
+  // PPRM of OR = x0 ⊕ x1 ⊕ x0x1.
+  const auto orf = TruthTable::variable(2, 0) | TruthTable::variable(2, 1);
+  spec = orf.pprm_spectrum();
+  EXPECT_EQ(spec.count_ones(), 3u);
+  EXPECT_TRUE(spec.get(0b01));
+  EXPECT_TRUE(spec.get(0b10));
+  EXPECT_TRUE(spec.get(0b11));
+  EXPECT_FALSE(spec.get(0b00));
+
+  // XOR has exactly the two linear coefficients.
+  const auto xorf = TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  spec = xorf.pprm_spectrum();
+  EXPECT_EQ(spec.count_ones(), 2u);
+}
+
+class TTRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(TTRandom, ReedMullerTransformIsAnInvolution) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 97 + 1);
+  TruthTable f(n);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if (rng.flip()) f.set(m);
+  TruthTable g = f;
+  g.reed_muller_transform();
+  g.reed_muller_transform();
+  EXPECT_EQ(f, g);
+}
+
+TEST_P(TTRandom, SpectrumEvaluatesBackToFunction) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 131 + 7);
+  TruthTable f(n);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if (rng.flip()) f.set(m);
+  const TruthTable spec = f.pprm_spectrum();
+  // f(x) = XOR over S subseteq x (bitwise) of spec(S).
+  for (uint64_t x = 0; x < f.size(); ++x) {
+    bool acc = false;
+    for (uint64_t s = 0; s < f.size(); ++s)
+      if ((s & ~x) == 0 && spec.get(s)) acc = !acc;
+    EXPECT_EQ(acc, f.get(x)) << "minterm " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TTRandom, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+} // namespace
+} // namespace rmsyn

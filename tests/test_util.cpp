@@ -1,0 +1,110 @@
+// Utility substrate tests: deterministic RNG, stopwatch, and the cost
+// metric corner cases the experiment harness depends on.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mapping/mapper.hpp"
+#include "network/stats.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rmsyn {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a2.next() != c2.next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(99);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.chance(1, 4)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = sw.seconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 5.0);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+TEST(Stats, DepthOfXorChainCountsTwoLevelsPerXor) {
+  Network net;
+  NodeId acc = net.add_pi();
+  for (int i = 0; i < 4; ++i) acc = net.add_xor(acc, net.add_pi());
+  net.add_po(acc);
+  const auto s = network_stats(net);
+  EXPECT_EQ(s.depth, 8u); // 4 XOR2 x 2 levels
+  EXPECT_EQ(s.gates2, 12u);
+}
+
+TEST(Stats, EmptyNetworkHasZeroCost) {
+  Network net;
+  net.add_pi();
+  net.add_po(Network::kConst0);
+  const auto s = network_stats(net);
+  EXPECT_EQ(s.gates2, 0u);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.lits, 0u);
+}
+
+TEST(MapperDepth, SingleCellHasDepthOne) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  net.add_po(net.add_xor(a, b));
+  const MapResult r = map_network(net, mcnc_library());
+  EXPECT_EQ(r.depth, 1u);
+}
+
+TEST(MapperDepth, ChainsAccumulate) {
+  Network net;
+  NodeId acc = net.add_pi();
+  for (int i = 0; i < 3; ++i) acc = net.add_xor(acc, net.add_pi());
+  net.add_po(acc);
+  const MapResult r = map_network(net, mcnc_library());
+  EXPECT_EQ(r.gate_count, 3u); // three xor2 cells
+  EXPECT_EQ(r.depth, 3u);
+}
+
+TEST(Genlib, WideCellsCarryMultipleShapes) {
+  // nand4 must match both the balanced and the caterpillar subject trees,
+  // which requires at least two pattern variants.
+  const CellLibrary& lib = mcnc_library();
+  for (const auto& cell : lib.cells) {
+    if (cell.name == "nand4" || cell.name == "nor4") {
+      EXPECT_GE(cell.patterns.size(), 2u) << cell.name;
+    }
+    if (cell.name == "nand2") {
+      EXPECT_EQ(cell.patterns.size(), 1u);
+    }
+  }
+}
+
+} // namespace
+} // namespace rmsyn

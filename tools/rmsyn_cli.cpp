@@ -1,0 +1,256 @@
+// rmsyn command-line driver.
+//
+//   rmsyn_cli synth    <input> [-o out.blif] [--method cubes|ofdd|best]
+//                      [--no-redundancy] [--no-resub]
+//   rmsyn_cli baseline <input> [-o out.blif]
+//   rmsyn_cli map      <input> [--lib file.genlib]
+//   rmsyn_cli verify   <input-a> <input-b>
+//   rmsyn_cli power    <input>
+//   rmsyn_cli atpg     <input>
+//   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
+//   rmsyn_cli table2   [circuit ...]
+//   rmsyn_cli list
+//
+// <input> is a .blif file, a .pla file, or the name of a built-in Table-2
+// benchmark circuit (see `rmsyn_cli list`).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/script.hpp"
+#include "benchgen/spec.hpp"
+#include "core/synth.hpp"
+#include "equiv/equiv.hpp"
+#include "flow/flow.hpp"
+#include "mapping/mapper.hpp"
+#include "network/io.hpp"
+#include "network/stats.hpp"
+#include "network/transform.hpp"
+#include "power/power.hpp"
+#include "sop/pla.hpp"
+#include "testability/faults.hpp"
+
+namespace {
+
+using namespace rmsyn;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Network load_input(const std::string& spec) {
+  if (ends_with(spec, ".blif")) {
+    std::ifstream in(spec);
+    if (!in) throw std::runtime_error("cannot open " + spec);
+    return read_blif(in);
+  }
+  if (ends_with(spec, ".pla")) {
+    std::ifstream in(spec);
+    if (!in) throw std::runtime_error("cannot open " + spec);
+    const PlaFile pla = read_pla(in);
+    return network_from_covers(pla.outputs, pla.num_inputs);
+  }
+  if (has_benchmark(spec)) return make_benchmark(spec).spec;
+  throw std::runtime_error("unknown input '" + spec +
+                           "' (not a .blif/.pla file or benchmark name)");
+}
+
+void write_output(const Network& net, const std::string& path,
+                  const std::string& model) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_blif(out, decompose2(net), model);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("synth: missing input");
+  SynthOptions opt;
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--method" && i + 1 < args.size()) {
+      const std::string m = args[++i];
+      if (m == "cubes") opt.method = FactorMethod::Cubes;
+      else if (m == "ofdd") opt.method = FactorMethod::Ofdd;
+      else if (m == "best") opt.method = FactorMethod::Best;
+      else throw std::runtime_error("synth: bad method " + m);
+    } else if (args[i] == "--no-redundancy") {
+      opt.run_redundancy_removal = false;
+    } else if (args[i] == "--no-resub") {
+      opt.run_resub = false;
+    } else {
+      throw std::runtime_error("synth: unknown option " + args[i]);
+    }
+  }
+  const Network spec = load_input(args[0]);
+  SynthReport rep;
+  const Network result = synthesize(spec, opt, &rep);
+  std::printf("synthesized %s: %s in %.3fs (verified)\n", args[0].c_str(),
+              to_string(rep.stats).c_str(), rep.seconds);
+  std::printf("FPRM cubes per output:");
+  for (const auto c : rep.fprm_cube_counts) std::printf(" %zu", c);
+  std::printf("\nredundancy: %zu XOR->OR, %zu XOR->AND, %zu fanins removed "
+              "(%zu gates proven irreducible by pattern simulation)\n",
+              rep.redundancy.reduced_to_or, rep.redundancy.reduced_to_andnot,
+              rep.redundancy.fanins_removed, rep.redundancy.pattern_pruned);
+  write_output(result, out_path, "rmsyn_synth");
+  return 0;
+}
+
+int cmd_baseline(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("baseline: missing input");
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else throw std::runtime_error("baseline: unknown option " + args[i]);
+  }
+  const Network spec = load_input(args[0]);
+  BaselineReport rep;
+  const Network result = baseline_synthesize(spec, {}, &rep);
+  std::printf("baseline %s: %s in %.3fs (SOP lits %d -> %d, %d divisors "
+              "extracted)\n",
+              args[0].c_str(), to_string(rep.stats).c_str(), rep.seconds,
+              rep.sop_lits_initial, rep.sop_lits_final, rep.nodes_extracted);
+  write_output(result, out_path, "rmsyn_baseline");
+  return 0;
+}
+
+int cmd_map(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("map: missing input");
+  const CellLibrary* lib = &mcnc_library();
+  CellLibrary custom;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--lib" && i + 1 < args.size()) {
+      std::ifstream in(args[++i]);
+      if (!in) throw std::runtime_error("cannot open library");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      custom = parse_genlib(ss.str());
+      lib = &custom;
+    } else {
+      throw std::runtime_error("map: unknown option " + args[i]);
+    }
+  }
+  const Network net = load_input(args[0]);
+  const MapResult r = map_network(net, *lib);
+  std::printf("mapped %s: %zu cells, %zu literals, area %.1f\n",
+              args[0].c_str(), r.gate_count, r.literal_count, r.area);
+  // Cell histogram.
+  std::map<std::string, int> hist;
+  for (const auto& g : r.gates) ++hist[g.cell];
+  for (const auto& [name, count] : hist)
+    std::printf("  %-8s x%d\n", name.c_str(), count);
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() != 2) throw std::runtime_error("verify: need two inputs");
+  const Network a = load_input(args[0]);
+  const Network b = load_input(args[1]);
+  const auto r = check_equivalence(a, b);
+  std::printf("%s\n", r.equivalent ? "EQUIVALENT" : ("NOT EQUIVALENT: " + r.reason).c_str());
+  return r.equivalent ? 0 : 1;
+}
+
+int cmd_power(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("power: missing input");
+  const Network net = load_input(args[0]);
+  const PowerReport r = estimate_power(net);
+  std::printf("power %s: total %.4f (switching sum %.4f over %zu nets, %s "
+              "probabilities)\n",
+              args[0].c_str(), r.total, r.switching_sum, r.nets,
+              r.exact ? "exact BDD" : "simulated");
+  return 0;
+}
+
+int cmd_atpg(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("atpg: missing input");
+  const Network spec = load_input(args[0]);
+  SynthReport rep;
+  const Network net = synthesize(spec, {}, &rep);
+  const PatternSet tests = fprm_pattern_set(
+      net.pi_count(), rep.forms, /*include_sa1=*/true, std::size_t{1} << 16);
+  const auto sim = fault_simulate(net, tests);
+  std::printf("synthesized network: %zu faults, FPRM-derived test set of %zu "
+              "patterns detects %zu (%.1f%% coverage)\n",
+              sim.total, tests.num_patterns, sim.detected,
+              100.0 * sim.coverage());
+  for (const auto& f : sim.undetected)
+    std::printf("  undetected: %s\n", to_string(f, net).c_str());
+  return 0;
+}
+
+int cmd_dump(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("dump: missing input");
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else throw std::runtime_error("dump: unknown option " + args[i]);
+  }
+  const Network net = load_input(args[0]);
+  if (out_path.empty()) {
+    std::printf("%s", write_blif_string(decompose2(net), args[0]).c_str());
+  } else {
+    write_output(net, out_path, args[0]);
+  }
+  return 0;
+}
+
+int cmd_table2(const std::vector<std::string>& args) {
+  std::vector<std::string> names(args.begin(), args.end());
+  if (names.empty()) names = benchmark_names();
+  std::vector<FlowRow> rows;
+  rows.reserve(names.size());
+  for (const auto& n : names) rows.push_back(run_flow(n));
+  std::printf("%s", format_table2(rows).c_str());
+  return 0;
+}
+
+int cmd_list() {
+  for (const auto& name : benchmark_names()) {
+    const Benchmark b = make_benchmark(name);
+    std::printf("%-10s %4d/%-4d %s%s%s\n", b.name.c_str(), b.num_inputs,
+                b.num_outputs, b.arithmetic ? "[arith] " : "        ",
+                b.exact ? "" : "[synthetic] ", b.description.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s synth|baseline|map|verify|power|atpg|table2|list "
+                 "...\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "baseline") return cmd_baseline(args);
+    if (cmd == "map") return cmd_map(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "power") return cmd_power(args);
+    if (cmd == "atpg") return cmd_atpg(args);
+    if (cmd == "dump") return cmd_dump(args);
+    if (cmd == "table2") return cmd_table2(args);
+    if (cmd == "list") return cmd_list();
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
