@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example1_t481.dir/bench_example1_t481.cpp.o"
+  "CMakeFiles/bench_example1_t481.dir/bench_example1_t481.cpp.o.d"
+  "bench_example1_t481"
+  "bench_example1_t481.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example1_t481.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2_z4ml.dir/bench_example2_z4ml.cpp.o"
+  "CMakeFiles/bench_example2_z4ml.dir/bench_example2_z4ml.cpp.o.d"
+  "bench_example2_z4ml"
+  "bench_example2_z4ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2_z4ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

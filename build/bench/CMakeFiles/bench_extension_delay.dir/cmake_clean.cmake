@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_delay.dir/bench_extension_delay.cpp.o"
+  "CMakeFiles/bench_extension_delay.dir/bench_extension_delay.cpp.o.d"
+  "bench_extension_delay"
+  "bench_extension_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_esop.dir/bench_extension_esop.cpp.o"
+  "CMakeFiles/bench_extension_esop.dir/bench_extension_esop.cpp.o.d"
+  "bench_extension_esop"
+  "bench_extension_esop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_esop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

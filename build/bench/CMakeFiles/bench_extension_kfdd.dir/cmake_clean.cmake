@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_kfdd.dir/bench_extension_kfdd.cpp.o"
+  "CMakeFiles/bench_extension_kfdd.dir/bench_extension_kfdd.cpp.o.d"
+  "bench_extension_kfdd"
+  "bench_extension_kfdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_kfdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

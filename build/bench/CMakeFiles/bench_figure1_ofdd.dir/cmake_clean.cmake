@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_ofdd.dir/bench_figure1_ofdd.cpp.o"
+  "CMakeFiles/bench_figure1_ofdd.dir/bench_figure1_ofdd.cpp.o.d"
+  "bench_figure1_ofdd"
+  "bench_figure1_ofdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_ofdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parity_analysis.dir/bench_parity_analysis.cpp.o"
+  "CMakeFiles/bench_parity_analysis.dir/bench_parity_analysis.cpp.o.d"
+  "bench_parity_analysis"
+  "bench_parity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

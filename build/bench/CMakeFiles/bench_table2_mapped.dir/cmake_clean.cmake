@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mapped.dir/bench_table2_mapped.cpp.o"
+  "CMakeFiles/bench_table2_mapped.dir/bench_table2_mapped.cpp.o.d"
+  "bench_table2_mapped"
+  "bench_table2_mapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_premap.dir/bench_table2_premap.cpp.o"
+  "CMakeFiles/bench_table2_premap.dir/bench_table2_premap.cpp.o.d"
+  "bench_table2_premap"
+  "bench_table2_premap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_premap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adder_flow.dir/adder_flow.cpp.o"
+  "CMakeFiles/example_adder_flow.dir/adder_flow.cpp.o.d"
+  "example_adder_flow"
+  "example_adder_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adder_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

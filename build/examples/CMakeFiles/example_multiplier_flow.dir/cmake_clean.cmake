@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiplier_flow.dir/multiplier_flow.cpp.o"
+  "CMakeFiles/example_multiplier_flow.dir/multiplier_flow.cpp.o.d"
+  "example_multiplier_flow"
+  "example_multiplier_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiplier_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

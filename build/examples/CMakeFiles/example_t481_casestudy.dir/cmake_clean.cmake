@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_t481_casestudy.dir/t481_casestudy.cpp.o"
+  "CMakeFiles/example_t481_casestudy.dir/t481_casestudy.cpp.o.d"
+  "example_t481_casestudy"
+  "example_t481_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_t481_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

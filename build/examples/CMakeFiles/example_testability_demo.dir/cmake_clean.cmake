@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_testability_demo.dir/testability_demo.cpp.o"
+  "CMakeFiles/example_testability_demo.dir/testability_demo.cpp.o.d"
+  "example_testability_demo"
+  "example_testability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_testability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/divide.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/divide.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/divide.cpp.o.d"
+  "/root/repo/src/baseline/extract.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/extract.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/extract.cpp.o.d"
+  "/root/repo/src/baseline/factor.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/factor.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/factor.cpp.o.d"
+  "/root/repo/src/baseline/kernels.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/kernels.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/kernels.cpp.o.d"
+  "/root/repo/src/baseline/script.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/script.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/script.cpp.o.d"
+  "/root/repo/src/baseline/sop_network.cpp" "src/CMakeFiles/rmsyn_baseline.dir/baseline/sop_network.cpp.o" "gcc" "src/CMakeFiles/rmsyn_baseline.dir/baseline/sop_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmsyn_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_fdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

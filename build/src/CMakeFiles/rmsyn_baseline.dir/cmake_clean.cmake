@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_baseline.dir/baseline/divide.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/divide.cpp.o.d"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/extract.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/extract.cpp.o.d"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/factor.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/factor.cpp.o.d"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/kernels.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/kernels.cpp.o.d"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/script.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/script.cpp.o.d"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/sop_network.cpp.o"
+  "CMakeFiles/rmsyn_baseline.dir/baseline/sop_network.cpp.o.d"
+  "librmsyn_baseline.a"
+  "librmsyn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/rmsyn_bdd.dir/bdd/bdd.cpp.o.d"
+  "librmsyn_bdd.a"
+  "librmsyn_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/arith.cpp.o"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/arith.cpp.o.d"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/misc.cpp.o"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/misc.cpp.o.d"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/registry.cpp.o"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/registry.cpp.o.d"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/synthetic.cpp.o"
+  "CMakeFiles/rmsyn_benchgen.dir/benchgen/synthetic.cpp.o.d"
+  "librmsyn_benchgen.a"
+  "librmsyn_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

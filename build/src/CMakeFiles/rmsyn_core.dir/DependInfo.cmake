@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/factor_cubes.cpp" "src/CMakeFiles/rmsyn_core.dir/core/factor_cubes.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/factor_cubes.cpp.o.d"
+  "/root/repo/src/core/factor_ofdd.cpp" "src/CMakeFiles/rmsyn_core.dir/core/factor_ofdd.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/factor_ofdd.cpp.o.d"
+  "/root/repo/src/core/parity_analysis.cpp" "src/CMakeFiles/rmsyn_core.dir/core/parity_analysis.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/parity_analysis.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "src/CMakeFiles/rmsyn_core.dir/core/redundancy.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/redundancy.cpp.o.d"
+  "/root/repo/src/core/resub.cpp" "src/CMakeFiles/rmsyn_core.dir/core/resub.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/resub.cpp.o.d"
+  "/root/repo/src/core/synth.cpp" "src/CMakeFiles/rmsyn_core.dir/core/synth.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/synth.cpp.o.d"
+  "/root/repo/src/core/xor_expr.cpp" "src/CMakeFiles/rmsyn_core.dir/core/xor_expr.cpp.o" "gcc" "src/CMakeFiles/rmsyn_core.dir/core/xor_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmsyn_fdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

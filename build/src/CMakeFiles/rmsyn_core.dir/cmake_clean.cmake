@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_core.dir/core/factor_cubes.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/factor_cubes.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/factor_ofdd.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/factor_ofdd.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/parity_analysis.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/parity_analysis.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/redundancy.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/redundancy.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/resub.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/resub.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/synth.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/synth.cpp.o.d"
+  "CMakeFiles/rmsyn_core.dir/core/xor_expr.cpp.o"
+  "CMakeFiles/rmsyn_core.dir/core/xor_expr.cpp.o.d"
+  "librmsyn_core.a"
+  "librmsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

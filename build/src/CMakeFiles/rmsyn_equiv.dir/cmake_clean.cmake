@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_equiv.dir/equiv/equiv.cpp.o"
+  "CMakeFiles/rmsyn_equiv.dir/equiv/equiv.cpp.o.d"
+  "librmsyn_equiv.a"
+  "librmsyn_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdd/esop.cpp" "src/CMakeFiles/rmsyn_fdd.dir/fdd/esop.cpp.o" "gcc" "src/CMakeFiles/rmsyn_fdd.dir/fdd/esop.cpp.o.d"
+  "/root/repo/src/fdd/fprm.cpp" "src/CMakeFiles/rmsyn_fdd.dir/fdd/fprm.cpp.o" "gcc" "src/CMakeFiles/rmsyn_fdd.dir/fdd/fprm.cpp.o.d"
+  "/root/repo/src/fdd/kfdd.cpp" "src/CMakeFiles/rmsyn_fdd.dir/fdd/kfdd.cpp.o" "gcc" "src/CMakeFiles/rmsyn_fdd.dir/fdd/kfdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmsyn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_fdd.dir/fdd/esop.cpp.o"
+  "CMakeFiles/rmsyn_fdd.dir/fdd/esop.cpp.o.d"
+  "CMakeFiles/rmsyn_fdd.dir/fdd/fprm.cpp.o"
+  "CMakeFiles/rmsyn_fdd.dir/fdd/fprm.cpp.o.d"
+  "CMakeFiles/rmsyn_fdd.dir/fdd/kfdd.cpp.o"
+  "CMakeFiles/rmsyn_fdd.dir/fdd/kfdd.cpp.o.d"
+  "librmsyn_fdd.a"
+  "librmsyn_fdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_fdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_flow.dir/flow/flow.cpp.o"
+  "CMakeFiles/rmsyn_flow.dir/flow/flow.cpp.o.d"
+  "librmsyn_flow.a"
+  "librmsyn_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/genlib.cpp" "src/CMakeFiles/rmsyn_mapping.dir/mapping/genlib.cpp.o" "gcc" "src/CMakeFiles/rmsyn_mapping.dir/mapping/genlib.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/CMakeFiles/rmsyn_mapping.dir/mapping/mapper.cpp.o" "gcc" "src/CMakeFiles/rmsyn_mapping.dir/mapping/mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmsyn_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

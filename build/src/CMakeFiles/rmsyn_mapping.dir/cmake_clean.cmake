@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_mapping.dir/mapping/genlib.cpp.o"
+  "CMakeFiles/rmsyn_mapping.dir/mapping/genlib.cpp.o.d"
+  "CMakeFiles/rmsyn_mapping.dir/mapping/mapper.cpp.o"
+  "CMakeFiles/rmsyn_mapping.dir/mapping/mapper.cpp.o.d"
+  "librmsyn_mapping.a"
+  "librmsyn_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

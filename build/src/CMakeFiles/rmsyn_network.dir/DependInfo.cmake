@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/io.cpp" "src/CMakeFiles/rmsyn_network.dir/network/io.cpp.o" "gcc" "src/CMakeFiles/rmsyn_network.dir/network/io.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/CMakeFiles/rmsyn_network.dir/network/network.cpp.o" "gcc" "src/CMakeFiles/rmsyn_network.dir/network/network.cpp.o.d"
+  "/root/repo/src/network/simulate.cpp" "src/CMakeFiles/rmsyn_network.dir/network/simulate.cpp.o" "gcc" "src/CMakeFiles/rmsyn_network.dir/network/simulate.cpp.o.d"
+  "/root/repo/src/network/stats.cpp" "src/CMakeFiles/rmsyn_network.dir/network/stats.cpp.o" "gcc" "src/CMakeFiles/rmsyn_network.dir/network/stats.cpp.o.d"
+  "/root/repo/src/network/transform.cpp" "src/CMakeFiles/rmsyn_network.dir/network/transform.cpp.o" "gcc" "src/CMakeFiles/rmsyn_network.dir/network/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_network.dir/network/io.cpp.o"
+  "CMakeFiles/rmsyn_network.dir/network/io.cpp.o.d"
+  "CMakeFiles/rmsyn_network.dir/network/network.cpp.o"
+  "CMakeFiles/rmsyn_network.dir/network/network.cpp.o.d"
+  "CMakeFiles/rmsyn_network.dir/network/simulate.cpp.o"
+  "CMakeFiles/rmsyn_network.dir/network/simulate.cpp.o.d"
+  "CMakeFiles/rmsyn_network.dir/network/stats.cpp.o"
+  "CMakeFiles/rmsyn_network.dir/network/stats.cpp.o.d"
+  "CMakeFiles/rmsyn_network.dir/network/transform.cpp.o"
+  "CMakeFiles/rmsyn_network.dir/network/transform.cpp.o.d"
+  "librmsyn_network.a"
+  "librmsyn_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

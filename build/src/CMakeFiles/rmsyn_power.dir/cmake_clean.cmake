@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_power.dir/power/power.cpp.o"
+  "CMakeFiles/rmsyn_power.dir/power/power.cpp.o.d"
+  "librmsyn_power.a"
+  "librmsyn_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

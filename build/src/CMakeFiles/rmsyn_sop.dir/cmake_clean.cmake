@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_sop.dir/sop/cover.cpp.o"
+  "CMakeFiles/rmsyn_sop.dir/sop/cover.cpp.o.d"
+  "CMakeFiles/rmsyn_sop.dir/sop/cube.cpp.o"
+  "CMakeFiles/rmsyn_sop.dir/sop/cube.cpp.o.d"
+  "CMakeFiles/rmsyn_sop.dir/sop/minimize.cpp.o"
+  "CMakeFiles/rmsyn_sop.dir/sop/minimize.cpp.o.d"
+  "CMakeFiles/rmsyn_sop.dir/sop/pla.cpp.o"
+  "CMakeFiles/rmsyn_sop.dir/sop/pla.cpp.o.d"
+  "librmsyn_sop.a"
+  "librmsyn_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmsyn_sop.a"
+)

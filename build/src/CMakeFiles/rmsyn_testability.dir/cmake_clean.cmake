@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_testability.dir/testability/faults.cpp.o"
+  "CMakeFiles/rmsyn_testability.dir/testability/faults.cpp.o.d"
+  "librmsyn_testability.a"
+  "librmsyn_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_tt.dir/tt/truth_table.cpp.o"
+  "CMakeFiles/rmsyn_tt.dir/tt/truth_table.cpp.o.d"
+  "librmsyn_tt.a"
+  "librmsyn_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/rmsyn_util.dir/util/bitvec.cpp.o.d"
+  "librmsyn_util.a"
+  "librmsyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_divide_kernels.dir/test_divide_kernels.cpp.o"
+  "CMakeFiles/test_divide_kernels.dir/test_divide_kernels.cpp.o.d"
+  "test_divide_kernels"
+  "test_divide_kernels.pdb"
+  "test_divide_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_divide_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esop.dir/test_esop.cpp.o"
+  "CMakeFiles/test_esop.dir/test_esop.cpp.o.d"
+  "test_esop"
+  "test_esop.pdb"
+  "test_esop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

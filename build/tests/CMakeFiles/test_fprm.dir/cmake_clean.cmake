@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fprm.dir/test_fprm.cpp.o"
+  "CMakeFiles/test_fprm.dir/test_fprm.cpp.o.d"
+  "test_fprm"
+  "test_fprm.pdb"
+  "test_fprm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fprm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kfdd.dir/test_kfdd.cpp.o"
+  "CMakeFiles/test_kfdd.dir/test_kfdd.cpp.o.d"
+  "test_kfdd"
+  "test_kfdd.pdb"
+  "test_kfdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kfdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kfdd.
+# This may be replaced when dependencies are built.

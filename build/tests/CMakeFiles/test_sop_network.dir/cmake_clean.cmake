@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sop_network.dir/test_sop_network.cpp.o"
+  "CMakeFiles/test_sop_network.dir/test_sop_network.cpp.o.d"
+  "test_sop_network"
+  "test_sop_network.pdb"
+  "test_sop_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sop_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsyn_cli.dir/rmsyn_cli.cpp.o"
+  "CMakeFiles/rmsyn_cli.dir/rmsyn_cli.cpp.o.d"
+  "rmsyn_cli"
+  "rmsyn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsyn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/rmsyn_cli" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth "/root/repo/build/tools/rmsyn_cli" "synth" "z4ml")
+set_tests_properties(cli_synth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_methods "/root/repo/build/tools/rmsyn_cli" "synth" "rd53" "--method" "cubes")
+set_tests_properties(cli_synth_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline "/root/repo/build/tools/rmsyn_cli" "baseline" "majority")
+set_tests_properties(cli_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map "/root/repo/build/tools/rmsyn_cli" "map" "z4ml")
+set_tests_properties(cli_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build/tools/rmsyn_cli" "verify" "rd53" "rd53")
+set_tests_properties(cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_power "/root/repo/build/tools/rmsyn_cli" "power" "majority")
+set_tests_properties(cli_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_atpg "/root/repo/build/tools/rmsyn_cli" "atpg" "f2")
+set_tests_properties(cli_atpg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_table2_row "/root/repo/build/tools/rmsyn_cli" "table2" "majority")
+set_tests_properties(cli_table2_row PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/rmsyn_cli" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_blif_file "/root/repo/build/tools/rmsyn_cli" "synth" "/root/repo/data/fulladder.blif")
+set_tests_properties(cli_synth_blif_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_pla_file "/root/repo/build/tools/rmsyn_cli" "synth" "/root/repo/data/rd53.pla")
+set_tests_properties(cli_synth_pla_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify_pla_vs_builtin "/root/repo/build/tools/rmsyn_cli" "verify" "/root/repo/data/rd53.pla" "rd53")
+set_tests_properties(cli_verify_pla_vs_builtin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dump "/root/repo/build/tools/rmsyn_cli" "dump" "z4ml")
+set_tests_properties(cli_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
