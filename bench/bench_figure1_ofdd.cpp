@@ -29,8 +29,8 @@ int main() {
   const FprmForm form = extract_fprm(mgr, ofdd, n);
 
   std::printf("Nonterminal OFDD nodes: %zu (Figure 1 draws 3 — one per\n"
-              "  variable; without complement edges the x2⊕x3 substructure\n"
-              "  takes two x3 nodes, hence 4 in this canonical form)\n",
+              "  variable; complement edges let the x2⊕x3 substructure share\n"
+              "  one x3 node between both phases, matching the figure)\n",
               mgr.size(ofdd.root));
   std::printf("FPRM cubes: %zu (paper lists 6 cubes)\n", form.cube_count());
   for (const auto& cube : form.cubes) {

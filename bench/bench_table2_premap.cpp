@@ -27,11 +27,13 @@ int main(int argc, char** argv) {
 
   double sum_base_l = 0, sum_ours_l = 0, sum_base_t = 0, sum_ours_t = 0;
   double arith_base_l = 0, arith_ours_l = 0;
+  std::vector<FlowRow> rows;
   FlowOptions opt;
   opt.run_mapping = false;
   opt.run_power = false;
   for (const auto& name : names) {
     const FlowRow r = run_flow(name, opt);
+    rows.push_back(r);
     char io[32];
     std::snprintf(io, sizeof io, "%d/%d", r.num_inputs, r.num_outputs);
     std::printf("%-10s %-8s | %9zu %9.2f | %9zu %9.2f | %8.2f %8.2f %s\n",
@@ -63,5 +65,6 @@ int main(int argc, char** argv) {
   std::printf("Run-time ratio ours/baseline: %.3f (paper: 307/4514 = 0.068; "
               "their baseline was dominated by t481/xor10/sym10 blowups)\n",
               sum_base_t > 0 ? sum_ours_t / sum_base_t : 1.0);
+  std::printf("%s", format_dd_kernel_summary(rows).c_str());
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/factor_ofdd.hpp"
 
+#include <algorithm>
 #include <functional>
+#include <numeric>
 
 namespace rmsyn {
 
@@ -8,10 +10,20 @@ NodeId factor_ofdd(Network& net, const std::vector<NodeId>& pi_nodes,
                    BddManager& mgr, const Ofdd& ofdd) {
   LiteralContext ctx(net, pi_nodes, ofdd.support, ofdd.polarity);
 
-  // Memo key: (spectrum node, depth). Spectrum refs are < 2^23.
+  // The diagram descends in the manager's level order, which need not be
+  // the (index-ascending) order of ofdd.support; walk the support
+  // positions level by level, holding the order fixed meanwhile.
+  BddManager::ReorderHold hold(mgr);
+  std::vector<std::size_t> pos(ofdd.support.size());
+  std::iota(pos.begin(), pos.end(), std::size_t{0});
+  std::sort(pos.begin(), pos.end(), [&](std::size_t a, std::size_t b) {
+    return mgr.level_of(ofdd.support[a]) < mgr.level_of(ofdd.support[b]);
+  });
+
+  // Memo key: (spectrum node, depth).
   std::unordered_map<uint64_t, NodeId> memo;
   const auto key_of = [](BddRef r, std::size_t depth) {
-    return (static_cast<uint64_t>(depth) << 24) | r;
+    return (static_cast<uint64_t>(depth) << 32) | r;
   };
 
   const std::function<NodeId(BddRef, std::size_t)> build =
@@ -21,8 +33,9 @@ NodeId factor_ofdd(Network& net, const std::vector<NodeId>& pi_nodes,
     const uint64_t key = key_of(r, depth);
     if (const auto it = memo.find(key); it != memo.end()) return it->second;
 
-    const int v = ofdd.support[depth];
-    const NodeId lit = ctx.literal(depth);
+    const std::size_t p = pos[depth];
+    const int v = ofdd.support[p];
+    const NodeId lit = ctx.literal(p);
     NodeId result;
     if (!mgr.is_terminal(r) && mgr.var_of(r) == v) {
       const BddRef lo = mgr.lo_of(r);
@@ -61,7 +74,8 @@ NodeId factor_ofdd(Network& net, const std::vector<NodeId>& pi_nodes,
 SharedOfddBuilder::SharedOfddBuilder(Network& net,
                                      const std::vector<NodeId>& pi_nodes,
                                      BddManager& mgr, const BitVec& polarity)
-    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr), polarity_(polarity),
+    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr), hold_(mgr),
+      polarity_(polarity),
       lit_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0),
       nlit_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0) {}
 
@@ -78,21 +92,23 @@ NodeId SharedOfddBuilder::build(BddRef spectrum) {
   return build_rec(spectrum, 0);
 }
 
-NodeId SharedOfddBuilder::build_rec(BddRef r, int var) {
+NodeId SharedOfddBuilder::build_rec(BddRef r, int level) {
   const int n = mgr_->nvars();
-  if (var == n) return r == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
+  if (level == n)
+    return r == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
   // Terminal-0 short-circuit: no cubes below.
   if (r == BddManager::kFalse) return Network::kConst0;
-  const uint64_t key = (static_cast<uint64_t>(var) << 24) | r;
+  const uint64_t key = (static_cast<uint64_t>(level) << 32) | r;
   if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
 
+  const int var = mgr_->var_at_level(level);
   const NodeId lit = literal(var);
   NodeId result;
   if (!mgr_->is_terminal(r) && mgr_->var_of(r) == var) {
     const BddRef lo = mgr_->lo_of(r);
     const BddRef hi = mgr_->hi_of(r);
-    const NodeId f_lo = build_rec(lo, var + 1);
-    const NodeId f_hi = build_rec(hi, var + 1);
+    const NodeId f_lo = build_rec(lo, level + 1);
+    const NodeId f_hi = build_rec(hi, level + 1);
     if (f_hi == Network::kConst0) {
       result = f_lo;
     } else if (f_lo == Network::kConst0) {
@@ -103,7 +119,7 @@ NodeId SharedOfddBuilder::build_rec(BddRef r, int var) {
     }
   } else {
     // Skipped presence bit: cube pairs {C, C·lit} — multiply by lit̄.
-    const NodeId g = build_rec(r, var + 1);
+    const NodeId g = build_rec(r, level + 1);
     if (g == Network::kConst0) {
       result = Network::kConst0;
     } else {

@@ -51,12 +51,13 @@ public:
   NodeId build(BddRef spectrum);
 
 private:
-  NodeId build_rec(BddRef r, int var);
+  NodeId build_rec(BddRef r, int level);
   NodeId literal(int var);
 
   Network* net_;
   const std::vector<NodeId>* pi_nodes_;
   BddManager* mgr_;
+  BddManager::ReorderHold hold_; ///< level order is captured by the memo
   BitVec polarity_;
   std::vector<NodeId> lit_cache_;  ///< per var; kConst0 = not yet built
   std::vector<NodeId> nlit_cache_;

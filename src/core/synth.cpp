@@ -61,6 +61,9 @@ Candidate build_cubes_candidate(const Network& spec, BddManager& mgr,
     }
     cand.net.add_po(root, spec.po_name(j));
     cand.forms.push_back(form);
+    // This output's polarity-search spectra are dead; the spec functions
+    // stay pinned by output_bdds.
+    mgr.gc();
   }
   return cand;
 }
@@ -152,6 +155,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
         best.valid = true;
       }
     }
+    rep.bdd.accumulate(mgr.stats());
   }
 
   Candidate& chosen = best.cand;

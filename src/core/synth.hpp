@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "core/redundancy.hpp"
 #include "fdd/fprm.hpp"
 #include "network/network.hpp"
@@ -53,6 +54,9 @@ struct SynthReport {
   RedundancyStats redundancy;
   std::size_t outputs_via_cubes = 0;
   std::size_t outputs_via_ofdd = 0;
+  /// DD-kernel counters accumulated over every manager the flow created
+  /// (one per candidate PI order).
+  BddStats bdd;
 };
 
 /// Runs the full flow. PI/PO order of the result matches the spec.

@@ -40,6 +40,9 @@ std::vector<BddRef> node_bdds(BddManager& mgr, const Network& net) {
         break;
       }
     }
+    // Pin each node function: later gates (and any auto-reordering the
+    // caller enabled) must not reclaim it from under the vector.
+    mgr.ref(f[n]);
   }
   return f;
 }
@@ -48,7 +51,11 @@ std::vector<BddRef> output_bdds(BddManager& mgr, const Network& net) {
   const auto all = node_bdds(mgr, net);
   std::vector<BddRef> out;
   out.reserve(net.po_count());
-  for (std::size_t i = 0; i < net.po_count(); ++i) out.push_back(all[net.po(i)]);
+  for (std::size_t i = 0; i < net.po_count(); ++i)
+    out.push_back(mgr.ref(all[net.po(i)]));
+  // Keep only the outputs pinned; internal node functions may be collected
+  // once nothing downstream reaches them.
+  for (const BddRef g : all) mgr.deref(g);
   return out;
 }
 
@@ -73,6 +80,9 @@ EquivResult check_equivalence(const Network& a, const Network& b,
   }
 
   BddManager mgr(static_cast<int>(a.pi_count()));
+  // Wide interfaces are where the identity order blows up; let the kernel
+  // sift. node_bdds pins every intermediate, so reordering is safe here.
+  if (a.pi_count() > 16) mgr.set_auto_reorder(true);
   const auto fa = output_bdds(mgr, a);
   const auto fb = output_bdds(mgr, b);
   for (std::size_t i = 0; i < fa.size(); ++i) {

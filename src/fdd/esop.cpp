@@ -348,6 +348,7 @@ Network esop_synthesize(const Network& spec, const EsopMinimizeOptions& opt,
                         std::vector<std::size_t>* cube_counts) {
   BddManager mgr(static_cast<int>(spec.pi_count()));
   const std::vector<BddRef> outs = output_bdds(mgr, spec);
+  for (const BddRef f : outs) mgr.ref(f);
 
   Network net;
   std::vector<NodeId> pis;
@@ -378,13 +379,17 @@ Network esop_synthesize(const Network& spec, const EsopMinimizeOptions& opt,
                                                  Expansion::PositiveDavio));
       net.add_po(builder.build(f), spec.po_name(j));
       if (cube_counts != nullptr) cube_counts->push_back(kCubeCap);
+      mgr.gc();
       continue;
     }
     Esop esop = esop_from_fprm(form);
     esop_minimize(esop, opt);
     if (cube_counts != nullptr) cube_counts->push_back(esop.cubes.size());
     net.add_po(factor_esop(net, pis, esop), spec.po_name(j));
+    // The polarity search and spectrum for this output are dead now.
+    mgr.gc();
   }
+  for (const BddRef f : outs) mgr.deref(f);
   return strash(net);
 }
 

@@ -34,26 +34,38 @@ bool FprmForm::eval(const BitVec& assignment) const {
 
 namespace {
 
-// Memo key: (node ref, depth). Refs are < 2^23 (enforced by the manager) and
-// depths < 2^9 in practice; pack exactly.
+// Memo key: (node ref, depth). Refs fit 32 bits (29 used); pack exactly.
 uint64_t memo_key(BddRef f, std::size_t depth) {
-  return (static_cast<uint64_t>(depth) << 24) | f;
+  return (static_cast<uint64_t>(depth) << 32) | f;
+}
+
+// The per-variable Reed-Muller transform commutes, so the spectrum can be
+// built in any variable order; descending the diagram requires the current
+// level order of the manager.
+std::vector<int> by_level(const BddManager& mgr, const std::vector<int>& vars) {
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](int a, int b) { return mgr.level_of(a) < mgr.level_of(b); });
+  return sorted;
 }
 
 } // namespace
 
 BddRef rm_spectrum(BddManager& mgr, BddRef f, const std::vector<int>& vars,
                    const BitVec& polarity) {
+  // The walk below captures the level order, so it must not shift mid-build.
+  BddManager::ReorderHold hold(mgr);
+  const std::vector<int> ordered = by_level(mgr, vars);
   std::unordered_map<uint64_t, BddRef> memo;
   const std::function<BddRef(BddRef, std::size_t)> rec =
       [&](BddRef g, std::size_t depth) -> BddRef {
-    if (depth == vars.size()) {
+    if (depth == ordered.size()) {
       assert(mgr.is_terminal(g));
       return g;
     }
     const uint64_t key = memo_key(g, depth);
     if (const auto it = memo.find(key); it != memo.end()) return it->second;
-    const int v = vars[depth];
+    const int v = ordered[depth];
     const BddRef g0 = mgr.cofactor(g, v, false);
     const BddRef g1 = mgr.cofactor(g, v, true);
     const BddRef gd = mgr.bdd_xor(g0, g1); // Boolean difference
@@ -69,16 +81,18 @@ BddRef rm_spectrum(BddManager& mgr, BddRef f, const std::vector<int>& vars,
 
 BddRef rm_inverse(BddManager& mgr, BddRef spectrum, const std::vector<int>& vars,
                   const BitVec& polarity) {
+  BddManager::ReorderHold hold(mgr);
+  const std::vector<int> ordered = by_level(mgr, vars);
   std::unordered_map<uint64_t, BddRef> memo;
   const std::function<BddRef(BddRef, std::size_t)> rec =
       [&](BddRef r, std::size_t depth) -> BddRef {
-    if (depth == vars.size()) {
+    if (depth == ordered.size()) {
       assert(mgr.is_terminal(r));
       return r;
     }
     const uint64_t key = memo_key(r, depth);
     if (const auto it = memo.find(key); it != memo.end()) return it->second;
-    const int v = vars[depth];
+    const int v = ordered[depth];
     BddRef r_lo = r, r_hi = r;
     if (!mgr.is_terminal(r) && mgr.var_of(r) == v) {
       r_lo = mgr.lo_of(r);
@@ -140,9 +154,16 @@ BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
   best.set_all(); // default: all-positive (PPRM)
   if (vars.empty()) return best;
 
+  // The search evaluates many candidate spectra in this one manager; pin
+  // the input and collect the dead candidates as garbage accumulates.
+  mgr.ref(f);
+  const std::size_t gc_watermark = mgr.node_count() * 2 + 2048;
   const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
     const BddRef spec = rm_spectrum(mgr, f, vars, pol);
-    return {fprm_cube_count(mgr, spec, vars), mgr.size(spec)};
+    const std::pair<double, std::size_t> c{fprm_cube_count(mgr, spec, vars),
+                                           mgr.size(spec)};
+    if (mgr.node_count() > gc_watermark) mgr.gc();
+    return c;
   };
 
   auto best_cost = cost(best);
@@ -159,6 +180,7 @@ BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
         best = pol;
       }
     }
+    mgr.deref(f);
     return best;
   }
 
@@ -177,6 +199,7 @@ BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
     }
     if (!improved) break;
   }
+  mgr.deref(f);
   return best;
 }
 
@@ -203,6 +226,9 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
     out_vars.push_back(std::move(ov));
   }
 
+  // As in best_polarity: one long-lived manager, pinned inputs, periodic GC.
+  for (const BddRef f : fs) mgr.ref(f);
+  const std::size_t gc_watermark = mgr.node_count() * 2 + 2048;
   const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
     double cubes = 0;
     std::size_t nodes = 0;
@@ -212,7 +238,12 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
       cubes += fprm_cube_count(mgr, spec, out_vars[j]);
       nodes += mgr.size(spec);
     }
+    if (mgr.node_count() > gc_watermark) mgr.gc();
     return {cubes, nodes};
+  };
+  const auto finish = [&](const BitVec& b) {
+    for (const BddRef f : fs) mgr.deref(f);
+    return b;
   };
 
   auto best_cost = cost(best);
@@ -228,7 +259,7 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
         best = pol;
       }
     }
-    return best;
+    return finish(best);
   }
   for (int pass = 0; pass < opt.greedy_passes; ++pass) {
     bool improved = false;
@@ -244,7 +275,7 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
     }
     if (!improved) break;
   }
-  return best;
+  return finish(best);
 }
 
 std::vector<bool> prime_flags(const FprmForm& form) {

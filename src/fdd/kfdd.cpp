@@ -8,24 +8,25 @@ namespace rmsyn {
 
 KfddBuilder::KfddBuilder(Network& net, const std::vector<NodeId>& pi_nodes,
                          BddManager& mgr, std::vector<Expansion> expansions)
-    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr),
+    : net_(&net), pi_nodes_(&pi_nodes), mgr_(&mgr), hold_(mgr),
       expansions_(std::move(expansions)),
       not_cache_(static_cast<std::size_t>(mgr.nvars()), Network::kConst0) {}
 
 NodeId KfddBuilder::build(BddRef f) { return build_rec(f, 0); }
 
-NodeId KfddBuilder::build_rec(BddRef f, int var) {
+NodeId KfddBuilder::build_rec(BddRef f, int level) {
   if (f == BddManager::kFalse) return Network::kConst0;
   if (f == BddManager::kTrue) return Network::kConst1;
   // Skip variables the function no longer depends on (the BDD is ordered,
-  // so anything above the top var is irrelevant).
-  while (var < mgr_->nvars() && mgr_->var_of(f) > var) ++var;
+  // so anything above the top level is irrelevant).
+  while (level < mgr_->nvars() && mgr_->level_of_ref(f) > level) ++level;
   if (mgr_->is_terminal(f))
     return f == BddManager::kTrue ? Network::kConst1 : Network::kConst0;
 
-  const uint64_t key = (static_cast<uint64_t>(var) << 24) | f;
+  const uint64_t key = (static_cast<uint64_t>(level) << 32) | f;
   if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
 
+  const int var = mgr_->var_at_level(level);
   const BddRef f0 = mgr_->lo_of(f);
   const BddRef f1 = mgr_->hi_of(f);
   const NodeId x = (*pi_nodes_)[static_cast<std::size_t>(var)];
@@ -38,8 +39,8 @@ NodeId KfddBuilder::build_rec(BddRef f, int var) {
   NodeId result = Network::kConst0;
   switch (expansions_[static_cast<std::size_t>(var)]) {
     case Expansion::Shannon: {
-      const NodeId lo = build_rec(f0, var + 1);
-      const NodeId hi = build_rec(f1, var + 1);
+      const NodeId lo = build_rec(f0, level + 1);
+      const NodeId hi = build_rec(f1, level + 1);
       if (lo == hi) { result = lo; break; }
       if (lo == Network::kConst0) {
         result = hi == Network::kConst1 ? x : net_->add_and(x, hi);
@@ -60,8 +61,8 @@ NodeId KfddBuilder::build_rec(BddRef f, int var) {
           expansions_[static_cast<std::size_t>(var)] == Expansion::PositiveDavio;
       const BddRef base_f = positive ? f0 : f1;
       const BddRef diff = mgr_->bdd_xor(f0, f1);
-      const NodeId base = build_rec(base_f, var + 1);
-      const NodeId d = build_rec(diff, var + 1);
+      const NodeId base = build_rec(base_f, level + 1);
+      const NodeId d = build_rec(diff, level + 1);
       const NodeId lit = positive ? x : nx();
       if (d == Network::kConst0) { result = base; break; }
       const NodeId prod = d == Network::kConst1 ? lit : net_->add_and(lit, d);
@@ -92,8 +93,17 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
                                                const std::vector<BddRef>& outputs,
                                                const KfddSearchOptions& opt) {
   const auto n = static_cast<std::size_t>(mgr.nvars());
+  // Candidate builds share this one manager; pin the outputs and collect
+  // the Davio-difference garbage whenever it piles up.
+  for (const BddRef f : outputs) mgr.ref(f);
+  const std::size_t gc_watermark = mgr.node_count() * 2 + 2048;
+  const auto cost_of = [&](const std::vector<Expansion>& exp) {
+    const std::size_t c = kfdd_cost(mgr, outputs, n, exp);
+    if (mgr.node_count() > gc_watermark) mgr.gc();
+    return c;
+  };
   std::vector<Expansion> best(n, Expansion::PositiveDavio);
-  std::size_t best_cost = kfdd_cost(mgr, outputs, n, best);
+  std::size_t best_cost = cost_of(best);
   for (int pass = 0; pass < opt.greedy_passes; ++pass) {
     bool improved = false;
     for (std::size_t v = 0; v < n; ++v) {
@@ -102,7 +112,7 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
         if (e == best[v]) continue;
         std::vector<Expansion> cand = best;
         cand[v] = e;
-        const std::size_t cost = kfdd_cost(mgr, outputs, n, cand);
+        const std::size_t cost = cost_of(cand);
         if (cost < best_cost) {
           best_cost = cost;
           best = std::move(cand);
@@ -112,6 +122,7 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
     }
     if (!improved) break;
   }
+  for (const BddRef f : outputs) mgr.deref(f);
   return best;
 }
 

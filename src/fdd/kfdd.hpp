@@ -25,7 +25,9 @@ namespace rmsyn {
 enum class Expansion : uint8_t { Shannon, PositiveDavio, NegativeDavio };
 
 /// Builds multi-output networks under a fixed per-variable expansion
-/// choice. Variables are expanded in index order.
+/// choice. Variables are expanded in the manager's level order, which the
+/// builder holds fixed (no auto-reordering) for its lifetime; do not gc()
+/// the manager while a builder with a warm memo is alive.
 class KfddBuilder {
 public:
   KfddBuilder(Network& net, const std::vector<NodeId>& pi_nodes,
@@ -35,14 +37,15 @@ public:
   NodeId build(BddRef f);
 
 private:
-  NodeId build_rec(BddRef f, int var);
+  NodeId build_rec(BddRef f, int level);
 
   Network* net_;
   const std::vector<NodeId>* pi_nodes_;
   BddManager* mgr_;
+  BddManager::ReorderHold hold_;
   std::vector<Expansion> expansions_;
   std::vector<NodeId> not_cache_;
-  std::unordered_map<uint64_t, NodeId> memo_; ///< (f, var) -> node
+  std::unordered_map<uint64_t, NodeId> memo_; ///< (f, level) -> node
 };
 
 struct KfddSearchOptions {

@@ -20,6 +20,7 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
   const Network ours = synthesize(bench.spec, opt.synth, &ours_rep);
   row.ours_lits = ours_rep.stats.lits;
   row.ours_seconds = ours_rep.seconds;
+  row.bdd = ours_rep.bdd;
 
   BaselineReport base_rep;
   const Network base = baseline_synthesize(bench.spec, opt.baseline, &base_rep);
@@ -118,6 +119,29 @@ std::string format_table2(const std::vector<FlowRow>& rows) {
   emit_total("Tot.arith", arith_total, arith_impr_l, arith_impr_p, n_arith);
   emit_total("Tot.all", all_total, all_impr_l, all_impr_p, rows.size());
   return out.str();
+}
+
+std::string format_dd_kernel_summary(const std::vector<FlowRow>& rows) {
+  BddStats s;
+  for (const auto& r : rows) s.accumulate(r.bdd);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "DD kernel: %llu cache lookups (hit rate %.1f%%), "
+                "%llu unique-table probes (%.1f%% hits), peak live nodes %zu, "
+                "%llu gc runs freeing %llu nodes, %llu reorders (%llu swaps)\n",
+                static_cast<unsigned long long>(s.cache_lookups),
+                100.0 * s.cache_hit_rate(),
+                static_cast<unsigned long long>(s.unique_lookups),
+                s.unique_lookups == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(s.unique_hits) /
+                          static_cast<double>(s.unique_lookups),
+                s.peak_live_nodes,
+                static_cast<unsigned long long>(s.gc_runs),
+                static_cast<unsigned long long>(s.nodes_freed),
+                static_cast<unsigned long long>(s.reorder_runs),
+                static_cast<unsigned long long>(s.reorder_swaps));
+  return std::string(buf);
 }
 
 } // namespace rmsyn

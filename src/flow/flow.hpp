@@ -39,6 +39,10 @@ struct FlowRow {
   double base_power = 0.0;
   double ours_power = 0.0;
 
+  // DD-kernel observability for the FPRM flow (accumulated over every
+  // manager synthesize() created for this circuit).
+  BddStats bdd;
+
   double improve_lits_pct() const {
     return base_map_lits == 0
                ? 0.0
@@ -67,5 +71,10 @@ FlowRow run_flow(const std::string& circuit, const FlowOptions& opt = {});
 /// Total-all summary rows (sums for counts/time, averages for the
 /// improvement columns, as in the paper).
 std::string format_table2(const std::vector<FlowRow>& rows);
+
+/// One-line DD-kernel summary over a set of rows: computed-table hit rate,
+/// peak live nodes, GC and reorder activity. Appended by the bench
+/// harnesses below their tables.
+std::string format_dd_kernel_summary(const std::vector<FlowRow>& rows);
 
 } // namespace rmsyn

@@ -18,6 +18,9 @@ PowerReport estimate_power(const Network& net, const PowerOptions& opt) {
   if (opt.exact) {
     try {
       BddManager mgr(static_cast<int>(net.pi_count()));
+      // Sifting keeps wide nets under the node limit; node_bdds pins every
+      // node function, so reordering cannot invalidate `f`.
+      if (net.pi_count() > 16) mgr.set_auto_reorder(true);
       const auto f = node_bdds(mgr, net);
       if (mgr.node_count() <= opt.bdd_node_limit) {
         for (NodeId n = 0; n < net.node_count(); ++n)

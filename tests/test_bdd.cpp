@@ -117,8 +117,9 @@ TEST(Bdd, SizeCountsUniqueNodes) {
   BddManager mgr(2);
   EXPECT_EQ(mgr.size(mgr.bdd_true()), 0u);
   EXPECT_EQ(mgr.size(mgr.var(0)), 1u);
-  // XOR needs one x0 node plus two x1 nodes (no complement edges).
-  EXPECT_EQ(mgr.size(mgr.bdd_xor(mgr.var(0), mgr.var(1))), 3u);
+  // With complement edges XOR shares a single x1 node between both phases:
+  // one x0 node plus one x1 node.
+  EXPECT_EQ(mgr.size(mgr.bdd_xor(mgr.var(0), mgr.var(1))), 2u);
 }
 
 TEST(Bdd, EnumerateSatRejectsUncoveredSupport) {

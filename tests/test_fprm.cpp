@@ -49,11 +49,12 @@ TEST(Fprm, Figure1Example) {
   const FprmForm form = extract_fprm(mgr, o, n);
   EXPECT_EQ(form.cube_count(), 6u);
   EXPECT_EQ(fprm_to_tt(form), f);
-  // Figure 1 draws one node per variable (3); without complement edges the
-  // x2 ⊕ x3 substructure needs two x3 nodes, so our canonical OFDD has 4.
-  // The x1-present branch covers the first four cubes directly, as in the
-  // paper's path description.
-  EXPECT_EQ(mgr.size(o.root), 4u);
+  // Figure 1 draws one node per variable (3); with complement edges the
+  // x2 ⊕ x3 substructure shares a single x3 node between both phases, so
+  // our canonical OFDD matches the figure exactly. The x1-present branch
+  // covers the first four cubes directly, as in the paper's path
+  // description.
+  EXPECT_EQ(mgr.size(o.root), 3u);
   const BddRef present_branch = mgr.hi_of(o.root);
   EXPECT_EQ(present_branch, mgr.bdd_true()); // 4 cubes: all (x2,x3) subsets
 }

@@ -101,6 +101,11 @@ int cmd_synth(const std::vector<std::string>& args) {
               "(%zu gates proven irreducible by pattern simulation)\n",
               rep.redundancy.reduced_to_or, rep.redundancy.reduced_to_andnot,
               rep.redundancy.fanins_removed, rep.redundancy.pattern_pruned);
+  std::printf("dd kernel: cache hit rate %.1f%%, peak live nodes %zu, "
+              "%llu gc runs, %llu reorders\n",
+              100.0 * rep.bdd.cache_hit_rate(), rep.bdd.peak_live_nodes,
+              static_cast<unsigned long long>(rep.bdd.gc_runs),
+              static_cast<unsigned long long>(rep.bdd.reorder_runs));
   write_output(result, out_path, "rmsyn_synth");
   return 0;
 }
