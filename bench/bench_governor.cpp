@@ -1,0 +1,125 @@
+// Governor overhead bench: runs the Table-2 sweep (both flows, pre-mapping)
+// once with no governor attached and once under a governor whose budgets can
+// never trip, and reports the wall-clock overhead of the cooperative polling
+// it adds. The acceptance bar for the governed build is < 2% overhead.
+//
+// Emits a machine-readable BENCH_governor.json for CI tracking.
+//
+// Usage: bench_governor [--out file.json] [circuit ...]
+//        (default: BENCH_governor.json, all Table-2 circuits)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct Result {
+  std::string name;
+  double plain_seconds = 0.0;    // no governor attached
+  double governed_seconds = 0.0; // unlimited governor polled throughout
+  std::size_t plain_lits = 0;
+  std::size_t governed_lits = 0;
+};
+
+double run_once(const std::string& name, const rmsyn::FlowOptions& opt,
+                std::size_t* lits_out) {
+  rmsyn::Stopwatch sw;
+  const rmsyn::FlowRow row = rmsyn::run_flow(name, opt);
+  if (lits_out != nullptr) *lits_out = row.ours_lits;
+  return sw.seconds();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmsyn;
+  std::string path = "BENCH_governor.json";
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) path = argv[++i];
+    else names.emplace_back(arg);
+  }
+  if (names.empty()) names = benchmark_names();
+
+  FlowOptions plain;
+  plain.run_mapping = false;
+  plain.run_power = false;
+
+  FlowOptions governed = plain;
+  // A budget that can never trip, so every poll site stays on its hot path
+  // — this measures pure instrumentation cost, not degradation.
+  governed.limits.deadline_seconds = 1e9;
+  governed.limits.node_limit = std::size_t{1} << 60;
+
+  constexpr int kReps = 3; // keep the min per config: robust against noise
+  std::vector<Result> results;
+  for (const auto& name : names) {
+    Result r;
+    r.name = name;
+    r.plain_seconds = 1e30;
+    r.governed_seconds = 1e30;
+    // Interleave configs so cache/frequency drift hits both equally.
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double tp = run_once(name, plain, &r.plain_lits);
+      if (tp < r.plain_seconds) r.plain_seconds = tp;
+      const double tg = run_once(name, governed, &r.governed_lits);
+      if (tg < r.governed_seconds) r.governed_seconds = tg;
+    }
+    results.push_back(r);
+  }
+
+  std::printf("== Governor overhead (Table-2 sweep, both flows) ==\n");
+  std::printf("%-10s %10s %10s %9s\n", "circuit", "plain(s)", "governed",
+              "overhead");
+  double sum_plain = 0, sum_governed = 0;
+  bool lits_match = true;
+  for (const auto& r : results) {
+    sum_plain += r.plain_seconds;
+    sum_governed += r.governed_seconds;
+    lits_match &= r.plain_lits == r.governed_lits;
+    std::printf("%-10s %10.4f %10.4f %8.2f%%%s\n", r.name.c_str(),
+                r.plain_seconds, r.governed_seconds,
+                r.plain_seconds > 0
+                    ? 100.0 * (r.governed_seconds / r.plain_seconds - 1.0)
+                    : 0.0,
+                r.plain_lits == r.governed_lits ? "" : "  LITS DIFFER");
+  }
+  const double overhead_pct =
+      sum_plain > 0 ? 100.0 * (sum_governed / sum_plain - 1.0) : 0.0;
+  std::printf("\nTotal: plain %.3fs, governed %.3fs, overhead %.2f%% "
+              "(target < 2%%)\n",
+              sum_plain, sum_governed, overhead_pct);
+  if (!lits_match)
+    std::printf("WARNING: an unlimited governor changed a result — "
+                "it must be observation-only\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"governor\",\n  \"overhead_pct\": %.3f,\n"
+                  "  \"plain_seconds\": %.6f,\n  \"governed_seconds\": %.6f,\n"
+                  "  \"results_identical\": %s,\n  \"results\": [\n",
+               overhead_pct, sum_plain, sum_governed,
+               lits_match ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"plain_seconds\": %.6f, "
+                 "\"governed_seconds\": %.6f, \"lits\": %zu}%s\n",
+                 r.name.c_str(), r.plain_seconds, r.governed_seconds,
+                 r.governed_lits, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  // Exit nonzero only when the governor changed a result; the overhead
+  // number is tracked by CI, not gated here (shared runners are noisy).
+  return lits_match ? 0 : 1;
+}

@@ -6,8 +6,10 @@
 // overall, with the extreme cases t481 (1372s -> 0.7s), xor10 (1692s ->
 // 0.6s) and sym10 (711s -> 4.5s).
 //
-// Usage: bench_table2_premap [circuit ...]   (default: all 41 circuits)
+// Usage: bench_table2_premap [--timeout SEC] [--node-limit N] [circuit ...]
+//        (default: all 41 circuits, no resource budget)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,16 @@
 int main(int argc, char** argv) {
   using namespace rmsyn;
   std::vector<std::string> names;
-  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  ResourceLimits limits;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout" && i + 1 < argc)
+      limits.deadline_seconds = std::atof(argv[++i]);
+    else if (arg == "--node-limit" && i + 1 < argc)
+      limits.node_limit = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else
+      names.emplace_back(arg);
+  }
   if (names.empty()) names = benchmark_names();
 
   std::printf("== Table 2 (pre-mapping): literals in 2-input AND/OR gates + "
@@ -31,11 +42,15 @@ int main(int argc, char** argv) {
   FlowOptions opt;
   opt.run_mapping = false;
   opt.run_power = false;
+  opt.limits = limits;
   for (const auto& name : names) {
     const FlowRow r = run_flow(name, opt);
     rows.push_back(r);
     char io[32];
     std::snprintf(io, sizeof io, "%d/%d", r.num_inputs, r.num_outputs);
+    std::string tag = r.arithmetic ? "[arith]" : "";
+    if (!r.worst_status().is_ok())
+      tag += " [" + r.worst_status().to_string() + "]";
     std::printf("%-10s %-8s | %9zu %9.2f | %9zu %9.2f | %8.2f %8.2f %s\n",
                 r.circuit.c_str(), io, r.base_lits, r.base_seconds,
                 r.ours_lits, r.ours_seconds,
@@ -43,7 +58,7 @@ int main(int argc, char** argv) {
                                   static_cast<double>(r.base_lits)
                             : 1.0,
                 r.base_seconds > 0 ? r.ours_seconds / r.base_seconds : 1.0,
-                r.arithmetic ? "[arith]" : "");
+                tag.c_str());
     sum_base_l += static_cast<double>(r.base_lits);
     sum_ours_l += static_cast<double>(r.ours_lits);
     sum_base_t += r.base_seconds;

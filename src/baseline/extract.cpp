@@ -50,7 +50,12 @@ int extract_kernels(SopNetwork& sn, const ExtractOptions& opt) {
       int lits = 0;
     };
     std::map<std::string, Agg> agg;
+    bool budget_ok = true;
     for (const int n : sn.topo_nodes()) {
+      if (opt.governor != nullptr && !opt.governor->poll()) {
+        budget_ok = false;
+        break;
+      }
       const Cover& f = sn.cover_of(n);
       if (f.size() < 2) continue;
       for (const auto& k : kernels(f, opt.max_kernels_per_node)) {
@@ -68,6 +73,7 @@ int extract_kernels(SopNetwork& sn, const ExtractOptions& opt) {
         if (a.nodes.empty() || a.nodes.back() != n) a.nodes.push_back(n);
       }
     }
+    if (!budget_ok) break; // partial kernel census: don't extract from it
     // Best kernel by total literal saving, net of the new node's own cost.
     const Agg* best = nullptr;
     int best_value = opt.min_value - 1;
@@ -98,7 +104,12 @@ int extract_cubes(SopNetwork& sn, const ExtractOptions& opt) {
     // Literal index: 2v (positive) / 2v+1 (negative).
     std::map<std::pair<int, int>, int> pair_count;
     const auto nodes = sn.topo_nodes();
+    bool budget_ok = true;
     for (const int n : nodes) {
+      if (opt.governor != nullptr && !opt.governor->poll()) {
+        budget_ok = false;
+        break;
+      }
       for (const auto& cube : sn.cover_of(n).cubes()) {
         std::vector<int> lits;
         for (int v = 0; v < cube.nvars(); ++v) {
@@ -110,6 +121,7 @@ int extract_cubes(SopNetwork& sn, const ExtractOptions& opt) {
             ++pair_count[{lits[i], lits[j]}];
       }
     }
+    if (!budget_ok) break; // partial pair census: don't extract from it
     std::pair<int, int> best{-1, -1};
     int best_cnt = 2; // need at least 3 occurrences to save literals
     for (const auto& [p, cnt] : pair_count) {

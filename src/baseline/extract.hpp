@@ -4,6 +4,7 @@
 #pragma once
 
 #include "baseline/sop_network.hpp"
+#include "util/governor.hpp"
 
 namespace rmsyn {
 
@@ -11,6 +12,9 @@ struct ExtractOptions {
   std::size_t max_kernels_per_node = 64;
   std::size_t max_rounds = 64;
   int min_value = 1; ///< minimum literal saving for an extraction to fire
+  /// Polled per node inside each round; extraction stops at the last
+  /// completed substitution (any prefix of rounds is a valid network).
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Repeatedly extracts the best-valued common kernel as a new node.

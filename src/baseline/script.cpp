@@ -14,8 +14,9 @@ namespace rmsyn {
 
 namespace {
 
-void simplify_nodes(SopNetwork& sn) {
+void simplify_nodes(SopNetwork& sn, ResourceGovernor* gov) {
   for (const int n : sn.topo_nodes()) {
+    if (gov != nullptr && !gov->poll()) return; // keep the prefix
     const Cover& c = sn.cover_of(n);
     if (c.size() <= 1) continue;
     sn.set_cover(n, espresso_lite(c));
@@ -29,13 +30,14 @@ void simplify_nodes(SopNetwork& sn) {
 /// substituting an XOR cover into an XOR reader doubles the cubes — while
 /// wires, buffers and single-use AND/OR fragments are absorbed, exactly
 /// like `eliminate` in script.rugged.
-void eliminate(SopNetwork& sn, int threshold) {
+void eliminate(SopNetwork& sn, int threshold, ResourceGovernor* gov) {
   bool changed = true;
   int guard = 0;
   while (changed && guard++ < 64) {
     changed = false;
     const auto fanouts = sn.fanout_counts();
     for (const int n : sn.topo_nodes()) {
+      if (gov != nullptr && !gov->poll()) return; // keep the prefix
       const bool is_po = [&] {
         for (const int po : sn.po_vars())
           if (po == n) return true;
@@ -60,55 +62,86 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
                             BaselineReport* report) {
   Stopwatch sw;
   BaselineReport rep;
+  ResourceGovernor* gov = opt.governor;
+  const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
 
   SopNetwork sn = SopNetwork::from_network(decompose2(strash(spec)));
 
-  if (opt.flatten_to_two_level) {
+  if (opt.flatten_to_two_level && !out_of_budget()) {
+    ResourceGovernor::StageScope stage(gov, "baseline-flatten");
     SopNetwork flat = sn;
     if (flat.flatten(opt.flatten_cube_cap)) sn = std::move(flat);
   }
 
   // sweep; simplify — espresso on every node cover.
-  simplify_nodes(sn);
+  {
+    ResourceGovernor::StageScope stage(gov, "baseline-simplify");
+    simplify_nodes(sn, gov);
+  }
   rep.sop_lits_initial = sn.literal_count();
 
   // eliminate; the first pass uses a negative threshold (only nodes whose
   // removal is free), as script.rugged does, then extraction runs on the
   // flattened-enough network.
-  eliminate(sn, opt.eliminate_value);
-  simplify_nodes(sn);
+  if (!out_of_budget()) {
+    ResourceGovernor::StageScope stage(gov, "baseline-eliminate");
+    eliminate(sn, opt.eliminate_value, gov);
+    simplify_nodes(sn, gov);
+  }
 
   // gkx/gcx loop.
-  ExtractOptions ex;
-  for (std::size_t round = 0; round < opt.extract_rounds; ++round) {
-    const int k = extract_kernels(sn, ex);
-    const int c = extract_cubes(sn, ex);
-    rep.nodes_extracted += k + c;
-    if (k + c == 0) break;
+  if (!out_of_budget()) {
+    ResourceGovernor::StageScope stage(gov, "baseline-extract");
+    ExtractOptions ex;
+    ex.governor = gov;
+    for (std::size_t round = 0;
+         round < opt.extract_rounds && !out_of_budget(); ++round) {
+      const int k = extract_kernels(sn, ex);
+      const int c = extract_cubes(sn, ex);
+      rep.nodes_extracted += k + c;
+      if (k + c == 0) break;
+    }
+    simplify_nodes(sn, gov);
   }
-  simplify_nodes(sn);
   rep.sop_lits_final = sn.literal_count();
 
   // Factor every node into gates.
-  Network net = strash(sn.to_network());
+  Network net;
+  {
+    ResourceGovernor::StageScope stage(gov, "baseline-factor");
+    net = strash(sn.to_network());
+  }
 
   // red_removal: redundant-wire elimination on the gate network. The
   // generic engine is reused with no FPRM forms (random-pattern filtering +
   // exact confirmation); on an AND/OR network the XOR phases are no-ops.
-  if (opt.run_redundancy_removal) {
+  // When the budget already died, the pass gets a fresh slice only through
+  // the caller's ladder (run_flow); here it is simply skipped.
+  if (opt.run_redundancy_removal && !out_of_budget()) {
+    ResourceGovernor::StageScope stage(gov, "baseline-redundancy");
     RedundancyOptions ro;
     ro.observability_pass = false;
+    ro.governor = gov;
     net = remove_xor_redundancy(net, {}, ro, nullptr);
   }
   net = strash(net);
 
   if (opt.verify) {
-    const auto check = check_equivalence(spec, net);
-    if (!check.equivalent)
+    // Undecided is acceptable for a degraded run (every pass prefix is
+    // equivalence-preserving and red_removal self-confirms its rewrites);
+    // a decided mismatch still throws.
+    if (gov != nullptr && gov->exhausted()) (void)gov->grant_fallback();
+    ResourceGovernor::StageScope stage(gov, "baseline-verify");
+    const auto check = check_equivalence(spec, net, 0xC0FFEE, gov);
+    if (check.decided && !check.equivalent)
       throw std::logic_error("baseline_synthesize: result not equivalent: " +
                              check.reason);
   }
 
+  rep.status = (gov != nullptr && gov->trip_kind() != TripKind::None)
+                   ? FlowStatus::degraded(gov->trip_stage(),
+                                          to_string(gov->trip_kind()))
+                   : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(net);
   if (report != nullptr) *report = rep;

@@ -14,6 +14,7 @@
 #include "baseline/sop_network.hpp"
 #include "network/network.hpp"
 #include "network/stats.hpp"
+#include "util/governor.hpp"
 
 namespace rmsyn {
 
@@ -31,6 +32,10 @@ struct BaselineOptions {
   /// 512, the arithmetic PLAs) flatten, while parity-like exponential
   /// covers bail out early and stay multilevel.
   std::size_t flatten_cube_cap = 1500;
+  /// Resource budget. Every prefix of the SOP script is an equivalent
+  /// network, so on a trip the remaining optimization passes are skipped
+  /// and the current network is factored and returned (status degraded).
+  ResourceGovernor* governor = nullptr;
 };
 
 struct BaselineReport {
@@ -39,6 +44,9 @@ struct BaselineReport {
   int sop_lits_initial = 0; ///< SOP literals after simplify
   int sop_lits_final = 0;   ///< SOP literals after extraction
   int nodes_extracted = 0;
+  /// ok or degraded:<stage>; the script cannot fail (any pass prefix is a
+  /// valid result), so Failed never originates here.
+  FlowStatus status;
 };
 
 /// Runs the baseline script on a specification network.

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -92,6 +93,13 @@ BddRef BddManager::mk(int var, BddRef lo, BddRef hi) {
   ++st.count;
   ++live_;
   peak_live_ = std::max(peak_live_, live_);
+  if (gov_ != nullptr) {
+    // Report only: mk() must stay infallible so reordering can always
+    // rewrite nodes in place. A node-limit/allocation-fault trip recorded
+    // here unwinds the caller at its next poll.
+    gov_->count_allocation();
+    gov_->note_nodes(live_);
+  }
   if (st.count > st.buckets.size()) rehash(st);
   return (i << 1) | out_c;
 }
@@ -148,6 +156,8 @@ void BddManager::dec_edge_reclaim(BddRef e) {
 bool BddManager::cache_find(Op op, BddRef a, BddRef b, BddRef c,
                             uint64_t* out) {
   ++stats_.cache_lookups;
+  // Fault injection: behave as if the table permanently overflowed.
+  if (gov_ != nullptr && gov_->cache_overflow_fault()) return false;
   const std::size_t idx =
       hash2((uint64_t{a} << 32) | b,
             (uint64_t{c} << 8) | static_cast<uint32_t>(op)) &
@@ -179,11 +189,13 @@ void BddManager::cache_clear() {
 // ---------------------------------------------------------------------------
 
 BddRef BddManager::and_rec(BddRef a, BddRef b) {
+  if (is_invalid(a) || is_invalid(b)) return kInvalid;
   if (a == b) return a;
   if (a == (b ^ 1u)) return kFalse;
   if (a == kTrue) return b;
   if (b == kTrue) return a;
   if (a == kFalse || b == kFalse) return kFalse;
+  if (gov_ != nullptr && !gov_->poll()) return kInvalid;
   if (a > b) std::swap(a, b);
   uint64_t hit;
   if (cache_find(Op::And, a, b, 0, &hit)) return static_cast<BddRef>(hit);
@@ -194,19 +206,24 @@ BddRef BddManager::and_rec(BddRef a, BddRef b) {
   const BddRef a1 = la == l ? hi_of(a) : a;
   const BddRef b0 = lb == l ? lo_of(b) : b;
   const BddRef b1 = lb == l ? hi_of(b) : b;
-  const BddRef r =
-      mk(order_[static_cast<std::size_t>(l)], and_rec(a0, b0), and_rec(a1, b1));
+  const BddRef r0 = and_rec(a0, b0);
+  if (is_invalid(r0)) return kInvalid;
+  const BddRef r1 = and_rec(a1, b1);
+  if (is_invalid(r1)) return kInvalid;
+  const BddRef r = mk(order_[static_cast<std::size_t>(l)], r0, r1);
   cache_put(Op::And, a, b, 0, r);
   return r;
 }
 
 BddRef BddManager::xor_rec(BddRef a, BddRef b) {
+  if (is_invalid(a) || is_invalid(b)) return kInvalid;
   if (a == kFalse) return b;
   if (b == kFalse) return a;
   if (a == kTrue) return b ^ 1u;
   if (b == kTrue) return a ^ 1u;
   if (a == b) return kFalse;
   if (a == (b ^ 1u)) return kTrue;
+  if (gov_ != nullptr && !gov_->poll()) return kInvalid;
   // XOR ignores operand phases up to an output flip: normalise to regular
   // operands so all four phase combinations share one cache entry.
   const BddRef comp = (a & 1u) ^ (b & 1u);
@@ -223,8 +240,11 @@ BddRef BddManager::xor_rec(BddRef a, BddRef b) {
   const BddRef a1 = la == l ? hi_of(a) : a;
   const BddRef b0 = lb == l ? lo_of(b) : b;
   const BddRef b1 = lb == l ? hi_of(b) : b;
-  const BddRef r =
-      mk(order_[static_cast<std::size_t>(l)], xor_rec(a0, b0), xor_rec(a1, b1));
+  const BddRef r0 = xor_rec(a0, b0);
+  if (is_invalid(r0)) return kInvalid;
+  const BddRef r1 = xor_rec(a1, b1);
+  if (is_invalid(r1)) return kInvalid;
+  const BddRef r = mk(order_[static_cast<std::size_t>(l)], r0, r1);
   cache_put(Op::Xor, a, b, 0, r);
   return r ^ comp;
 }
@@ -236,7 +256,8 @@ BddRef BddManager::bdd_and(BddRef a, BddRef b) {
 
 BddRef BddManager::bdd_or(BddRef a, BddRef b) {
   maybe_reorder(a, b);
-  return and_rec(a ^ 1u, b ^ 1u) ^ 1u; // De Morgan, shares the AND cache
+  const BddRef r = and_rec(a ^ 1u, b ^ 1u); // De Morgan, shares the AND cache
+  return is_invalid(r) ? kInvalid : r ^ 1u;
 }
 
 BddRef BddManager::bdd_xor(BddRef a, BddRef b) {
@@ -250,12 +271,17 @@ BddRef BddManager::bdd_ite(BddRef f, BddRef g, BddRef h) {
   deref(h);
   ReorderHold hold(*this); // the composition holds unpinned intermediates
   const BddRef fg = and_rec(f, g);
+  if (is_invalid(fg)) return kInvalid;
   const BddRef fh = and_rec(f ^ 1u, h);
-  return and_rec(fg ^ 1u, fh ^ 1u) ^ 1u;
+  if (is_invalid(fh)) return kInvalid;
+  const BddRef r = and_rec(fg ^ 1u, fh ^ 1u);
+  return is_invalid(r) ? kInvalid : r ^ 1u;
 }
 
 BddRef BddManager::cof_rec(BddRef f, int v, int lv, bool value) {
+  if (is_invalid(f)) return kInvalid;
   if (is_terminal(f) || level_of_ref(f) > lv) return f;
+  if (gov_ != nullptr && !gov_->poll()) return kInvalid;
   const BddRef c = f & 1u;
   const BddRef fr = f ^ c; // cache on the regular phase
   if (nodes_[node_index(fr)].var == v)
@@ -265,7 +291,9 @@ BddRef BddManager::cof_rec(BddRef f, int v, int lv, bool value) {
   if (cache_find(op, fr, static_cast<BddRef>(v), 0, &hit))
     return static_cast<BddRef>(hit) ^ c;
   const BddRef r0 = cof_rec(lo_of(fr), v, lv, value);
+  if (is_invalid(r0)) return kInvalid;
   const BddRef r1 = cof_rec(hi_of(fr), v, lv, value);
+  if (is_invalid(r1)) return kInvalid;
   const BddRef r = mk(nodes_[node_index(fr)].var, r0, r1);
   cache_put(op, fr, static_cast<BddRef>(v), 0, r);
   return r ^ c;
@@ -282,6 +310,7 @@ BddRef BddManager::cofactor(BddRef f, int v, bool value) {
 
 BitVec BddManager::support(BddRef f) {
   BitVec s(static_cast<std::size_t>(nvars_));
+  if (is_invalid(f)) return s;
   std::vector<uint32_t> stack{node_index(f)};
   std::vector<uint8_t> seen(nodes_.size(), 0);
   while (!stack.empty()) {
@@ -297,6 +326,7 @@ BitVec BddManager::support(BddRef f) {
 }
 
 bool BddManager::depends_on(BddRef f, int v) {
+  if (is_invalid(f)) return false;
   const int lv = perm_[static_cast<std::size_t>(v)];
   std::vector<uint32_t> stack{node_index(f)};
   std::vector<uint8_t> seen(nodes_.size(), 0);
@@ -317,17 +347,21 @@ bool BddManager::depends_on(BddRef f, int v) {
 double BddManager::density_rec(BddRef f) {
   assert(!is_complement(f));
   if (f == kTrue) return 1.0;
+  if (gov_ != nullptr && !gov_->poll())
+    return std::numeric_limits<double>::quiet_NaN();
   uint64_t hit;
   if (cache_find(Op::Density, f, 0, 0, &hit)) return std::bit_cast<double>(hit);
   const BddRef lo = nodes_[node_index(f)].lo;
   const BddRef hi = nodes_[node_index(f)].hi; // regular by canonical form
   const double dl = (lo & 1u) ? 1.0 - density_rec(lo ^ 1u) : density_rec(lo);
   const double d = 0.5 * (dl + density_rec(hi));
+  if (std::isnan(d)) return d; // governor tripped below; never cache
   cache_put(Op::Density, f, 0, 0, std::bit_cast<uint64_t>(d));
   return d;
 }
 
 double BddManager::density(BddRef f) {
+  if (is_invalid(f)) return std::numeric_limits<double>::quiet_NaN();
   const double d = density_rec(regular(f));
   return is_complement(f) ? 1.0 - d : d;
 }
@@ -352,10 +386,16 @@ bool BddManager::enumerate_sat(BddRef f, const std::vector<int>& vars,
   std::size_t produced = 0;
   bool ok = true;
 
+  if (is_invalid(f)) return false;
+
   const std::function<bool(BddRef, std::size_t)> rec =
       [&](BddRef g, std::size_t depth) -> bool {
     if (!ok) return false;
     if (g == kFalse) return true;
+    if (gov_ != nullptr && !gov_->poll()) {
+      ok = false; // reported as an incomplete enumeration, like `limit`
+      return false;
+    }
     if (depth == slots.size()) {
       if (g != kTrue) {
         // Function still depends on variables outside `vars` — precondition
@@ -412,6 +452,7 @@ BitVec BddManager::pick_sat(BddRef f) {
 }
 
 BddRef BddManager::mk_node(int var, BddRef lo, BddRef hi) {
+  if (is_invalid(lo) || is_invalid(hi)) return kInvalid;
   assert(var >= 0 && var < nvars_);
   assert(is_terminal(lo) ||
          level_of_ref(lo) > perm_[static_cast<std::size_t>(var)]);
@@ -446,8 +487,11 @@ BddRef BddManager::from_cover(const Cover& c) {
   while (parts.size() > 1) {
     std::vector<BddRef> next;
     next.reserve((parts.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < parts.size(); i += 2)
-      next.push_back(and_rec(parts[i] ^ 1u, parts[i + 1] ^ 1u) ^ 1u);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      const BddRef r = and_rec(parts[i] ^ 1u, parts[i + 1] ^ 1u);
+      if (is_invalid(r)) return kInvalid;
+      next.push_back(r ^ 1u);
+    }
     if (parts.size() % 2 == 1) next.push_back(parts.back());
     parts.swap(next);
   }
@@ -455,6 +499,7 @@ BddRef BddManager::from_cover(const Cover& c) {
 }
 
 bool BddManager::eval(BddRef f, const BitVec& assignment) const {
+  assert(!is_invalid(f));
   BddRef g = f;
   while (!is_terminal(g))
     g = assignment.get(static_cast<std::size_t>(var_of(g))) ? hi_of(g)
@@ -463,7 +508,7 @@ bool BddManager::eval(BddRef f, const BitVec& assignment) const {
 }
 
 std::size_t BddManager::size(BddRef f) const {
-  if (is_terminal(f)) return 0;
+  if (is_terminal(f) || is_invalid(f)) return 0;
   std::vector<uint32_t> stack{node_index(f)};
   std::vector<uint8_t> seen(nodes_.size(), 0);
   std::size_t count = 0;
@@ -510,12 +555,12 @@ std::string BddManager::to_dot(BddRef f, const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 BddRef BddManager::ref(BddRef f) {
-  if (f > kFalse) ++nodes_[node_index(f)].ext_ref;
+  if (f > kFalse && !is_invalid(f)) ++nodes_[node_index(f)].ext_ref;
   return f;
 }
 
 void BddManager::deref(BddRef f) {
-  if (f > kFalse) {
+  if (f > kFalse && !is_invalid(f)) {
     assert(nodes_[node_index(f)].ext_ref > 0);
     --nodes_[node_index(f)].ext_ref;
   }
@@ -654,6 +699,10 @@ void BddManager::sift_one(int v) {
   const auto sweep = [&](bool down) {
     while (down ? perm_[static_cast<std::size_t>(v)] < n - 1
                 : perm_[static_cast<std::size_t>(v)] > 0) {
+      // A sweep may stop between swaps at any point; the return-to-best
+      // loops below always run to completion, so the structure stays
+      // canonical even when the governor trips mid-sift.
+      if (gov_ != nullptr && !gov_->poll()) break;
       const int at = perm_[static_cast<std::size_t>(v)];
       swap_levels(down ? at : at - 1);
       ++stats_.reorder_swaps;
@@ -689,7 +738,10 @@ std::size_t BddManager::reorder() {
     return tables_[static_cast<std::size_t>(a)].count >
            tables_[static_cast<std::size_t>(b)].count;
   });
-  for (const int v : vs) sift_one(v);
+  for (const int v : vs) {
+    if (gov_ != nullptr && gov_->exhausted()) break;
+    sift_one(v);
+  }
   --hold_;
   // Node slots freed during sifting can be recycled; cached refs to them
   // would alias new functions.
@@ -700,6 +752,7 @@ std::size_t BddManager::reorder() {
 
 void BddManager::maybe_reorder(BddRef a, BddRef b) {
   if (!auto_reorder_ || hold_ != 0 || live_ < next_reorder_at_) return;
+  if (gov_ != nullptr && gov_->exhausted()) return;
   ref(a);
   ref(b);
   reorder();

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "sop/cover.hpp"
+#include "util/governor.hpp"
 
 namespace rmsyn {
 
@@ -76,6 +77,16 @@ class BddManager {
 public:
   static constexpr BddRef kTrue = 0;  ///< regular edge to the terminal
   static constexpr BddRef kFalse = 1; ///< complemented edge to the terminal
+  /// Sentinel returned by governed operations when the attached
+  /// ResourceGovernor trips mid-recursion (the CUDD NULL-return protocol:
+  /// no exception ever crosses the kernel boundary). Both phases of the
+  /// sentinel are invalid so bdd_not() cannot launder it back into a real
+  /// ref; no legal ref collides (node_index would exceed kMaxIndex).
+  static constexpr BddRef kInvalid = 0xFFFFFFFFu;
+
+  /// True for either phase of the kInvalid sentinel. Callers must test
+  /// results of governed ops with this before structural use.
+  static bool is_invalid(BddRef f) { return (f | 1u) == kInvalid; }
 
   /// Creates a manager over `nvars` variables with the identity order
   /// (variable i starts at level i). The computed table holds
@@ -210,6 +221,16 @@ public:
     BddManager* m_;
   };
 
+  // --- resource governance ----------------------------------------------
+  /// Attaches (or detaches, with nullptr) a cooperative resource governor.
+  /// Governed recursive operations poll it and return kInvalid once it
+  /// trips; mk() itself never fails on a trip (so sifting stays safe) but
+  /// reports allocations and the live count so node limits and allocation
+  /// faults surface at the next poll. Ungoverned managers behave exactly
+  /// as before.
+  void set_governor(ResourceGovernor* g) { gov_ = g; }
+  ResourceGovernor* governor() const { return gov_; }
+
   // --- observability ----------------------------------------------------
   /// Counters; live_nodes/peak_live_nodes are filled in on access.
   BddStats stats() const;
@@ -290,6 +311,7 @@ private:
   bool auto_reorder_ = false;
   int hold_ = 0;
   std::size_t next_reorder_at_ = kAutoReorderMin;
+  ResourceGovernor* gov_ = nullptr;
   mutable BddStats stats_;
 };
 

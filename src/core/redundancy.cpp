@@ -231,6 +231,9 @@ Network remove_xor_redundancy(const Network& net,
   const Network reference = work; // for the final equivalence assertion
 
   BddManager mgr(static_cast<int>(work.pi_count()));
+  mgr.set_governor(opt.governor);
+  ResourceGovernor* gov = opt.governor;
+  const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
   NodeFunctions funcs(mgr, work);
 
   // Golden output functions — every phase must preserve these.
@@ -238,6 +241,14 @@ Network remove_xor_redundancy(const Network& net,
   golden.reserve(work.po_count());
   for (std::size_t i = 0; i < work.po_count(); ++i)
     golden.push_back(funcs.of(work.po(i)));
+  for (const BddRef g : golden) {
+    if (BddManager::is_invalid(g)) {
+      // Budget died before the reference functions existed; nothing can be
+      // confirmed, so hand back the (equivalent) prepared network as-is.
+      if (stats_out != nullptr) *stats_out = stats;
+      return strash(work);
+    }
+  }
 
   // ---- Step 1: simulate the FPRM-derived pattern set, record which input
   // patterns occur at each XOR gate.
@@ -272,6 +283,7 @@ Network remove_xor_redundancy(const Network& net,
   stats.xor_gates_before = xors.size();
 
   for (const NodeId n : xors) {
+    if (out_of_budget()) break;
     const NodeId g = work.fanins(n)[0];
     const NodeId h = work.fanins(n)[1];
     if (opt.use_pattern_filter && seen[n] == 0b1111) {
@@ -284,11 +296,14 @@ Network remove_xor_redundancy(const Network& net,
     uint8_t reachable = seen[n];
     const BddRef fg = funcs.of(g);
     const BddRef fh = funcs.of(h);
+    if (BddManager::is_invalid(fg) || BddManager::is_invalid(fh)) continue;
     for (unsigned idx = 0; idx < 4; ++idx) {
       if (reachable & (1u << idx)) continue;
       ++stats.exact_checks;
       const BddRef eg = (idx & 2u) ? fg : mgr.bdd_not(fg);
       const BddRef eh = (idx & 1u) ? fh : mgr.bdd_not(fh);
+      // A budget-tripped (invalid) conjunction compares != false, i.e. the
+      // pattern counts as reachable — undecidable stays conservative.
       if (mgr.bdd_and(eg, eh) != mgr.bdd_false()) reachable |= (1u << idx);
     }
     if (reachable == 0b1111) continue;
@@ -313,7 +328,7 @@ Network remove_xor_redundancy(const Network& net,
   if (opt.observability_pass) {
     bool changed = true;
     int guard = 0;
-    while (changed && guard++ < 16) {
+    while (changed && guard++ < 16 && !out_of_budget()) {
       changed = false;
       // Fanout structure of the current network.
       std::vector<std::vector<NodeId>> fanouts(work.node_count());
@@ -360,11 +375,13 @@ Network remove_xor_redundancy(const Network& net,
                          : mgr.bdd_and(obs, mgr.bdd_not(funcs.of(s)));
         }
         if (obs == mgr.bdd_true()) continue; // nothing masked
+        if (BddManager::is_invalid(obs)) continue; // undecidable: keep gate
 
         const NodeId g = work.fanins(n)[0];
         const NodeId h = work.fanins(n)[1];
         const BddRef fg = funcs.of(g);
         const BddRef fh = funcs.of(h);
+        if (BddManager::is_invalid(fg) || BddManager::is_invalid(fh)) continue;
         uint8_t care = 0;
         for (unsigned idx = 0; idx < 4; ++idx) {
           ++stats.exact_checks;
@@ -409,8 +426,12 @@ Network remove_xor_redundancy(const Network& net,
     const auto outputs_match_golden = [&](const Network& candidate) {
       funcs.invalidate(0);
       bool ok = true;
-      for (std::size_t i = 0; i < candidate.po_count() && ok; ++i)
-        ok = funcs.of(candidate.po(i)) == golden[i];
+      for (std::size_t i = 0; i < candidate.po_count() && ok; ++i) {
+        const BddRef fv = funcs.of(candidate.po(i));
+        // An invalid (budget-tripped) function is never a match — accepting
+        // a removal needs a positive proof of equality.
+        ok = !BddManager::is_invalid(fv) && fv == golden[i];
+      }
       return ok;
     };
 
@@ -419,15 +440,17 @@ Network remove_xor_redundancy(const Network& net,
     const auto base_po_values = po_values_of(work);
     bool changed = true;
     int guard = 0;
-    while (changed && guard++ < 4) {
+    while (changed && guard++ < 4 && !out_of_budget()) {
       changed = false;
       const auto order = work.topo_order();
-      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      for (auto it = order.rbegin(); it != order.rend() && !out_of_budget();
+           ++it) {
         const NodeId n = *it;
         const GateType t = work.type(n);
         if (t != GateType::And && t != GateType::Or) continue;
         std::size_t k = 0;
         while (k < work.fanins(n).size() && work.fanins(n).size() >= 2) {
+          if (out_of_budget()) break;
           // Dropping fanin k = stuck-at-noncontrolling (s-a-1 for AND,
           // s-a-0 for OR).
           const std::vector<NodeId> saved_fi = work.fanins(n);
@@ -466,8 +489,11 @@ Network remove_xor_redundancy(const Network& net,
   Network result = strash(work);
 
   // Final safety net: the whole procedure must be function-preserving.
-  const auto check = check_equivalence(reference, result);
-  if (!check.equivalent)
+  // Every accepted rewrite carries its own exact proof, so when the budget
+  // is already spent the (governed) re-check may come back undecided —
+  // that is not a failure.
+  const auto check = check_equivalence(reference, result, 0xC0FFEE, gov);
+  if (check.decided && !check.equivalent)
     throw std::logic_error("remove_xor_redundancy broke the network: " +
                            check.reason);
 

@@ -14,8 +14,13 @@ Network resub_merge(const Network& net, const ResubOptions& opt) {
 
   try {
     BddManager mgr(static_cast<int>(hashed.pi_count()));
+    mgr.set_governor(opt.governor);
     const std::vector<BddRef> f = node_bdds(mgr, hashed);
     if (mgr.node_count() > opt.bdd_node_limit) return hashed;
+    // A governed sweep that ran out of budget leaves invalid refs; merging
+    // on them would conflate distinct functions, so keep the strashed net.
+    for (const BddRef r : f)
+      if (BddManager::is_invalid(r)) return hashed;
 
     // Representative per function; complements map through an inverter.
     std::unordered_map<BddRef, NodeId> rep;

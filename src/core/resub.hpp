@@ -5,6 +5,7 @@
 #pragma once
 
 #include "network/network.hpp"
+#include "util/governor.hpp"
 
 namespace rmsyn {
 
@@ -13,6 +14,9 @@ struct ResubOptions {
   /// many nodes; structural hashing alone is then used.
   std::size_t bdd_node_limit = 2'000'000;
   bool merge_complements = true;
+  /// Budget for the BDD sweep; on a trip the sweep is abandoned and the
+  /// structurally hashed network is returned (always equivalent).
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Returns an equivalent network with functionally identical nodes merged.

@@ -1,5 +1,7 @@
 #include "core/synth.hpp"
 
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "core/factor_cubes.hpp"
@@ -30,37 +32,74 @@ std::vector<NodeId> add_spec_pis(Network& out, const Network& spec) {
   return pi_nodes;
 }
 
+/// Saturating double→size_t for cube counts: sat_count can legitimately
+/// exceed 2^64 on wide supports, and casting a non-finite double is UB.
+std::size_t saturating_count(double d) {
+  constexpr auto kMax = std::numeric_limits<std::size_t>::max();
+  if (!(d >= 0.0)) return kMax; // negative or NaN: treat as unknown/huge
+  if (d >= static_cast<double>(kMax)) return kMax;
+  return static_cast<std::size_t>(d);
+}
+
 /// Method 1 (cube factoring), per-output polarity search. Outputs whose
 /// cube list exceeds the cap fall back to a per-output OFDD construction.
-Candidate build_cubes_candidate(const Network& spec, BddManager& mgr,
-                                const std::vector<BddRef>& spec_fn,
-                                const SynthOptions& opt) {
+/// `fixed_polarity` skips the search (degradation-ladder rungs). Returns
+/// nullopt when the governor tripped mid-build: a half-built candidate
+/// must never compete on cost.
+std::optional<Candidate> build_cubes_candidate(const Network& spec,
+                                               BddManager& mgr,
+                                               const std::vector<BddRef>& spec_fn,
+                                               const SynthOptions& opt,
+                                               const BitVec* fixed_polarity) {
+  ResourceGovernor* gov = mgr.governor();
   Candidate cand;
   const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
   for (std::size_t j = 0; j < spec.po_count(); ++j) {
     const BddRef f = spec_fn[j];
+    if (BddManager::is_invalid(f)) return std::nullopt;
     if (f == mgr.bdd_false() || f == mgr.bdd_true()) {
       cand.net.add_po(cand.net.constant(f == mgr.bdd_true()), spec.po_name(j));
       cand.forms.emplace_back();
       cand.cube_counts.push_back(f == mgr.bdd_true() ? 1 : 0);
       continue;
     }
-    const BitVec polarity = best_polarity(mgr, f, opt.polarity);
-    const Ofdd ofdd = build_ofdd(mgr, f, polarity);
-    const FprmForm form = extract_fprm(
-        mgr, ofdd, static_cast<int>(spec.pi_count()), opt.cube_limit);
-    cand.cube_counts.push_back(static_cast<std::size_t>(
-        fprm_cube_count(mgr, ofdd.root, ofdd.support)));
+    BitVec polarity;
+    {
+      ResourceGovernor::StageScope stage(gov, "polarity-search");
+      polarity = fixed_polarity != nullptr ? *fixed_polarity
+                                           : best_polarity(mgr, f, opt.polarity);
+    }
+    Ofdd ofdd;
+    {
+      ResourceGovernor::StageScope stage(gov, "ofdd-build");
+      ofdd = build_ofdd(mgr, f, polarity);
+    }
+    if (BddManager::is_invalid(ofdd.root)) return std::nullopt;
+    FprmForm form;
+    {
+      ResourceGovernor::StageScope stage(gov, "fprm-extract");
+      form = extract_fprm(mgr, ofdd, static_cast<int>(spec.pi_count()),
+                          opt.cube_limit);
+      cand.cube_counts.push_back(
+          saturating_count(fprm_cube_count(mgr, ofdd.root, ofdd.support)));
+    }
     NodeId root;
-    if (form.truncated) {
-      root = factor_ofdd(cand.net, pi_nodes, mgr, ofdd);
-      ++cand.via_ofdd;
-    } else {
-      root = factor_cubes(cand.net, pi_nodes, form);
-      ++cand.via_cubes;
+    {
+      // A governed enumeration cut short also sets `truncated`, which
+      // routes the output through the (exact, structural) OFDD factoring —
+      // the result stays correct, only the cube list in the report is a
+      // prefix.
+      ResourceGovernor::StageScope stage(gov, "factor");
+      if (form.truncated) {
+        root = factor_ofdd(cand.net, pi_nodes, mgr, ofdd);
+        ++cand.via_ofdd;
+      } else {
+        root = factor_cubes(cand.net, pi_nodes, form);
+        ++cand.via_cubes;
+      }
     }
     cand.net.add_po(root, spec.po_name(j));
-    cand.forms.push_back(form);
+    cand.forms.push_back(std::move(form));
     // This output's polarity-search spectra are dead; the spec functions
     // stay pinned by output_bdds.
     mgr.gc();
@@ -71,12 +110,21 @@ Candidate build_cubes_candidate(const Network& spec, BddManager& mgr,
 /// Method 2 (OFDD construction) with one global polarity vector and a
 /// construction memo shared across outputs, so common spectrum subgraphs —
 /// carry chains in particular — become shared subnetworks.
-Candidate build_ofdd_candidate(const Network& spec, BddManager& mgr,
-                               const std::vector<BddRef>& spec_fn,
-                               const SynthOptions& opt) {
+std::optional<Candidate> build_ofdd_candidate(const Network& spec,
+                                              BddManager& mgr,
+                                              const std::vector<BddRef>& spec_fn,
+                                              const SynthOptions& opt,
+                                              const BitVec* fixed_polarity) {
+  ResourceGovernor* gov = mgr.governor();
   Candidate cand;
   const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
-  const BitVec polarity = best_polarity_multi(mgr, spec_fn, opt.polarity);
+  BitVec polarity;
+  {
+    ResourceGovernor::StageScope stage(gov, "polarity-search");
+    polarity = fixed_polarity != nullptr
+                   ? *fixed_polarity
+                   : best_polarity_multi(mgr, spec_fn, opt.polarity);
+  }
 
   std::vector<int> all_vars;
   all_vars.reserve(spec.pi_count());
@@ -86,25 +134,49 @@ Candidate build_ofdd_candidate(const Network& spec, BddManager& mgr,
   SharedOfddBuilder builder(cand.net, pi_nodes, mgr, polarity);
   for (std::size_t j = 0; j < spec.po_count(); ++j) {
     const BddRef f = spec_fn[j];
+    if (BddManager::is_invalid(f)) return std::nullopt;
     if (f == mgr.bdd_false() || f == mgr.bdd_true()) {
       cand.net.add_po(cand.net.constant(f == mgr.bdd_true()), spec.po_name(j));
       cand.forms.emplace_back();
       cand.cube_counts.push_back(f == mgr.bdd_true() ? 1 : 0);
       continue;
     }
-    const BddRef full_spec = rm_spectrum(mgr, f, all_vars, polarity);
+    BddRef full_spec;
+    {
+      ResourceGovernor::StageScope stage(gov, "ofdd-build");
+      full_spec = rm_spectrum(mgr, f, all_vars, polarity);
+    }
+    if (BddManager::is_invalid(full_spec)) return std::nullopt;
     cand.net.add_po(builder.build(full_spec), spec.po_name(j));
     ++cand.via_ofdd;
 
-    // Support-restricted form for pattern generation / reporting.
+    // Support-restricted form for pattern generation / reporting. Failure
+    // here only degrades the report (redundancy removal falls back to
+    // random patterns for an empty form), so it does not kill the
+    // candidate.
+    ResourceGovernor::StageScope stage(gov, "fprm-extract");
     const Ofdd ofdd = build_ofdd(mgr, f, polarity);
+    if (BddManager::is_invalid(ofdd.root)) {
+      cand.forms.emplace_back();
+      cand.cube_counts.push_back(std::numeric_limits<std::size_t>::max());
+      return std::nullopt; // the *next* rm_spectrum would fail anyway
+    }
     cand.forms.push_back(extract_fprm(
         mgr, ofdd, static_cast<int>(spec.pi_count()), opt.cube_limit));
-    cand.cube_counts.push_back(static_cast<std::size_t>(
-        fprm_cube_count(mgr, ofdd.root, ofdd.support)));
+    cand.cube_counts.push_back(
+        saturating_count(fprm_cube_count(mgr, ofdd.root, ofdd.support)));
   }
   return cand;
 }
+
+/// Degradation-ladder rungs, cheapest-last. Each rung is attempted under a
+/// fresh budget slice (ResourceGovernor::grant_fallback); the first rung
+/// that completes a candidate wins.
+enum class Rung {
+  Full,          ///< the paper's flow: polarity search, both methods, both orders
+  FixedPolarity, ///< skip the search: PPRM (all-positive), natural order only
+  OfddOnly,      ///< Method 2 only, PPRM, natural order, no resub
+};
 
 } // namespace
 
@@ -112,6 +184,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
                    SynthReport* report) {
   Stopwatch sw;
   SynthReport rep;
+  ResourceGovernor* gov = opt.governor;
 
   // Candidate PI orders: the spec's natural order plus the reach heuristic.
   std::vector<std::vector<std::size_t>> orders;
@@ -131,31 +204,100 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
     bool valid = false;
   } best;
 
-  for (const auto& perm : orders) {
-    const bool identity = perm == orders[0];
-    const Network spec_p = identity ? spec : permute_pis(spec, perm);
-    BddManager mgr(static_cast<int>(spec_p.pi_count()));
-    const std::vector<BddRef> spec_fn = output_bdds(mgr, spec_p);
+  // Runs one ladder rung; fills `best` with the cheapest completed
+  // candidate (if any survives the budget).
+  const auto run_rung = [&](Rung rung) {
+    BitVec pprm(spec.pi_count());
+    pprm.set_all(); // all-positive polarity
+    const BitVec* fixed = rung == Rung::Full ? nullptr : &pprm;
+    const std::size_t num_orders = rung == Rung::Full ? orders.size() : 1;
 
-    // Section 3: build the factored candidates and keep the cheapest
-    // (the paper: "the results are comparable but the second method has
-    // better results on a few more test cases").
-    std::vector<Candidate> cands;
-    if (opt.method == FactorMethod::Cubes || opt.method == FactorMethod::Best)
-      cands.push_back(build_cubes_candidate(spec_p, mgr, spec_fn, opt));
-    if (opt.method == FactorMethod::Ofdd || opt.method == FactorMethod::Best)
-      cands.push_back(build_ofdd_candidate(spec_p, mgr, spec_fn, opt));
-
-    for (auto& c : cands) {
-      c.net = opt.run_resub ? resub_merge(c.net) : strash(c.net);
-      c.cost = network_stats(c.net).gates2;
-      if (!best.valid || c.cost < best.cand.cost) {
-        best.cand = std::move(c);
-        best.perm = perm;
-        best.valid = true;
+    for (std::size_t oi = 0; oi < num_orders; ++oi) {
+      if (gov != nullptr && gov->exhausted()) break;
+      const auto& perm = orders[oi];
+      const bool identity = oi == 0;
+      const Network spec_p = identity ? spec : permute_pis(spec, perm);
+      BddManager mgr(static_cast<int>(spec_p.pi_count()));
+      mgr.set_governor(gov);
+      std::vector<BddRef> spec_fn;
+      {
+        ResourceGovernor::StageScope stage(gov, "spec-bdd");
+        spec_fn = output_bdds(mgr, spec_p);
       }
+      bool fn_ok = true;
+      for (const BddRef f : spec_fn)
+        if (BddManager::is_invalid(f)) fn_ok = false;
+      if (!fn_ok) {
+        rep.bdd.accumulate(mgr.stats());
+        continue;
+      }
+
+      // Section 3: build the factored candidates and keep the cheapest
+      // (the paper: "the results are comparable but the second method has
+      // better results on a few more test cases").
+      std::vector<std::optional<Candidate>> cands;
+      if (rung != Rung::OfddOnly &&
+          (opt.method == FactorMethod::Cubes || opt.method == FactorMethod::Best))
+        cands.push_back(build_cubes_candidate(spec_p, mgr, spec_fn, opt, fixed));
+      if (rung == Rung::OfddOnly || opt.method == FactorMethod::Ofdd ||
+          opt.method == FactorMethod::Best)
+        cands.push_back(build_ofdd_candidate(spec_p, mgr, spec_fn, opt, fixed));
+
+      for (auto& oc : cands) {
+        if (!oc.has_value()) continue; // tripped mid-build: discard
+        Candidate& c = *oc;
+        if (opt.run_resub && rung != Rung::OfddOnly) {
+          ResourceGovernor::StageScope stage(gov, "resub");
+          ResubOptions ro;
+          ro.governor = gov;
+          c.net = resub_merge(c.net, ro);
+        } else {
+          c.net = strash(c.net);
+        }
+        c.cost = network_stats(c.net).gates2;
+        if (!best.valid || c.cost < best.cand.cost) {
+          best.cand = std::move(c);
+          best.perm = perm;
+          best.valid = true;
+        }
+      }
+      rep.bdd.accumulate(mgr.stats());
     }
-    rep.bdd.accumulate(mgr.stats());
+  };
+
+  // Walk the ladder until a rung completes. Each descent re-arms the
+  // budget; a rung that completed nothing under a *fresh* slice hands over
+  // to the next, cheaper rung.
+  constexpr Rung kLadder[] = {Rung::Full, Rung::FixedPolarity, Rung::OfddOnly};
+  // Ensures a live budget slice before a phase that still has work to do.
+  // Returns false when the ladder allowance is spent.
+  const auto regain = [&]() -> bool {
+    if (gov == nullptr || !gov->exhausted()) return true;
+    return gov->grant_fallback();
+  };
+  for (const Rung rung : kLadder) {
+    if (!regain()) break;
+    run_rung(rung);
+    if (best.valid) break;
+    ++rep.ladder_descents;
+    if (gov == nullptr) break; // ungoverned builds cannot fail; don't loop
+  }
+
+  const bool tripped = gov != nullptr && gov->trip_kind() != TripKind::None;
+
+  if (!best.valid) {
+    // Every rung died inside the budget: hand back the specification
+    // itself (trivially equivalent) and report failure.
+    Network out = strash(spec);
+    rep.status = FlowStatus::failed(
+        tripped ? gov->trip_stage() : "synthesis",
+        tripped ? std::string(to_string(gov->trip_kind())) + ": " +
+                      gov->trip_reason()
+                : "no candidate completed");
+    rep.seconds = sw.seconds();
+    rep.stats = network_stats(out);
+    if (report != nullptr) *report = rep;
+    return out;
   }
 
   Candidate& chosen = best.cand;
@@ -165,10 +307,13 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
   rep.outputs_via_ofdd = chosen.via_ofdd;
 
   // Section 4: redundancy removal (still in the permuted variable space —
-  // the FPRM forms refer to permuted PI indices).
-  if (opt.run_redundancy_removal) {
-    out = remove_xor_redundancy(out, chosen.forms, opt.redundancy,
-                                &rep.redundancy);
+  // the FPRM forms refer to permuted PI indices). Skipped when the ladder
+  // allowance is spent; the pass is optional for correctness.
+  if (opt.run_redundancy_removal && regain()) {
+    ResourceGovernor::StageScope stage(gov, "redundancy");
+    RedundancyOptions rdo = opt.redundancy;
+    rdo.governor = gov;
+    out = remove_xor_redundancy(out, chosen.forms, rdo, &rep.redundancy);
   }
   out = strash(out);
 
@@ -215,12 +360,22 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
   rep.forms = std::move(chosen.forms);
 
   if (opt.verify) {
-    const auto check = check_equivalence(spec, out);
-    if (!check.equivalent)
+    // Give the verifier a fresh slice when the budget already died: an
+    // undecided internal check on a degraded result is acceptable, but we
+    // should at least try. Real mismatches still throw — degradation never
+    // excuses a wrong network.
+    (void)regain();
+    ResourceGovernor::StageScope stage(gov, "verify");
+    const auto check = check_equivalence(spec, out, 0xC0FFEE, gov);
+    if (check.decided && !check.equivalent)
       throw std::logic_error("synthesize: result not equivalent to spec: " +
                              check.reason);
   }
 
+  rep.status = (gov != nullptr && gov->trip_kind() != TripKind::None)
+                   ? FlowStatus::degraded(gov->trip_stage(),
+                                          to_string(gov->trip_kind()))
+                   : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(out);
   if (report != nullptr) *report = rep;

@@ -18,6 +18,7 @@
 #include "fdd/fprm.hpp"
 #include "network/network.hpp"
 #include "network/stats.hpp"
+#include "util/governor.hpp"
 
 namespace rmsyn {
 
@@ -44,6 +45,12 @@ struct SynthOptions {
   /// addition to the spec's natural order; off = natural order only
   /// (used by the ordering ablation).
   bool try_reach_order = true;
+  /// Resource budget. On exhaustion the flow walks a degradation ladder
+  /// instead of aborting: full polarity search → heuristic fixed polarity
+  /// (PPRM, natural order) → Method 2 only → spec passthrough (failed).
+  /// Each descent re-arms the governor with a fresh slice. Null = the
+  /// exact pre-governor behavior.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct SynthReport {
@@ -57,6 +64,11 @@ struct SynthReport {
   /// DD-kernel counters accumulated over every manager the flow created
   /// (one per candidate PI order).
   BddStats bdd;
+  /// ok, degraded:<stage-of-first-trip>, or failed:<reason>. Always `ok`
+  /// when no governor is attached.
+  FlowStatus status;
+  /// How many ladder descents the result consumed (0 = full flow).
+  std::size_t ladder_descents = 0;
 };
 
 /// Runs the full flow. PI/PO order of the result matches the spec.

@@ -60,7 +60,7 @@ std::vector<BddRef> output_bdds(BddManager& mgr, const Network& net) {
 }
 
 EquivResult check_equivalence(const Network& a, const Network& b,
-                              uint64_t sim_seed) {
+                              uint64_t sim_seed, ResourceGovernor* governor) {
   if (a.pi_count() != b.pi_count())
     return {false, "PI count differs"};
   if (a.po_count() != b.po_count())
@@ -80,14 +80,20 @@ EquivResult check_equivalence(const Network& a, const Network& b,
   }
 
   BddManager mgr(static_cast<int>(a.pi_count()));
+  mgr.set_governor(governor);
   // Wide interfaces are where the identity order blows up; let the kernel
   // sift. node_bdds pins every intermediate, so reordering is safe here.
   if (a.pi_count() > 16) mgr.set_auto_reorder(true);
+  const EquivResult undecided{false, "equivalence undecided: resource budget "
+                                     "exhausted", false};
   const auto fa = output_bdds(mgr, a);
   const auto fb = output_bdds(mgr, b);
   for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (BddManager::is_invalid(fa[i]) || BddManager::is_invalid(fb[i]))
+      return undecided;
     if (fa[i] != fb[i]) {
       const BddRef diff = mgr.bdd_xor(fa[i], fb[i]);
+      if (BddManager::is_invalid(diff)) return undecided;
       const BitVec witness = mgr.pick_sat(diff);
       std::ostringstream msg;
       msg << "BDD mismatch on output " << i << " (" << a.po_name(i)

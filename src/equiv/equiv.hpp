@@ -25,12 +25,21 @@ std::vector<BddRef> output_bdds(BddManager& mgr, const Network& net);
 struct EquivResult {
   bool equivalent = false;
   std::string reason; ///< human-readable mismatch description when not
+  /// False when a governed check ran out of budget before reaching a
+  /// verdict; `equivalent` is then meaningless. Ungoverned checks always
+  /// decide.
+  bool decided = true;
 };
 
 /// Checks functional equivalence of two networks with identical PI/PO
-/// counts, matching PIs and POs by position.
+/// counts, matching PIs and POs by position. With a governor attached the
+/// BDD phase is budgeted: on a trip the result comes back undecided
+/// (decided == false) rather than as a spurious NOT-EQUIVALENT. The
+/// random-simulation prepass always runs, so genuine mismatches it can see
+/// are decided even on an exhausted budget.
 EquivResult check_equivalence(const Network& a, const Network& b,
-                              uint64_t sim_seed = 0xC0FFEE);
+                              uint64_t sim_seed = 0xC0FFEE,
+                              ResourceGovernor* governor = nullptr);
 
 /// Checks a network against explicit truth tables (PO i vs tts[i]).
 EquivResult check_against_tts(const Network& net,

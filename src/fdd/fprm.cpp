@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_map>
 
 namespace rmsyn {
@@ -59,6 +60,7 @@ BddRef rm_spectrum(BddManager& mgr, BddRef f, const std::vector<int>& vars,
   std::unordered_map<uint64_t, BddRef> memo;
   const std::function<BddRef(BddRef, std::size_t)> rec =
       [&](BddRef g, std::size_t depth) -> BddRef {
+    if (BddManager::is_invalid(g)) return BddManager::kInvalid;
     if (depth == ordered.size()) {
       assert(mgr.is_terminal(g));
       return g;
@@ -69,9 +71,12 @@ BddRef rm_spectrum(BddManager& mgr, BddRef f, const std::vector<int>& vars,
     const BddRef g0 = mgr.cofactor(g, v, false);
     const BddRef g1 = mgr.cofactor(g, v, true);
     const BddRef gd = mgr.bdd_xor(g0, g1); // Boolean difference
+    if (BddManager::is_invalid(gd)) return BddManager::kInvalid;
     const bool pos = polarity.get(static_cast<std::size_t>(v));
     const BddRef lo = rec(pos ? g0 : g1, depth + 1);
+    if (BddManager::is_invalid(lo)) return BddManager::kInvalid;
     const BddRef hi = rec(gd, depth + 1);
+    if (BddManager::is_invalid(hi)) return BddManager::kInvalid;
     const BddRef r = mgr.mk_node(v, lo, hi);
     memo.emplace(key, r);
     return r;
@@ -86,6 +91,7 @@ BddRef rm_inverse(BddManager& mgr, BddRef spectrum, const std::vector<int>& vars
   std::unordered_map<uint64_t, BddRef> memo;
   const std::function<BddRef(BddRef, std::size_t)> rec =
       [&](BddRef r, std::size_t depth) -> BddRef {
+    if (BddManager::is_invalid(r)) return BddManager::kInvalid;
     if (depth == ordered.size()) {
       assert(mgr.is_terminal(r));
       return r;
@@ -99,10 +105,13 @@ BddRef rm_inverse(BddManager& mgr, BddRef spectrum, const std::vector<int>& vars
       r_hi = mgr.hi_of(r);
     }
     const BddRef base = rec(r_lo, depth + 1);  // part without the literal
+    if (BddManager::is_invalid(base)) return BddManager::kInvalid;
     const BddRef diff = rec(r_hi, depth + 1);  // coefficient of the literal
+    if (BddManager::is_invalid(diff)) return BddManager::kInvalid;
     const bool pos = polarity.get(static_cast<std::size_t>(v));
     const BddRef lit = mgr.literal(v, pos);
     const BddRef g = mgr.bdd_xor(base, mgr.bdd_and(lit, diff));
+    if (BddManager::is_invalid(g)) return BddManager::kInvalid;
     memo.emplace(key, g);
     return g;
   };
@@ -157,19 +166,27 @@ BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
   // The search evaluates many candidate spectra in this one manager; pin
   // the input and collect the dead candidates as garbage accumulates.
   mgr.ref(f);
+  ResourceGovernor* gov = mgr.governor();
   const std::size_t gc_watermark = mgr.node_count() * 2 + 2048;
   const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
     const BddRef spec = rm_spectrum(mgr, f, vars, pol);
+    // An exhausted budget yields an invalid spectrum; rank it strictly
+    // worst so a partial search still returns its best complete candidate.
+    if (BddManager::is_invalid(spec))
+      return {std::numeric_limits<double>::infinity(),
+              std::numeric_limits<std::size_t>::max()};
     const std::pair<double, std::size_t> c{fprm_cube_count(mgr, spec, vars),
                                            mgr.size(spec)};
     if (mgr.node_count() > gc_watermark) mgr.gc();
     return c;
   };
+  const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
 
   auto best_cost = cost(best);
 
   if (static_cast<int>(vars.size()) <= opt.exhaustive_limit) {
     for (uint64_t mask = 0; mask < (uint64_t{1} << vars.size()); ++mask) {
+      if (out_of_budget()) break; // keep the best polarity seen so far
       BitVec pol(static_cast<std::size_t>(mgr.nvars()));
       pol.set_all();
       for (std::size_t i = 0; i < vars.size(); ++i)
@@ -185,9 +202,10 @@ BitVec best_polarity(BddManager& mgr, BddRef f, const PolarityOptions& opt) {
   }
 
   // Greedy bit-flip descent from PPRM.
-  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+  for (int pass = 0; pass < opt.greedy_passes && !out_of_budget(); ++pass) {
     bool improved = false;
     for (const int v : vars) {
+      if (out_of_budget()) break;
       BitVec cand = best;
       cand.flip(static_cast<std::size_t>(v));
       const auto c = cost(cand);
@@ -228,6 +246,7 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
 
   // As in best_polarity: one long-lived manager, pinned inputs, periodic GC.
   for (const BddRef f : fs) mgr.ref(f);
+  ResourceGovernor* gov = mgr.governor();
   const std::size_t gc_watermark = mgr.node_count() * 2 + 2048;
   const auto cost = [&](const BitVec& pol) -> std::pair<double, std::size_t> {
     double cubes = 0;
@@ -235,6 +254,9 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
     for (std::size_t j = 0; j < fs.size(); ++j) {
       if (out_vars[j].empty()) continue;
       const BddRef spec = rm_spectrum(mgr, fs[j], out_vars[j], pol);
+      if (BddManager::is_invalid(spec))
+        return {std::numeric_limits<double>::infinity(),
+                std::numeric_limits<std::size_t>::max()};
       cubes += fprm_cube_count(mgr, spec, out_vars[j]);
       nodes += mgr.size(spec);
     }
@@ -245,10 +267,12 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
     for (const BddRef f : fs) mgr.deref(f);
     return b;
   };
+  const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
 
   auto best_cost = cost(best);
   if (static_cast<int>(vars.size()) <= opt.exhaustive_limit) {
     for (uint64_t mask = 0; mask < (uint64_t{1} << vars.size()); ++mask) {
+      if (out_of_budget()) break; // keep the best polarity seen so far
       BitVec pol(static_cast<std::size_t>(mgr.nvars()));
       pol.set_all();
       for (std::size_t i = 0; i < vars.size(); ++i)
@@ -261,9 +285,10 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
     }
     return finish(best);
   }
-  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+  for (int pass = 0; pass < opt.greedy_passes && !out_of_budget(); ++pass) {
     bool improved = false;
     for (const int v : vars) {
+      if (out_of_budget()) break;
       BitVec cand = best;
       cand.flip(static_cast<std::size_t>(v));
       const auto c = cost(cand);

@@ -1,5 +1,7 @@
 #include "fdd/kfdd.hpp"
 
+#include <limits>
+
 #include "equiv/equiv.hpp"
 #include "network/stats.hpp"
 #include "network/transform.hpp"
@@ -15,6 +17,10 @@ KfddBuilder::KfddBuilder(Network& net, const std::vector<NodeId>& pi_nodes,
 NodeId KfddBuilder::build(BddRef f) { return build_rec(f, 0); }
 
 NodeId KfddBuilder::build_rec(BddRef f, int level) {
+  if (BddManager::is_invalid(f)) {
+    failed_ = true; // governor tripped; caller must discard the network
+    return Network::kConst0;
+  }
   if (f == BddManager::kFalse) return Network::kConst0;
   if (f == BddManager::kTrue) return Network::kConst1;
   // Skip variables the function no longer depends on (the BDD is ordered,
@@ -84,6 +90,8 @@ std::size_t kfdd_cost(BddManager& mgr, const std::vector<BddRef>& outputs,
   for (std::size_t i = 0; i < num_pis; ++i) pis.push_back(net.add_pi());
   KfddBuilder builder(net, pis, mgr, exp);
   for (const BddRef f : outputs) net.add_po(builder.build(f));
+  if (builder.failed()) // budget died mid-build: rank strictly worst
+    return std::numeric_limits<std::size_t>::max();
   return network_stats(strash(net)).gates2;
 }
 
@@ -102,11 +110,13 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
     if (mgr.node_count() > gc_watermark) mgr.gc();
     return c;
   };
+  ResourceGovernor* gov = mgr.governor();
+  const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
   std::vector<Expansion> best(n, Expansion::PositiveDavio);
   std::size_t best_cost = cost_of(best);
-  for (int pass = 0; pass < opt.greedy_passes; ++pass) {
+  for (int pass = 0; pass < opt.greedy_passes && !out_of_budget(); ++pass) {
     bool improved = false;
-    for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t v = 0; v < n && !out_of_budget(); ++v) {
       for (const Expansion e : {Expansion::Shannon, Expansion::PositiveDavio,
                                 Expansion::NegativeDavio}) {
         if (e == best[v]) continue;

@@ -36,6 +36,11 @@ public:
   /// Builds (or reuses) the subnetwork computing `f`.
   NodeId build(BddRef f);
 
+  /// True once any build hit an invalid ref (the manager's governor
+  /// tripped mid-construction); the networks produced since are not
+  /// trustworthy and must be discarded.
+  bool failed() const { return failed_; }
+
 private:
   NodeId build_rec(BddRef f, int level);
 
@@ -46,6 +51,7 @@ private:
   std::vector<Expansion> expansions_;
   std::vector<NodeId> not_cache_;
   std::unordered_map<uint64_t, NodeId> memo_; ///< (f, level) -> node
+  bool failed_ = false;
 };
 
 struct KfddSearchOptions {

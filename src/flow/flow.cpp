@@ -16,24 +16,73 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
   row.arithmetic = bench.arithmetic;
   row.exact_benchmark = bench.exact;
 
-  SynthReport ours_rep;
-  const Network ours = synthesize(bench.spec, opt.synth, &ours_rep);
-  row.ours_lits = ours_rep.stats.lits;
-  row.ours_seconds = ours_rep.seconds;
-  row.bdd = ours_rep.bdd;
+  // Each flow runs under its own governor (fresh budget) and its own
+  // try/catch: a verification throw in one flow must not discard the
+  // other's result.
+  std::optional<Network> ours;
+  {
+    SynthOptions so = opt.synth;
+    std::optional<ResourceGovernor> gov;
+    if (so.governor == nullptr && !opt.limits.unlimited()) {
+      gov.emplace(opt.limits);
+      so.governor = &*gov;
+    }
+    try {
+      SynthReport rep;
+      Network n = synthesize(bench.spec, so, &rep);
+      row.ours_lits = rep.stats.lits;
+      row.ours_seconds = rep.seconds;
+      row.bdd = rep.bdd;
+      row.ours_status = rep.status;
+      if (!rep.status.is_failed()) ours = std::move(n);
+    } catch (const std::exception& e) {
+      row.ours_status = FlowStatus::failed("verify", e.what());
+      row.ours_lits = 0;
+      row.ours_seconds = 0.0;
+    }
+  }
 
-  BaselineReport base_rep;
-  const Network base = baseline_synthesize(bench.spec, opt.baseline, &base_rep);
-  row.base_lits = base_rep.stats.lits;
-  row.base_seconds = base_rep.seconds;
+  std::optional<Network> base;
+  {
+    BaselineOptions bo = opt.baseline;
+    std::optional<ResourceGovernor> gov;
+    if (bo.governor == nullptr && !opt.limits.unlimited()) {
+      gov.emplace(opt.limits);
+      bo.governor = &*gov;
+    }
+    try {
+      BaselineReport rep;
+      Network n = baseline_synthesize(bench.spec, bo, &rep);
+      row.base_lits = rep.stats.lits;
+      row.base_seconds = rep.seconds;
+      row.base_status = rep.status;
+      base = std::move(n);
+    } catch (const std::exception& e) {
+      row.base_status = FlowStatus::failed("baseline-verify", e.what());
+      row.base_lits = 0;
+      row.base_seconds = 0.0;
+    }
+  }
+
+  // Bottom rung of the degradation ladder: when our flow failed outright,
+  // the delivered result is the baseline's network (status stays failed so
+  // the table shows what happened).
+  if (!ours.has_value() && base.has_value()) {
+    ours = base;
+    row.ours_lits = network_stats(*ours).lits;
+  }
 
   if (opt.run_mapping) {
-    const auto mo = map_network(ours, mcnc_library());
-    const auto mb = map_network(base, mcnc_library());
-    row.ours_gates = mo.gate_count;
-    row.ours_map_lits = mo.literal_count;
-    row.base_gates = mb.gate_count;
-    row.base_map_lits = mb.literal_count;
+    if (ours.has_value()) {
+      const auto mo = map_network(*ours, mcnc_library());
+      row.ours_gates = mo.gate_count;
+      row.ours_map_lits = mo.literal_count;
+    }
+    if (base.has_value()) {
+      const auto mb = map_network(*base, mcnc_library());
+      row.base_gates = mb.gate_count;
+      row.base_map_lits = mb.literal_count;
+    }
   }
   if (opt.run_power) {
     // Power is compared on XOR-expanded AND/OR networks so that a kept XOR
@@ -42,8 +91,8 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
     const auto nets_of = [](const Network& n) {
       return expand_xor(decompose2(strash(n)));
     };
-    row.ours_power = estimate_power(nets_of(ours)).total;
-    row.base_power = estimate_power(nets_of(base)).total;
+    if (ours.has_value()) row.ours_power = estimate_power(nets_of(*ours)).total;
+    if (base.has_value()) row.base_power = estimate_power(nets_of(*base)).total;
   }
   return row;
 }
@@ -67,13 +116,18 @@ std::string format_table2(const std::vector<FlowRow>& rows) {
   const auto emit = [&](const FlowRow& r, const char* mark) {
     char io[32];
     std::snprintf(io, sizeof io, "%d/%d", r.num_inputs, r.num_outputs);
+    std::string tags = mark;
+    if (!r.ours_status.is_ok())
+      tags += " [ours:" + r.ours_status.to_string() + "]";
+    if (!r.base_status.is_ok())
+      tags += " [sis:" + r.base_status.to_string() + "]";
     std::snprintf(buf, sizeof buf,
                   "%-10s %-8s | %-7zu %-8.2f | %-7zu %-8.2f | %-6zu %-6zu | "
                   "%-6zu %-6zu | %-8.1f %-8.1f %s\n",
                   r.circuit.c_str(), io, r.base_lits, r.base_seconds,
                   r.ours_lits, r.ours_seconds, r.base_gates, r.base_map_lits,
                   r.ours_gates, r.ours_map_lits, r.improve_lits_pct(),
-                  r.improve_power_pct(), mark);
+                  r.improve_power_pct(), tags.c_str());
     out << buf;
   };
 

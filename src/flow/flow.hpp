@@ -43,6 +43,15 @@ struct FlowRow {
   // manager synthesize() created for this circuit).
   BddStats bdd;
 
+  // Per-flow outcome. A failed flow keeps its columns at zero (or, for the
+  // FPRM flow, mirrors the baseline columns when the baseline survived —
+  // the last rung of the degradation ladder ships the baseline result).
+  FlowStatus ours_status;
+  FlowStatus base_status;
+  const FlowStatus& worst_status() const {
+    return worse(ours_status, base_status);
+  }
+
   double improve_lits_pct() const {
     return base_map_lits == 0
                ? 0.0
@@ -60,10 +69,16 @@ struct FlowOptions {
   BaselineOptions baseline;
   bool run_mapping = true;
   bool run_power = true;
+  /// Resource budget, applied to each flow with its own fresh governor so
+  /// one flow's exhaustion cannot starve the other. Ignored for a flow
+  /// whose options already carry an explicit governor.
+  ResourceLimits limits;
 };
 
-/// Runs one circuit through both flows. Throws on internal verification
-/// failure (both flows check equivalence against the spec).
+/// Runs one circuit through both flows. An internal verification failure
+/// (or any other exception) in one flow is captured into that flow's
+/// FlowStatus instead of propagating, so the surviving flow's columns are
+/// kept. run_flow itself only throws for spec-construction errors.
 FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt = {});
 FlowRow run_flow(const std::string& circuit, const FlowOptions& opt = {});
 

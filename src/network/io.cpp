@@ -113,7 +113,14 @@ struct BlifNames {
   std::vector<std::string> inputs; // signal names
   std::string output;
   std::vector<std::string> rows; // cube rows "10- 1"
+  std::vector<int> row_lines;    // source line of each row (diagnostics)
+  int line = 0;                  // source line of the .names header
 };
+
+[[noreturn]] void blif_error(int lineno, const std::string& what) {
+  throw std::runtime_error("read_blif: line " + std::to_string(lineno) + ": " +
+                           what);
+}
 
 } // namespace
 
@@ -122,9 +129,14 @@ Network read_blif(std::istream& in) {
   std::vector<BlifNames> blocks;
 
   std::string line, pending;
+  int phys_line = 0;    // physical lines consumed so far
+  int logical_line = 0; // line the current logical line started on
   const auto next_logical_line = [&](std::string& out_line) -> bool {
     out_line.clear();
+    logical_line = 0;
     while (std::getline(in, line)) {
+      ++phys_line;
+      if (logical_line == 0) logical_line = phys_line;
       if (const auto pos = line.find('#'); pos != std::string::npos)
         line.erase(pos);
       while (!line.empty() &&
@@ -138,6 +150,7 @@ Network read_blif(std::istream& in) {
       }
       out_line += line;
       if (!out_line.empty()) return true;
+      logical_line = 0; // blank line: restart the span
     }
     return !out_line.empty();
   };
@@ -155,32 +168,51 @@ Network read_blif(std::istream& in) {
       output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
       current = nullptr;
     } else if (toks[0] == ".names") {
-      if (toks.size() < 2)
-        throw std::runtime_error("read_blif: .names without output");
+      if (toks.size() < 2) blif_error(logical_line, ".names without output");
       blocks.emplace_back();
       current = &blocks.back();
       current->inputs.assign(toks.begin() + 1, toks.end() - 1);
       current->output = toks.back();
+      current->line = logical_line;
     } else if (toks[0] == ".end") {
       break;
     } else if (toks[0] == ".latch" || toks[0] == ".subckt" ||
                toks[0] == ".gate") {
-      throw std::runtime_error("read_blif: sequential/hierarchical BLIF not "
-                               "supported: " + toks[0]);
+      blif_error(logical_line,
+                 "sequential/hierarchical BLIF not supported: " + toks[0]);
     } else if (toks[0][0] == '.') {
       // Other directives (.default_input_arrival etc.) are ignored.
       current = nullptr;
     } else {
       if (current == nullptr)
-        throw std::runtime_error("read_blif: cube row outside .names: " +
-                                 pending);
+        blif_error(logical_line, "cube row outside .names: " + pending);
       current->rows.push_back(pending);
+      current->row_lines.push_back(logical_line);
     }
   }
 
   Network net;
   std::map<std::string, NodeId> signal;
-  for (const auto& n : input_names) signal[n] = net.add_pi(n);
+  for (const auto& n : input_names) {
+    if (signal.count(n))
+      throw std::runtime_error("read_blif: duplicate input " + n);
+    signal[n] = net.add_pi(n);
+  }
+  // Reject .names blocks that would silently shadow a PI or another block.
+  for (const auto& b : blocks) {
+    if (signal.count(b.output))
+      blif_error(b.line, ".names redefines input " + b.output);
+  }
+  {
+    std::map<std::string, int> driver_line;
+    for (const auto& b : blocks) {
+      const auto [it, fresh] = driver_line.emplace(b.output, b.line);
+      if (!fresh)
+        blif_error(b.line, ".names redefines " + b.output +
+                               " (first defined at line " +
+                               std::to_string(it->second) + ")");
+    }
+  }
 
   // .names blocks may be out of order; resolve iteratively.
   std::vector<bool> done(blocks.size(), false);
@@ -208,13 +240,22 @@ Network read_blif(std::istream& in) {
       } else {
         std::vector<NodeId> terms;
         bool complemented_rows = false, true_rows = false;
-        for (const auto& row : b.rows) {
+        for (std::size_t ri = 0; ri < b.rows.size(); ++ri) {
+          const std::string& row = b.rows[ri];
+          const int row_line = b.row_lines[ri];
           const auto toks = split_tokens(row);
           if (toks.size() != 2)
-            throw std::runtime_error("read_blif: bad cube row: " + row);
+            blif_error(row_line, "expected '<mask> <value>', got " +
+                                     std::to_string(toks.size()) +
+                                     " fields: " + row);
           const std::string& mask = toks[0];
           if (mask.size() != b.inputs.size())
-            throw std::runtime_error("read_blif: cube width mismatch: " + row);
+            blif_error(row_line, "mask is " + std::to_string(mask.size()) +
+                                     " wide, .names has " +
+                                     std::to_string(b.inputs.size()) +
+                                     " inputs: " + row);
+          if (toks[1] != "1" && toks[1] != "0")
+            blif_error(row_line, "output value must be 0 or 1: " + row);
           (toks[1] == "1" ? true_rows : complemented_rows) = true;
           std::vector<NodeId> lits;
           for (std::size_t i = 0; i < mask.size(); ++i) {
@@ -222,14 +263,15 @@ Network read_blif(std::istream& in) {
             if (mask[i] == '1') lits.push_back(src);
             else if (mask[i] == '0') lits.push_back(net.add_not(src));
             else if (mask[i] != '-')
-              throw std::runtime_error("read_blif: bad cube char: " + row);
+              blif_error(row_line, std::string("bad cube character '") +
+                                       mask[i] + "': " + row);
           }
           if (lits.empty()) terms.push_back(Network::kConst1);
           else if (lits.size() == 1) terms.push_back(lits[0]);
           else terms.push_back(net.add_gate(GateType::And, std::move(lits)));
         }
         if (true_rows && complemented_rows)
-          throw std::runtime_error("read_blif: mixed-phase .names block");
+          blif_error(b.line, "mixed-phase .names block for " + b.output);
         if (terms.empty()) node = Network::kConst0;
         else if (terms.size() == 1) node = terms[0];
         else node = net.add_gate(GateType::Or, std::move(terms));

@@ -17,22 +17,58 @@ std::vector<std::string> split_ws(const std::string& line) {
   return out;
 }
 
+[[noreturn]] void pla_error(int lineno, const std::string& what) {
+  throw std::runtime_error("read_pla: line " + std::to_string(lineno) + ": " +
+                           what);
+}
+
+/// Width cap for .i/.o — far above any PLA this code meets, low enough
+/// that a corrupt header cannot drive a multi-gigabyte allocation.
+constexpr int kMaxPlaWidth = 1 << 20;
+
+int parse_width(const std::vector<std::string>& toks, const char* directive,
+                int lineno) {
+  if (toks.size() < 2) pla_error(lineno, std::string(directive) + ": missing value");
+  if (toks.size() > 2)
+    pla_error(lineno, std::string(directive) + ": expected one value, got '" +
+                          toks[2] + "'");
+  const std::string& v = toks[1];
+  int n = 0;
+  try {
+    std::size_t pos = 0;
+    n = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+  } catch (const std::exception&) {
+    pla_error(lineno,
+              std::string(directive) + ": not an integer: '" + v + "'");
+  }
+  if (n <= 0)
+    pla_error(lineno, std::string(directive) + ": must be positive, got " + v);
+  if (n > kMaxPlaWidth)
+    pla_error(lineno, std::string(directive) + ": implausible width " + v);
+  return n;
+}
+
 } // namespace
 
 PlaFile read_pla(std::istream& in) {
   PlaFile pla;
   std::string line;
   bool sized = false;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     // Strip comments.
     if (const auto pos = line.find('#'); pos != std::string::npos)
       line.erase(pos);
     const auto toks = split_ws(line);
     if (toks.empty()) continue;
     if (toks[0] == ".i") {
-      pla.num_inputs = std::stoi(toks.at(1));
+      if (sized) pla_error(lineno, ".i after the first cube");
+      pla.num_inputs = parse_width(toks, ".i", lineno);
     } else if (toks[0] == ".o") {
-      pla.num_outputs = std::stoi(toks.at(1));
+      if (sized) pla_error(lineno, ".o after the first cube");
+      pla.num_outputs = parse_width(toks, ".o", lineno);
     } else if (toks[0] == ".ilb") {
       pla.input_names.assign(toks.begin() + 1, toks.end());
     } else if (toks[0] == ".ob") {
@@ -42,27 +78,40 @@ PlaFile read_pla(std::istream& in) {
     } else if (toks[0] == ".e" || toks[0] == ".end") {
       break;
     } else if (toks[0][0] == '.') {
-      throw std::runtime_error("read_pla: unsupported directive " + toks[0]);
+      pla_error(lineno, "unsupported directive " + toks[0]);
     } else {
       if (!sized) {
         if (pla.num_inputs <= 0 || pla.num_outputs <= 0)
-          throw std::runtime_error("read_pla: cube before .i/.o");
+          pla_error(lineno, "cube before .i/.o");
         pla.outputs.assign(static_cast<std::size_t>(pla.num_outputs),
                            Cover(pla.num_inputs));
         sized = true;
       }
       if (toks.size() != 2)
-        throw std::runtime_error("read_pla: bad cube line: " + line);
+        pla_error(lineno, "expected '<inputs> <outputs>', got " +
+                              std::to_string(toks.size()) + " fields: " + line);
       const std::string& in_part = toks[0];
       const std::string& out_part = toks[1];
-      if (static_cast<int>(in_part.size()) != pla.num_inputs ||
-          static_cast<int>(out_part.size()) != pla.num_outputs)
-        throw std::runtime_error("read_pla: cube width mismatch: " + line);
+      if (static_cast<int>(in_part.size()) != pla.num_inputs)
+        pla_error(lineno, "input part is " + std::to_string(in_part.size()) +
+                              " wide, .i says " +
+                              std::to_string(pla.num_inputs) + ": " + line);
+      if (static_cast<int>(out_part.size()) != pla.num_outputs)
+        pla_error(lineno, "output part is " + std::to_string(out_part.size()) +
+                              " wide, .o says " +
+                              std::to_string(pla.num_outputs) + ": " + line);
+      for (const char c : in_part)
+        if (c != '0' && c != '1' && c != '-' && c != '2')
+          pla_error(lineno,
+                    std::string("bad input-plane character '") + c + "': " + line);
       const Cube cube = Cube::parse(in_part);
       for (int o = 0; o < pla.num_outputs; ++o) {
         const char c = out_part[static_cast<std::size_t>(o)];
         if (c == '1' || c == '4')
           pla.outputs[static_cast<std::size_t>(o)].add(cube);
+        else if (c != '0' && c != '~' && c != '-' && c != '2' && c != '3')
+          pla_error(lineno, std::string("bad output-plane character '") + c +
+                                "': " + line);
         // '0' and '~' mean "not in this output's ON-set"; '-'/'2' (don't
         // care) is treated as OFF for type fd reproducibility.
       }

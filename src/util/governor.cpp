@@ -1,0 +1,135 @@
+#include "util/governor.hpp"
+
+#include <utility>
+
+namespace rmsyn {
+
+const char* to_string(TripKind k) {
+  switch (k) {
+    case TripKind::None: return "none";
+    case TripKind::Deadline: return "deadline";
+    case TripKind::NodeLimit: return "node-limit";
+    case TripKind::StepLimit: return "step-limit";
+    case TripKind::Cancelled: return "cancelled";
+    case TripKind::FaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
+ResourceGovernor::ResourceGovernor(ResourceLimits limits)
+    : limits_(std::move(limits)), slice_start_(Clock::now()) {}
+
+bool ResourceGovernor::slow_poll() {
+  if (cancel_requested_.load(std::memory_order_relaxed)) {
+    trip(TripKind::Cancelled, "cancel requested");
+    return false;
+  }
+  if (limits_.step_limit != 0 &&
+      steps_ - slice_step_base_ >= limits_.step_limit) {
+    trip(TripKind::StepLimit, "step budget exhausted");
+    return false;
+  }
+  if (limits_.deadline_seconds > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - slice_start_).count();
+    if (elapsed >= limits_.deadline_seconds) {
+      trip(TripKind::Deadline, "deadline exceeded");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResourceGovernor::note_nodes(std::size_t live) {
+  if (tripped_.load(std::memory_order_relaxed)) return false;
+  if (limits_.node_limit != 0 && live > limits_.node_limit) {
+    trip(TripKind::NodeLimit, "live node limit exceeded");
+    return false;
+  }
+  return true;
+}
+
+bool ResourceGovernor::count_allocation() {
+  ++allocations_;
+  if (limits_.faults.fail_at_allocation != 0 &&
+      allocations_ == limits_.faults.fail_at_allocation) {
+    trip(TripKind::FaultInjected, "fault: allocation budget");
+    return false;
+  }
+  return !tripped_.load(std::memory_order_relaxed);
+}
+
+void ResourceGovernor::begin_stage(const char* stage) {
+  stage_stack_.emplace_back(stage);
+  if (!limits_.faults.trip_at_stage.empty() &&
+      limits_.faults.trip_at_stage == stage) {
+    trip(TripKind::FaultInjected,
+         "fault: forced deadline at stage '" + std::string(stage) + "'");
+  }
+}
+
+void ResourceGovernor::end_stage() {
+  if (!stage_stack_.empty()) stage_stack_.pop_back();
+}
+
+std::string ResourceGovernor::current_stage() const {
+  return stage_stack_.empty() ? std::string() : stage_stack_.back();
+}
+
+bool ResourceGovernor::grant_fallback() {
+  if (!tripped_.load(std::memory_order_relaxed)) return true;
+  if (fallbacks_ >= kMaxFallbacks) return false;
+  ++fallbacks_;
+  // Fresh slice: restart the clock and the step counter; the allocation
+  // fault stays armed only if it has not fired yet (it is one-shot).
+  slice_start_ = Clock::now();
+  slice_step_base_ = steps_;
+  tripped_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void ResourceGovernor::trip(TripKind kind, std::string reason) {
+  if (!tripped_.exchange(true, std::memory_order_relaxed) &&
+      first_trip_kind_ == TripKind::None) {
+    first_trip_kind_ = kind;
+    first_trip_stage_ = current_stage();
+    first_trip_reason_ = std::move(reason);
+  }
+}
+
+// --- FlowStatus -------------------------------------------------------------
+
+FlowStatus FlowStatus::degraded(std::string stage, std::string reason) {
+  FlowStatus s;
+  s.outcome = FlowOutcome::Degraded;
+  s.stage = std::move(stage);
+  s.reason = std::move(reason);
+  return s;
+}
+
+FlowStatus FlowStatus::failed(std::string stage, std::string reason) {
+  FlowStatus s;
+  s.outcome = FlowOutcome::Failed;
+  s.stage = std::move(stage);
+  s.reason = std::move(reason);
+  return s;
+}
+
+std::string FlowStatus::to_string() const {
+  switch (outcome) {
+    case FlowOutcome::Ok: return "ok";
+    case FlowOutcome::Degraded:
+      return "degraded:" + (stage.empty() ? std::string("?") : stage);
+    case FlowOutcome::Failed:
+      return "failed:" + (reason.empty()
+                              ? (stage.empty() ? std::string("?") : stage)
+                              : reason);
+  }
+  return "?";
+}
+
+const FlowStatus& worse(const FlowStatus& a, const FlowStatus& b) {
+  return b.severity() > a.severity() ? b : a;
+}
+
+} // namespace rmsyn

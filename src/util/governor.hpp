@@ -1,0 +1,199 @@
+// Cooperative resource governor for the synthesis flow.
+//
+// The paper's flow is worst-case exponential at three points — ROBDD
+// construction, the OFDD polarity search, and FPRM cube enumeration — so
+// every long-running loop in the stack polls a shared ResourceGovernor and
+// unwinds with a *status*, never an exception crossing a module boundary.
+// The DD kernel signals exhaustion by returning BddManager::kInvalid from
+// its recursive operations; higher layers translate that into a
+// degradation-ladder step (see core/synth.cpp) and ultimately into the
+// FlowStatus carried by SynthReport/FlowRow.
+//
+// Budgets:
+//  * wall-clock deadline (checked every kCheckInterval polls to keep the
+//    hot-path cost to a counter increment and a mask),
+//  * peak live DD nodes (note_nodes(), called by BddManager::mk),
+//  * a step budget (every poll is one step; deterministic, used by tests
+//    and the fuzzer),
+//  * an external cancel() flag (thread-safe; e.g. a signal handler).
+//
+// Fault injection (GovernorFaults) makes every fallback edge reachable
+// deterministically: fail the Nth node allocation, force-trip the deadline
+// when a named stage begins, or make the computed table behave as if it
+// always overflowed (every lookup misses).
+//
+// Degradation ladder support: after a trip, grant_fallback() re-arms a
+// fresh budget slice so the next (cheaper) rung gets a real chance instead
+// of inheriting an already-dead budget. The first trip's kind/stage/reason
+// are preserved for reporting.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmsyn {
+
+/// Deterministic fault-injection hooks; all off by default.
+struct GovernorFaults {
+  /// Trip when the Nth DD-node allocation happens (1-based; 0 = off).
+  uint64_t fail_at_allocation = 0;
+  /// Force a deadline trip whenever this stage begins (empty = off).
+  std::string trip_at_stage;
+  /// Make every computed-table lookup miss, as if the table permanently
+  /// overflowed (stresses the uncached recursion paths).
+  bool overflow_computed_table = false;
+};
+
+struct ResourceLimits {
+  double deadline_seconds = 0.0; ///< wall clock per budget slice; 0 = off
+  std::size_t node_limit = 0;    ///< peak live DD nodes; 0 = off
+  uint64_t step_limit = 0;       ///< cooperative polls per slice; 0 = off
+  GovernorFaults faults;
+
+  bool unlimited() const {
+    return deadline_seconds <= 0.0 && node_limit == 0 && step_limit == 0 &&
+           faults.fail_at_allocation == 0 && faults.trip_at_stage.empty() &&
+           !faults.overflow_computed_table;
+  }
+};
+
+enum class TripKind : uint8_t {
+  None,
+  Deadline,
+  NodeLimit,
+  StepLimit,
+  Cancelled,
+  FaultInjected,
+};
+
+const char* to_string(TripKind k);
+
+class ResourceGovernor {
+public:
+  explicit ResourceGovernor(ResourceLimits limits = {});
+
+  /// One cooperative step. Returns true while budget remains; once it
+  /// returns false every subsequent call returns false until
+  /// grant_fallback() re-arms the budget. The wall clock is consulted only
+  /// every kCheckInterval polls; a trip from any other source (node limit,
+  /// allocation fault, cancel) is visible on the very next poll.
+  bool poll() {
+    if (tripped_.load(std::memory_order_relaxed)) return false;
+    ++steps_;
+    if ((steps_ & (kCheckInterval - 1)) != 0) return true;
+    return slow_poll();
+  }
+
+  /// True once any budget has tripped (does not consume a step).
+  bool exhausted() const { return tripped_.load(std::memory_order_relaxed); }
+
+  /// Thread-safe external cancellation; observed at the next poll.
+  void cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Peak-live-node check; called by the DD kernel after each allocation.
+  /// Returns false (and trips) when `live` exceeds the node limit.
+  bool note_nodes(std::size_t live);
+
+  /// Counts one DD-node allocation against the fail_at_allocation fault.
+  /// Returns false (and trips) when the fault fires.
+  bool count_allocation();
+
+  /// True when the computed table should behave as permanently overflowed.
+  bool cache_overflow_fault() const {
+    return limits_.faults.overflow_computed_table;
+  }
+
+  // --- stage tracking ----------------------------------------------------
+  /// Pushes a named stage (see StageScope). Checks the trip_at_stage fault.
+  void begin_stage(const char* stage);
+  void end_stage();
+  /// Innermost active stage name ("" when outside any stage).
+  std::string current_stage() const;
+
+  /// RAII stage marker.
+  class StageScope {
+  public:
+    StageScope(ResourceGovernor* g, const char* stage) : g_(g) {
+      if (g_ != nullptr) g_->begin_stage(stage);
+    }
+    ~StageScope() {
+      if (g_ != nullptr) g_->end_stage();
+    }
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+  private:
+    ResourceGovernor* g_;
+  };
+
+  // --- trip reporting -----------------------------------------------------
+  /// Kind/stage/reason of the FIRST trip; preserved across grant_fallback().
+  TripKind trip_kind() const { return first_trip_kind_; }
+  const std::string& trip_stage() const { return first_trip_stage_; }
+  const std::string& trip_reason() const { return first_trip_reason_; }
+
+  // --- degradation ladder ------------------------------------------------
+  /// Re-arms a fresh budget slice for the next ladder rung. Returns false
+  /// once kMaxFallbacks slices have been consumed (the ladder must stop).
+  /// A no-op (returning true) when nothing has tripped yet.
+  bool grant_fallback();
+  int fallbacks_granted() const { return fallbacks_; }
+
+  uint64_t steps() const { return steps_; }
+  const ResourceLimits& limits() const { return limits_; }
+
+  static constexpr uint64_t kCheckInterval = 256; // must be a power of two
+  static constexpr int kMaxFallbacks = 8;
+
+private:
+  bool slow_poll();
+  void trip(TripKind kind, std::string reason);
+
+  using Clock = std::chrono::steady_clock;
+
+  ResourceLimits limits_;
+  Clock::time_point slice_start_;
+  uint64_t steps_ = 0;
+  uint64_t slice_step_base_ = 0; ///< steps_ value when this slice started
+  uint64_t allocations_ = 0;
+  int fallbacks_ = 0;
+  std::atomic<bool> tripped_{false};
+  std::atomic<bool> cancel_requested_{false};
+  std::vector<std::string> stage_stack_;
+  TripKind first_trip_kind_ = TripKind::None;
+  std::string first_trip_stage_;
+  std::string first_trip_reason_;
+};
+
+// --- flow status -----------------------------------------------------------
+
+enum class FlowOutcome : uint8_t { Ok = 0, Degraded = 1, Failed = 2 };
+
+/// Outcome classification carried by SynthReport/BaselineReport/FlowRow.
+/// Renders as "ok", "degraded:<stage>", or "failed:<reason>".
+struct FlowStatus {
+  FlowOutcome outcome = FlowOutcome::Ok;
+  std::string stage;  ///< where the budget died (empty when ok)
+  std::string reason; ///< trip/error detail (empty when ok)
+
+  static FlowStatus ok() { return {}; }
+  static FlowStatus degraded(std::string stage, std::string reason = "");
+  static FlowStatus failed(std::string stage, std::string reason);
+
+  bool is_ok() const { return outcome == FlowOutcome::Ok; }
+  bool is_degraded() const { return outcome == FlowOutcome::Degraded; }
+  bool is_failed() const { return outcome == FlowOutcome::Failed; }
+  /// ok < degraded < failed; used for worst-status exit codes.
+  int severity() const { return static_cast<int>(outcome); }
+
+  std::string to_string() const;
+};
+
+/// The more severe of the two statuses.
+const FlowStatus& worse(const FlowStatus& a, const FlowStatus& b);
+
+} // namespace rmsyn

@@ -119,6 +119,65 @@ TEST_P(Fuzz, InjectedFaultsAreDetectedOrRedundant) {
   }
 }
 
+TEST_P(Fuzz, GovernedFlowsAreSoundUnderRandomBudgets) {
+  // Resource-exhaustion fuzzing: every random budget — however starved —
+  // must yield ok/degraded/failed with a network equivalent to the spec
+  // (a failed FPRM flow hands the spec back), and must never crash or
+  // report ok after a trip.
+  const Network spec = random_spec(GetParam() + 7000);
+  Rng rng(GetParam() + 8000);
+  for (int round = 0; round < 4; ++round) {
+    ResourceLimits lim;
+    // Budgets from near-starvation to roomy; sometimes node-capped too.
+    lim.step_limit = uint64_t{1} << (8 + rng.below(14));
+    if (rng.below(2) == 0) lim.node_limit = 64 + rng.below(4096);
+    if (rng.below(4) == 0) lim.faults.overflow_computed_table = true;
+
+    {
+      SynthOptions opt;
+      ResourceGovernor gov(lim);
+      opt.governor = &gov;
+      SynthReport rep;
+      const Network out = synthesize(spec, opt, &rep);
+      const auto check = check_equivalence(spec, out);
+      EXPECT_TRUE(check.equivalent)
+          << "status " << rep.status.to_string() << ": " << check.reason;
+      if (rep.status.is_ok()) {
+        EXPECT_EQ(gov.trip_kind(), TripKind::None);
+      }
+    }
+    {
+      BaselineOptions opt;
+      ResourceGovernor gov(lim);
+      opt.governor = &gov;
+      BaselineReport rep;
+      const Network out = baseline_synthesize(spec, opt, &rep);
+      EXPECT_FALSE(rep.status.is_failed());
+      EXPECT_TRUE(check_equivalence(spec, out).equivalent)
+          << "status " << rep.status.to_string();
+    }
+  }
+}
+
+TEST_P(Fuzz, GovernedFaultInjectionIsSound) {
+  // Deterministic allocation faults at random depths: the trip may land in
+  // any stage of any rung, but the delivered network is always equivalent.
+  const Network spec = random_spec(GetParam() + 9000);
+  Rng rng(GetParam() + 10000);
+  for (int round = 0; round < 3; ++round) {
+    SynthOptions opt;
+    ResourceLimits lim;
+    lim.faults.fail_at_allocation = 1 + rng.below(5000);
+    ResourceGovernor gov(lim);
+    opt.governor = &gov;
+    SynthReport rep;
+    const Network out = synthesize(spec, opt, &rep);
+    EXPECT_TRUE(check_equivalence(spec, out).equivalent)
+        << "fault at allocation " << lim.faults.fail_at_allocation
+        << ", status " << rep.status.to_string();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
                                            110, 121, 132));

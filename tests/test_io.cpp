@@ -113,6 +113,67 @@ TEST(BlifReader, RejectsSequentialAndMalformed) {
                std::runtime_error); // combinational cycle
 }
 
+// Diagnostics must name the offending line so malformed decks from external
+// tools can be fixed without bisecting the file by hand.
+TEST(BlifReader, DiagnosticsCarryLineNumbers) {
+  const auto expect_error_with = [](const std::string& text,
+                                    const std::string& needle) {
+    try {
+      read_blif_string(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  // .names without an output signal (line 4).
+  expect_error_with(".model m\n.inputs a\n.outputs f\n.names\n.end\n",
+                    "line 4: .names without output");
+  // Cube row before any .names block.
+  expect_error_with(".model m\n.inputs a\n.outputs f\n1 1\n.end\n",
+                    "line 4: cube row outside .names");
+  // Mask width mismatch reports both widths and the row's line.
+  expect_error_with(".model m\n.inputs a b\n.outputs f\n.names a b f\n"
+                    "1 1\n.end\n",
+                    "line 5: mask is 1 wide, .names has 2 inputs");
+  // Output column must be exactly 0 or 1.
+  expect_error_with(".model m\n.inputs a\n.outputs f\n.names a f\n1 x\n.end\n",
+                    "line 5: output value must be 0 or 1");
+  // Bad character inside the cube mask.
+  expect_error_with(".model m\n.inputs a b\n.outputs f\n.names a b f\n"
+                    "1z 1\n.end\n",
+                    "line 5: bad cube character 'z'");
+  // Mixed ON/OFF rows are ambiguous; the message points at the block header.
+  expect_error_with(".model m\n.inputs a b\n.outputs f\n.names a b f\n"
+                    "11 1\n00 0\n.end\n",
+                    "line 4: mixed-phase .names block for f");
+  // Sequential constructs name the directive and its line.
+  expect_error_with(".model s\n.inputs a\n.outputs q\n"
+                    ".latch a q re clk 0\n.end\n",
+                    "line 4: sequential/hierarchical BLIF not supported");
+}
+
+TEST(BlifReader, RejectsConflictingDrivers) {
+  // Two .names blocks for the same signal: the second reports the first.
+  try {
+    read_blif_string(".model d\n.inputs a b\n.outputs f\n"
+                     ".names a f\n1 1\n.names b f\n1 1\n.end\n");
+    FAIL() << "duplicate driver accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 6: .names redefines f"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("first defined at line 4"), std::string::npos) << msg;
+  }
+  // A .names block shadowing a primary input.
+  EXPECT_THROW(read_blif_string(".model d\n.inputs a b\n.outputs a\n"
+                                ".names b a\n1 1\n.end\n"),
+               std::runtime_error);
+  // The same name listed twice under .inputs.
+  EXPECT_THROW(read_blif_string(".model d\n.inputs a a\n.outputs f\n"
+                                ".names a f\n1 1\n.end\n"),
+               std::runtime_error);
+}
+
 class BlifRoundTrip : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BlifRoundTrip, WriteThenReadIsEquivalent) {

@@ -60,6 +60,49 @@ TEST(Pla, RejectsMalformedInput) {
   EXPECT_THROW(read_pla_string(".i 2\n.o 1\n.kiss\n"), std::runtime_error);
 }
 
+// Every malformed-header shape must fail with a clear, line-numbered
+// diagnostic — never std::stoi's bare invalid_argument/out_of_range, and
+// never a silent misparse.
+TEST(Pla, RejectsMalformedHeaders) {
+  const auto expect_error_with = [](const std::string& text,
+                                    const std::string& needle) {
+    try {
+      read_pla_string(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << "message '" << e.what() << "' lacks a line number";
+    }
+  };
+  expect_error_with(".i\n.o 1\n", "missing value");
+  expect_error_with(".i abc\n.o 1\n", "not an integer");
+  expect_error_with(".i 2x\n.o 1\n", "not an integer"); // stoi would take 2
+  expect_error_with(".i 99999999999999999999\n.o 1\n", "not an integer");
+  expect_error_with(".i -3\n.o 1\n", "must be positive");
+  expect_error_with(".i 0\n.o 1\n", "must be positive");
+  expect_error_with(".i 2000000\n.o 1\n", "implausible");
+  expect_error_with(".i 2 3\n.o 1\n", "expected one value");
+  expect_error_with(".i 2\n.o 1\n11 1\n.i 3\n", ".i after the first cube");
+}
+
+TEST(Pla, RejectsBadPlaneCharacters) {
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n1z 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n11 x\n"), std::runtime_error);
+  // Error messages carry the offending line number.
+  try {
+    read_pla_string(".i 2\n.o 1\n11 1\n1z 1\n");
+    FAIL() << "bad cube accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  // The espresso don't-care and output alphabets stay accepted.
+  const PlaFile ok = read_pla_string(".i 3\n.o 2\n1-2 1~\n021 -4\n.e\n");
+  EXPECT_EQ(ok.outputs[0].size() + ok.outputs[1].size(), 2u);
+}
+
 TEST(Pla, EmptyOnSetIsAccepted) {
   const PlaFile pla = read_pla_string(".i 2\n.o 1\n.e\n");
   ASSERT_EQ(pla.outputs.size(), 1u);

@@ -2,22 +2,33 @@
 //
 //   rmsyn_cli synth    <input> [-o out.blif] [--method cubes|ofdd|best]
 //                      [--no-redundancy] [--no-resub]
+//                      [--timeout sec] [--node-limit n] [--step-limit n]
 //   rmsyn_cli baseline <input> [-o out.blif]
+//                      [--timeout sec] [--node-limit n] [--step-limit n]
 //   rmsyn_cli map      <input> [--lib file.genlib]
 //   rmsyn_cli verify   <input-a> <input-b>
 //   rmsyn_cli power    <input>
 //   rmsyn_cli atpg     <input>
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
-//   rmsyn_cli table2   [circuit ...]
+//   rmsyn_cli table2   [circuit ...] [--keep-going]
+//                      [--timeout sec] [--node-limit n] [--step-limit n]
 //   rmsyn_cli list
 //
 // <input> is a .blif file, a .pla file, or the name of a built-in Table-2
 // benchmark circuit (see `rmsyn_cli list`).
+//
+// Resource budgets (--timeout wall-clock seconds per budget slice,
+// --node-limit peak live DD nodes, --step-limit cooperative polls) put the
+// flow on the degradation ladder instead of running unbounded; the status
+// is printed and reflected in the exit code (0 = ok, 2 = degraded under
+// table2 --keep-going, 3 = failed).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,6 +72,50 @@ Network load_input(const std::string& spec) {
                            "' (not a .blif/.pla file or benchmark name)");
 }
 
+double parse_seconds(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size() || !(d > 0.0)) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::runtime_error(flag + ": bad value '" + v +
+                             "' (want seconds > 0, e.g. 0.001)");
+  }
+}
+
+std::size_t parse_count(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long n = std::stoull(v, &pos);
+    if (pos != v.size() || n == 0) throw std::invalid_argument(v);
+    return static_cast<std::size_t>(n);
+  } catch (const std::exception&) {
+    throw std::runtime_error(flag + ": bad value '" + v +
+                             "' (want a positive integer)");
+  }
+}
+
+/// Consumes --timeout/--node-limit/--step-limit at args[i]; returns true
+/// (with i advanced past the value) when it did.
+bool parse_limit_flag(const std::vector<std::string>& args, std::size_t& i,
+                      ResourceLimits& limits) {
+  const std::string& a = args[i];
+  if (a == "--timeout" && i + 1 < args.size()) {
+    limits.deadline_seconds = parse_seconds(a, args[++i]);
+    return true;
+  }
+  if (a == "--node-limit" && i + 1 < args.size()) {
+    limits.node_limit = parse_count(a, args[++i]);
+    return true;
+  }
+  if (a == "--step-limit" && i + 1 < args.size()) {
+    limits.step_limit = static_cast<uint64_t>(parse_count(a, args[++i]));
+    return true;
+  }
+  return false;
+}
+
 void write_output(const Network& net, const std::string& path,
                   const std::string& model) {
   if (path.empty()) return;
@@ -73,6 +128,7 @@ void write_output(const Network& net, const std::string& path,
 int cmd_synth(const std::vector<std::string>& args) {
   if (args.empty()) throw std::runtime_error("synth: missing input");
   SynthOptions opt;
+  ResourceLimits limits;
   std::string out_path;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
@@ -86,15 +142,23 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.run_redundancy_removal = false;
     } else if (args[i] == "--no-resub") {
       opt.run_resub = false;
+    } else if (parse_limit_flag(args, i, limits)) {
+      // consumed
     } else {
       throw std::runtime_error("synth: unknown option " + args[i]);
     }
   }
+  std::optional<ResourceGovernor> gov;
+  if (!limits.unlimited()) {
+    gov.emplace(limits);
+    opt.governor = &*gov;
+  }
   const Network spec = load_input(args[0]);
   SynthReport rep;
   const Network result = synthesize(spec, opt, &rep);
-  std::printf("synthesized %s: %s in %.3fs (verified)\n", args[0].c_str(),
-              to_string(rep.stats).c_str(), rep.seconds);
+  std::printf("synthesized %s: %s in %.3fs (status %s)\n", args[0].c_str(),
+              to_string(rep.stats).c_str(), rep.seconds,
+              rep.status.to_string().c_str());
   std::printf("FPRM cubes per output:");
   for (const auto c : rep.fprm_cube_counts) std::printf(" %zu", c);
   std::printf("\nredundancy: %zu XOR->OR, %zu XOR->AND, %zu fanins removed "
@@ -107,25 +171,37 @@ int cmd_synth(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(rep.bdd.gc_runs),
               static_cast<unsigned long long>(rep.bdd.reorder_runs));
   write_output(result, out_path, "rmsyn_synth");
-  return 0;
+  return rep.status.is_failed() ? 3 : 0;
 }
 
 int cmd_baseline(const std::vector<std::string>& args) {
   if (args.empty()) throw std::runtime_error("baseline: missing input");
+  BaselineOptions opt;
+  ResourceLimits limits;
   std::string out_path;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
-    else throw std::runtime_error("baseline: unknown option " + args[i]);
+    else if (parse_limit_flag(args, i, limits)) {
+      // consumed
+    } else {
+      throw std::runtime_error("baseline: unknown option " + args[i]);
+    }
+  }
+  std::optional<ResourceGovernor> gov;
+  if (!limits.unlimited()) {
+    gov.emplace(limits);
+    opt.governor = &*gov;
   }
   const Network spec = load_input(args[0]);
   BaselineReport rep;
-  const Network result = baseline_synthesize(spec, {}, &rep);
+  const Network result = baseline_synthesize(spec, opt, &rep);
   std::printf("baseline %s: %s in %.3fs (SOP lits %d -> %d, %d divisors "
-              "extracted)\n",
+              "extracted, status %s)\n",
               args[0].c_str(), to_string(rep.stats).c_str(), rep.seconds,
-              rep.sop_lits_initial, rep.sop_lits_final, rep.nodes_extracted);
+              rep.sop_lits_initial, rep.sop_lits_final, rep.nodes_extracted,
+              rep.status.to_string().c_str());
   write_output(result, out_path, "rmsyn_baseline");
-  return 0;
+  return rep.status.is_failed() ? 3 : 0;
 }
 
 int cmd_map(const std::vector<std::string>& args) {
@@ -210,13 +286,39 @@ int cmd_dump(const std::vector<std::string>& args) {
 }
 
 int cmd_table2(const std::vector<std::string>& args) {
-  std::vector<std::string> names(args.begin(), args.end());
+  FlowOptions fopt;
+  bool keep_going = false;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--keep-going") keep_going = true;
+    else if (parse_limit_flag(args, i, fopt.limits)) {
+      // consumed
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw std::runtime_error("table2: unknown option " + args[i]);
+    } else {
+      names.push_back(args[i]);
+    }
+  }
   if (names.empty()) names = benchmark_names();
   std::vector<FlowRow> rows;
   rows.reserve(names.size());
-  for (const auto& n : names) rows.push_back(run_flow(n));
+  int worst = 0;
+  for (const auto& n : names) {
+    rows.push_back(run_flow(n, fopt));
+    const FlowStatus& st = rows.back().worst_status();
+    worst = std::max(worst, st.severity());
+    if (st.is_failed() && !keep_going) {
+      std::printf("%s", format_table2(rows).c_str());
+      std::fprintf(stderr,
+                   "table2: %s failed (%s); aborting sweep "
+                   "(use --keep-going to continue)\n",
+                   n.c_str(), st.to_string().c_str());
+      return 3;
+    }
+  }
   std::printf("%s", format_table2(rows).c_str());
-  return 0;
+  // Worst status over the sweep: ok = 0, degraded = 2, failed = 3.
+  return worst == 0 ? 0 : (worst == 1 ? 2 : 3);
 }
 
 int cmd_list() {
