@@ -5,6 +5,7 @@
 #include "equiv/equiv.hpp"
 #include "network/stats.hpp"
 #include "network/transform.hpp"
+#include "sched/pool.hpp"
 
 namespace rmsyn {
 
@@ -95,6 +96,37 @@ std::size_t kfdd_cost(BddManager& mgr, const std::vector<BddRef>& outputs,
   return network_stats(strash(net)).gates2;
 }
 
+// Clone-side candidate evaluation for the parallel search: imports the
+// outputs into a private manager (a BddManager is single-threaded;
+// import_bdd only reads the quiescent source) and prices the candidate
+// there. The cost is the gate count of the network the BDDs induce, which
+// is identical across managers as long as both use the same variable order
+// — the caller guards on the identity order the clone starts with.
+std::size_t kfdd_cost_clone(const BddManager& src,
+                            const std::vector<BddRef>& outputs,
+                            std::size_t num_pis,
+                            const std::vector<Expansion>& exp,
+                            ResourceGovernor* gov) {
+  BddManager local(src.nvars());
+  local.set_governor(gov);
+  std::vector<BddRef> louts;
+  louts.reserve(outputs.size());
+  for (const BddRef f : outputs) {
+    const BddRef lf = import_bdd(local, src, f);
+    if (BddManager::is_invalid(lf))
+      return std::numeric_limits<std::size_t>::max();
+    local.ref(lf);
+    louts.push_back(lf);
+  }
+  return kfdd_cost(local, louts, num_pis, exp);
+}
+
+bool identity_order(const BddManager& mgr) {
+  for (int v = 0; v < mgr.nvars(); ++v)
+    if (mgr.level_of(v) != v) return false;
+  return true;
+}
+
 } // namespace
 
 std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
@@ -114,12 +146,42 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
   const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
   std::vector<Expansion> best(n, Expansion::PositiveDavio);
   std::size_t best_cost = cost_of(best);
+  const bool parallel = opt.pool != nullptr && identity_order(mgr);
   for (int pass = 0; pass < opt.greedy_passes && !out_of_budget(); ++pass) {
     bool improved = false;
     for (std::size_t v = 0; v < n && !out_of_budget(); ++v) {
+      // The alternatives for v, in enumeration order. Both differ from the
+      // current base only at v, so when the first one is accepted the
+      // second serial candidate (updated base with v replaced) equals the
+      // old base with v replaced — the two costs are independent of each
+      // other and may be evaluated concurrently, as long as the strict
+      // improvement test applies them in this same order.
+      std::vector<Expansion> alts;
       for (const Expansion e : {Expansion::Shannon, Expansion::PositiveDavio,
-                                Expansion::NegativeDavio}) {
-        if (e == best[v]) continue;
+                                Expansion::NegativeDavio})
+        if (e != best[v]) alts.push_back(e);
+      if (parallel) {
+        std::vector<Future<std::size_t>> futs;
+        futs.reserve(alts.size());
+        for (const Expansion e : alts) {
+          std::vector<Expansion> cand = best;
+          cand[v] = e;
+          futs.push_back(opt.pool->submit(
+              [&mgr, &outputs, n, cand = std::move(cand), gov] {
+                return kfdd_cost_clone(mgr, outputs, n, cand, gov);
+              }));
+        }
+        for (std::size_t k = 0; k < alts.size(); ++k) {
+          const std::size_t cost = opt.pool->wait(futs[k]);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best[v] = alts[k];
+            improved = true;
+          }
+        }
+        continue;
+      }
+      for (const Expansion e : alts) {
         std::vector<Expansion> cand = best;
         cand[v] = e;
         const std::size_t cost = cost_of(cand);

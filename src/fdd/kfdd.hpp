@@ -54,8 +54,17 @@ private:
   bool failed_ = false;
 };
 
+class ThreadPool;
+
 struct KfddSearchOptions {
   int greedy_passes = 2;
+  /// Level-2 parallelism (see sched/pool.hpp): the two alternative
+  /// expansions tried for each variable are evaluated concurrently in
+  /// manager clones. Both candidates derive from the same accepted base and
+  /// the reduction applies them in enumeration order with the same strict
+  /// improvement test, so the chosen decomposition is bit-identical to the
+  /// serial scan. Null = fully serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Greedy per-variable search over the 3^n expansion assignments,

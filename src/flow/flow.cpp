@@ -8,6 +8,19 @@
 
 namespace rmsyn {
 
+namespace {
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+} // namespace
+
 FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
   FlowRow row;
   row.circuit = bench.name;
@@ -91,8 +104,15 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
     const auto nets_of = [](const Network& n) {
       return expand_xor(decompose2(strash(n)));
     };
-    if (ours.has_value()) row.ours_power = estimate_power(nets_of(*ours)).total;
-    if (base.has_value()) row.base_power = estimate_power(nets_of(*base)).total;
+    // Derive the simulation seed from the circuit name so the column is a
+    // pure function of the circuit: rows computed concurrently (or in any
+    // order) match the serial table exactly.
+    PowerOptions po = opt.power;
+    po.sim_seed = opt.power.sim_seed ^ fnv1a64(bench.name);
+    if (ours.has_value())
+      row.ours_power = estimate_power(nets_of(*ours), po).total;
+    if (base.has_value())
+      row.base_power = estimate_power(nets_of(*base), po).total;
   }
   return row;
 }

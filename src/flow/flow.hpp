@@ -69,6 +69,11 @@ struct FlowOptions {
   BaselineOptions baseline;
   bool run_mapping = true;
   bool run_power = true;
+  /// Power-estimator settings. The simulation seed actually used for a
+  /// circuit is power.sim_seed XOR hash(circuit name), so the power columns
+  /// depend only on the circuit, never on which worker ran it or in what
+  /// order — a batch at --jobs N reproduces the serial table bit-for-bit.
+  PowerOptions power;
   /// Resource budget, applied to each flow with its own fresh governor so
   /// one flow's exhaustion cannot starve the other. Ignored for a flow
   /// whose options already carry an explicit governor.

@@ -1,0 +1,91 @@
+#include "sched/batch.hpp"
+
+#include <mutex>
+
+#include "util/stopwatch.hpp"
+
+namespace rmsyn {
+
+BatchRunner::BatchRunner(BatchOptions opt) : opt_(std::move(opt)) {}
+
+FlowRow BatchRunner::cancelled_row(const Benchmark& bench) const {
+  FlowRow row;
+  row.circuit = bench.name;
+  row.num_inputs = bench.num_inputs;
+  row.num_outputs = bench.num_outputs;
+  row.arithmetic = bench.arithmetic;
+  row.exact_benchmark = bench.exact;
+  row.ours_status = FlowStatus::failed("batch", "cancelled");
+  row.base_status = FlowStatus::failed("batch", "cancelled");
+  return row;
+}
+
+FlowRow BatchRunner::run_one(const Benchmark& bench, const FlowOptions& fopt) {
+  if (budget_.cancelled() || budget_.past_deadline())
+    return cancelled_row(bench);
+  return run_flow(bench, fopt);
+}
+
+BatchResult BatchRunner::run(const std::vector<Benchmark>& benches) {
+  Stopwatch sw;
+  BatchResult result;
+  result.rows.resize(benches.size());
+
+  if (opt_.batch_deadline_seconds > 0.0)
+    budget_.set_deadline_in(opt_.batch_deadline_seconds);
+  if (opt_.batch_allocation_budget > 0)
+    budget_.set_allocation_pool(opt_.batch_allocation_budget);
+
+  FlowOptions fopt = opt_.flow;
+  fopt.limits.shared = &budget_;
+
+  std::mutex settle_mu; // serializes on_row + worst aggregation
+  const auto settle = [&](std::size_t i, FlowRow row) {
+    std::lock_guard<std::mutex> lk(settle_mu);
+    if (row.worst_status().is_failed() && !opt_.keep_going) budget_.cancel();
+    result.rows[i] = std::move(row);
+    if (on_row) on_row(result.rows[i], i);
+  };
+
+  if (opt_.jobs <= 1) {
+    // Inline serial path: no pool, no level-2 fan-out — the reference
+    // execution that any jobs value must reproduce bit-identically.
+    for (std::size_t i = 0; i < benches.size(); ++i)
+      settle(i, run_one(benches[i], fopt));
+  } else {
+    // jobs-1 worker threads; the calling thread helps, so total
+    // parallelism is exactly `jobs`.
+    ThreadPool pool(opt_.jobs - 1);
+    if (opt_.inner_parallel) fopt.synth.polarity.pool = &pool;
+    std::vector<Future<bool>> futures;
+    futures.reserve(benches.size());
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+      futures.push_back(pool.submit([this, &benches, &fopt, &settle, i] {
+        settle(i, run_one(benches[i], fopt));
+        return true;
+      }));
+    }
+    for (auto& f : futures) pool.wait(f);
+    result.sched = pool.stats();
+  }
+
+  for (const FlowRow& row : result.rows)
+    result.worst = worse(result.worst, row.worst_status());
+  result.seconds = sw.seconds();
+  return result;
+}
+
+BatchResult run_flows(const std::vector<std::string>& names,
+                      const FlowOptions& opt, int jobs, bool keep_going) {
+  std::vector<Benchmark> benches;
+  benches.reserve(names.size());
+  for (const auto& n : names) benches.push_back(make_benchmark(n));
+  BatchOptions bo;
+  bo.flow = opt;
+  bo.jobs = jobs;
+  bo.keep_going = keep_going;
+  BatchRunner runner(std::move(bo));
+  return runner.run(benches);
+}
+
+} // namespace rmsyn

@@ -24,14 +24,31 @@ bool ResourceGovernor::slow_poll() {
     trip(TripKind::Cancelled, "cancel requested");
     return false;
   }
+  if (limits_.shared != nullptr) {
+    if (limits_.shared->cancelled()) {
+      trip(TripKind::Cancelled, "batch cancelled");
+      return false;
+    }
+    if (limits_.shared->past_deadline()) {
+      trip(TripKind::Deadline, "batch deadline exceeded");
+      return false;
+    }
+  }
   if (limits_.step_limit != 0 &&
-      steps_ - slice_step_base_ >= limits_.step_limit) {
+      steps_.load(std::memory_order_relaxed) -
+              slice_step_base_.load(std::memory_order_relaxed) >=
+          limits_.step_limit) {
     trip(TripKind::StepLimit, "step budget exhausted");
     return false;
   }
   if (limits_.deadline_seconds > 0.0) {
+    Clock::time_point start;
+    {
+      std::lock_guard<std::mutex> lk(cold_mu_);
+      start = slice_start_;
+    }
     const double elapsed =
-        std::chrono::duration<double>(Clock::now() - slice_start_).count();
+        std::chrono::duration<double>(Clock::now() - start).count();
     if (elapsed >= limits_.deadline_seconds) {
       trip(TripKind::Deadline, "deadline exceeded");
       return false;
@@ -50,30 +67,56 @@ bool ResourceGovernor::note_nodes(std::size_t live) {
 }
 
 bool ResourceGovernor::count_allocation() {
-  ++allocations_;
+  const uint64_t n = allocations_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (limits_.faults.fail_at_allocation != 0 &&
-      allocations_ == limits_.faults.fail_at_allocation) {
+      n == limits_.faults.fail_at_allocation) {
     trip(TripKind::FaultInjected, "fault: allocation budget");
     return false;
+  }
+  if (limits_.shared != nullptr && limits_.shared->allocation_pool_enabled()) {
+    if (shared_slice_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      int64_t grain = 0;
+      if (!limits_.shared->draw_allocations(&grain)) {
+        trip(TripKind::NodeLimit, "shared allocation pool exhausted");
+        return false;
+      }
+      shared_slice_.fetch_add(grain, std::memory_order_relaxed);
+    }
   }
   return !tripped_.load(std::memory_order_relaxed);
 }
 
 void ResourceGovernor::begin_stage(const char* stage) {
-  stage_stack_.emplace_back(stage);
-  if (!limits_.faults.trip_at_stage.empty() &&
-      limits_.faults.trip_at_stage == stage) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lk(cold_mu_);
+    stage_stack_.emplace_back(stage);
+    fire = !limits_.faults.trip_at_stage.empty() &&
+           limits_.faults.trip_at_stage == stage;
+  }
+  if (fire)
     trip(TripKind::FaultInjected,
          "fault: forced deadline at stage '" + std::string(stage) + "'");
-  }
 }
 
 void ResourceGovernor::end_stage() {
+  std::lock_guard<std::mutex> lk(cold_mu_);
   if (!stage_stack_.empty()) stage_stack_.pop_back();
 }
 
 std::string ResourceGovernor::current_stage() const {
+  std::lock_guard<std::mutex> lk(cold_mu_);
   return stage_stack_.empty() ? std::string() : stage_stack_.back();
+}
+
+std::string ResourceGovernor::trip_stage() const {
+  std::lock_guard<std::mutex> lk(cold_mu_);
+  return first_trip_stage_;
+}
+
+std::string ResourceGovernor::trip_reason() const {
+  std::lock_guard<std::mutex> lk(cold_mu_);
+  return first_trip_reason_;
 }
 
 bool ResourceGovernor::grant_fallback() {
@@ -81,20 +124,30 @@ bool ResourceGovernor::grant_fallback() {
   if (fallbacks_ >= kMaxFallbacks) return false;
   ++fallbacks_;
   // Fresh slice: restart the clock and the step counter; the allocation
-  // fault stays armed only if it has not fired yet (it is one-shot).
-  slice_start_ = Clock::now();
-  slice_step_base_ = steps_;
+  // fault stays armed only if it has not fired yet (it is one-shot). A
+  // shared budget is deliberately NOT re-armed — a cancelled or timed-out
+  // batch re-trips at the next slow poll.
+  {
+    std::lock_guard<std::mutex> lk(cold_mu_);
+    slice_start_ = Clock::now();
+  }
+  slice_step_base_.store(steps_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   tripped_.store(false, std::memory_order_relaxed);
   return true;
 }
 
 void ResourceGovernor::trip(TripKind kind, std::string reason) {
-  if (!tripped_.exchange(true, std::memory_order_relaxed) &&
-      first_trip_kind_ == TripKind::None) {
-    first_trip_kind_ = kind;
-    first_trip_stage_ = current_stage();
-    first_trip_reason_ = std::move(reason);
-  }
+  if (tripped_.exchange(true, std::memory_order_relaxed)) return;
+  // First tripper of this slice; record metadata only for the first trip
+  // of the governor's lifetime (preserved across grant_fallback slices).
+  if (first_trip_kind_.load(std::memory_order_acquire) != TripKind::None)
+    return;
+  std::lock_guard<std::mutex> lk(cold_mu_);
+  first_trip_stage_ =
+      stage_stack_.empty() ? std::string() : stage_stack_.back();
+  first_trip_reason_ = std::move(reason);
+  first_trip_kind_.store(kind, std::memory_order_release);
 }
 
 // --- FlowStatus -------------------------------------------------------------

@@ -15,7 +15,19 @@
 //  * peak live DD nodes (note_nodes(), called by BddManager::mk),
 //  * a step budget (every poll is one step; deterministic, used by tests
 //    and the fuzzer),
-//  * an external cancel() flag (thread-safe; e.g. a signal handler).
+//  * an external cancel() flag (thread-safe; e.g. a signal handler),
+//  * an optional SharedBudget — batch-wide cancellation, an absolute
+//    wall-clock deadline, and a global DD-allocation pool that every
+//    governor in the batch draws slices from (see src/sched/batch.hpp).
+//
+// Thread safety. One governor may be polled concurrently from several
+// worker threads (the parallel polarity/KFDD search shares the flow's
+// governor across per-worker manager clones). The hot path — poll(),
+// note_nodes(), count_allocation(), exhausted(), cancel() — is lock-free:
+// plain relaxed atomics, no mutex. The cold paths (stage tracking, trip
+// bookkeeping, grant_fallback) serialize on a small mutex. Trip metadata
+// (trip_kind/stage/reason) is written once by the winning tripper; read it
+// after the parallel region has joined (the flow thread does).
 //
 // Fault injection (GovernorFaults) makes every fallback edge reachable
 // deterministically: fail the Nth node allocation, force-trip the deadline
@@ -25,13 +37,16 @@
 // Degradation ladder support: after a trip, grant_fallback() re-arms a
 // fresh budget slice so the next (cheaper) rung gets a real chance instead
 // of inheriting an already-dead budget. The first trip's kind/stage/reason
-// are preserved for reporting.
+// are preserved for reporting. A SharedBudget is batch-scoped and never
+// re-armed: a cancelled or out-of-deadline batch re-trips on the next
+// slow poll regardless of fallback slices.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,16 +63,82 @@ struct GovernorFaults {
   bool overflow_computed_table = false;
 };
 
+/// Batch-wide budget shared by every governor of a parallel batch: a
+/// cancellation flag, an absolute deadline, and a global pool of DD-node
+/// allocations that per-flow governors carve local slices from (one atomic
+/// fetch per kAllocationGrain allocations, so the hot path stays a local
+/// counter decrement). All members are safe to touch from any thread.
+class SharedBudget {
+public:
+  SharedBudget() = default;
+  SharedBudget(const SharedBudget&) = delete;
+  SharedBudget& operator=(const SharedBudget&) = delete;
+
+  /// Broadcast cancellation: every attached governor trips at its next
+  /// slow poll.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute wall-clock deadline `seconds` from now for the whole batch.
+  void set_deadline_in(double seconds) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  bool past_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Arms the global allocation pool: at most `total` DD-node allocations
+  /// across every governor sharing this budget.
+  void set_allocation_pool(uint64_t total) {
+    pool_.store(static_cast<int64_t>(total), std::memory_order_relaxed);
+    pool_enabled_.store(true, std::memory_order_release);
+  }
+  bool allocation_pool_enabled() const {
+    return pool_enabled_.load(std::memory_order_acquire);
+  }
+  /// Carves one grain from the pool; false when the pool is dry.
+  bool draw_allocations(int64_t* grain_out) {
+    const int64_t got =
+        pool_.fetch_sub(kAllocationGrain, std::memory_order_relaxed);
+    if (got <= 0) return false;
+    *grain_out = got < kAllocationGrain ? got : kAllocationGrain;
+    return true;
+  }
+  /// Allocations still in the pool (clamped at 0; racy, for reporting).
+  uint64_t allocations_remaining() const {
+    const int64_t p = pool_.load(std::memory_order_relaxed);
+    return p > 0 ? static_cast<uint64_t>(p) : 0;
+  }
+
+  static constexpr int64_t kAllocationGrain = 4096;
+
+private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<bool> pool_enabled_{false};
+  std::atomic<int64_t> pool_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
 struct ResourceLimits {
   double deadline_seconds = 0.0; ///< wall clock per budget slice; 0 = off
   std::size_t node_limit = 0;    ///< peak live DD nodes; 0 = off
   uint64_t step_limit = 0;       ///< cooperative polls per slice; 0 = off
   GovernorFaults faults;
+  /// Batch-wide budget this governor also answers to (not owned; must
+  /// outlive the governor). Null = standalone.
+  SharedBudget* shared = nullptr;
 
   bool unlimited() const {
     return deadline_seconds <= 0.0 && node_limit == 0 && step_limit == 0 &&
-           faults.fail_at_allocation == 0 && faults.trip_at_stage.empty() &&
-           !faults.overflow_computed_table;
+           shared == nullptr && faults.fail_at_allocation == 0 &&
+           faults.trip_at_stage.empty() && !faults.overflow_computed_table;
   }
 };
 
@@ -81,10 +162,11 @@ public:
   /// grant_fallback() re-arms the budget. The wall clock is consulted only
   /// every kCheckInterval polls; a trip from any other source (node limit,
   /// allocation fault, cancel) is visible on the very next poll.
+  /// Safe to call concurrently from multiple worker threads.
   bool poll() {
     if (tripped_.load(std::memory_order_relaxed)) return false;
-    ++steps_;
-    if ((steps_ & (kCheckInterval - 1)) != 0) return true;
+    const uint64_t s = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((s & (kCheckInterval - 1)) != 0) return true;
     return slow_poll();
   }
 
@@ -98,8 +180,9 @@ public:
   /// Returns false (and trips) when `live` exceeds the node limit.
   bool note_nodes(std::size_t live);
 
-  /// Counts one DD-node allocation against the fail_at_allocation fault.
-  /// Returns false (and trips) when the fault fires.
+  /// Counts one DD-node allocation against the fail_at_allocation fault
+  /// and the shared allocation pool. Returns false (and trips) when either
+  /// budget dies.
   bool count_allocation();
 
   /// True when the computed table should behave as permanently overflowed.
@@ -132,19 +215,25 @@ public:
 
   // --- trip reporting -----------------------------------------------------
   /// Kind/stage/reason of the FIRST trip; preserved across grant_fallback().
-  TripKind trip_kind() const { return first_trip_kind_; }
-  const std::string& trip_stage() const { return first_trip_stage_; }
-  const std::string& trip_reason() const { return first_trip_reason_; }
+  /// Stage/reason strings are returned by value (they are written under the
+  /// cold-path mutex by whichever thread wins the trip race).
+  TripKind trip_kind() const {
+    return first_trip_kind_.load(std::memory_order_acquire);
+  }
+  std::string trip_stage() const;
+  std::string trip_reason() const;
 
   // --- degradation ladder ------------------------------------------------
   /// Re-arms a fresh budget slice for the next ladder rung. Returns false
   /// once kMaxFallbacks slices have been consumed (the ladder must stop).
-  /// A no-op (returning true) when nothing has tripped yet.
+  /// A no-op (returning true) when nothing has tripped yet. Shared-budget
+  /// exhaustion is not re-armed: a dead batch re-trips immediately.
   bool grant_fallback();
   int fallbacks_granted() const { return fallbacks_; }
 
-  uint64_t steps() const { return steps_; }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
   const ResourceLimits& limits() const { return limits_; }
+  SharedBudget* shared_budget() const { return limits_.shared; }
 
   static constexpr uint64_t kCheckInterval = 256; // must be a power of two
   static constexpr int kMaxFallbacks = 8;
@@ -157,14 +246,20 @@ private:
 
   ResourceLimits limits_;
   Clock::time_point slice_start_;
-  uint64_t steps_ = 0;
-  uint64_t slice_step_base_ = 0; ///< steps_ value when this slice started
-  uint64_t allocations_ = 0;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> slice_step_base_{0}; ///< steps_ when slice started
+  std::atomic<uint64_t> allocations_{0};
+  /// Allocations left in the locally carved shared-pool slice. May go
+  /// slightly negative under contention before the next carve; the budget
+  /// is approximate by design.
+  std::atomic<int64_t> shared_slice_{0};
   int fallbacks_ = 0;
   std::atomic<bool> tripped_{false};
   std::atomic<bool> cancel_requested_{false};
+  std::atomic<TripKind> first_trip_kind_{TripKind::None};
+  /// Guards the cold-path state: stage stack, trip strings, slice clock.
+  mutable std::mutex cold_mu_;
   std::vector<std::string> stage_stack_;
-  TripKind first_trip_kind_ = TripKind::None;
   std::string first_trip_stage_;
   std::string first_trip_reason_;
 };

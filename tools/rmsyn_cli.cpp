@@ -10,18 +10,26 @@
 //   rmsyn_cli power    <input>
 //   rmsyn_cli atpg     <input>
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
-//   rmsyn_cli table2   [circuit ...] [--keep-going]
+//   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
+//   rmsyn_cli batch    <manifest> [--jobs N] [--keep-going]
+//                      [--timeout sec] [--node-limit n] [--step-limit n]
+//                      [--batch-timeout sec] [--batch-node-limit n]
+//                      [--no-mapping] [--no-power]
 //   rmsyn_cli list
 //
 // <input> is a .blif file, a .pla file, or the name of a built-in Table-2
-// benchmark circuit (see `rmsyn_cli list`).
+// benchmark circuit (see `rmsyn_cli list`). The batch manifest is a text
+// file with one input per line ('#' comments and blank lines skipped).
 //
 // Resource budgets (--timeout wall-clock seconds per budget slice,
 // --node-limit peak live DD nodes, --step-limit cooperative polls) put the
 // flow on the degradation ladder instead of running unbounded; the status
 // is printed and reflected in the exit code (0 = ok, 2 = degraded under
-// table2 --keep-going, 3 = failed).
+// table2 --keep-going, 3 = failed). --jobs N runs N circuits concurrently
+// on the work-stealing scheduler (sched/batch.hpp); every result column is
+// bit-identical to --jobs 1. --batch-timeout/--batch-node-limit are budgets
+// for the whole batch, shared by all workers.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +51,7 @@
 #include "network/stats.hpp"
 #include "network/transform.hpp"
 #include "power/power.hpp"
+#include "sched/batch.hpp"
 #include "sop/pla.hpp"
 #include "testability/faults.hpp"
 
@@ -285,13 +294,33 @@ int cmd_dump(const std::vector<std::string>& args) {
   return 0;
 }
 
+int parse_jobs(const std::string& flag, const std::string& v) {
+  const std::size_t n = parse_count(flag, v);
+  if (n > 256) throw std::runtime_error(flag + ": at most 256 jobs");
+  return static_cast<int>(n);
+}
+
+/// A row the batch runner never started because the budget was cancelled
+/// (keep_going=false after a failure, batch deadline, or explicit cancel).
+bool row_was_cancelled(const FlowRow& r) {
+  return r.ours_status.is_failed() && r.ours_status.stage == "batch";
+}
+
+/// Exit code from the worst status: ok = 0, degraded = 2, failed = 3.
+int status_exit_code(const FlowStatus& st) {
+  return st.severity() == 0 ? 0 : (st.severity() == 1 ? 2 : 3);
+}
+
 int cmd_table2(const std::vector<std::string>& args) {
-  FlowOptions fopt;
-  bool keep_going = false;
+  BatchOptions bopt;
+  bopt.keep_going = false;
   std::vector<std::string> names;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--keep-going") keep_going = true;
-    else if (parse_limit_flag(args, i, fopt.limits)) {
+    if (args[i] == "--keep-going") bopt.keep_going = true;
+    else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      ++i;
+      bopt.jobs = parse_jobs("--jobs", args[i]);
+    } else if (parse_limit_flag(args, i, bopt.flow.limits)) {
       // consumed
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw std::runtime_error("table2: unknown option " + args[i]);
@@ -300,25 +329,118 @@ int cmd_table2(const std::vector<std::string>& args) {
     }
   }
   if (names.empty()) names = benchmark_names();
-  std::vector<FlowRow> rows;
-  rows.reserve(names.size());
-  int worst = 0;
-  for (const auto& n : names) {
-    rows.push_back(run_flow(n, fopt));
-    const FlowStatus& st = rows.back().worst_status();
-    worst = std::max(worst, st.severity());
-    if (st.is_failed() && !keep_going) {
-      std::printf("%s", format_table2(rows).c_str());
-      std::fprintf(stderr,
-                   "table2: %s failed (%s); aborting sweep "
-                   "(use --keep-going to continue)\n",
-                   n.c_str(), st.to_string().c_str());
-      return 3;
+  std::vector<Benchmark> benches;
+  benches.reserve(names.size());
+  for (const auto& n : names) benches.push_back(make_benchmark(n));
+
+  BatchRunner runner(bopt);
+  const BatchResult result = runner.run(benches);
+
+  if (result.worst.is_failed() && !bopt.keep_going) {
+    // Print what actually ran (everything up to the failure in serial
+    // order; possibly more under --jobs) and abort, as the serial sweep
+    // always has.
+    std::vector<FlowRow> ran;
+    std::string culprit;
+    for (const auto& r : result.rows) {
+      if (row_was_cancelled(r)) continue;
+      ran.push_back(r);
+      if (r.worst_status().is_failed() && culprit.empty())
+        culprit = r.circuit + " failed (" + r.worst_status().to_string() + ")";
+    }
+    std::printf("%s", format_table2(ran).c_str());
+    std::fprintf(stderr,
+                 "table2: %s; aborting sweep (use --keep-going to continue)\n",
+                 culprit.c_str());
+    return 3;
+  }
+  std::printf("%s", format_table2(result.rows).c_str());
+  if (bopt.jobs > 1) {
+    std::printf("%s", format_dd_kernel_summary(result.rows).c_str());
+    std::printf("%s", format_sched_summary(result.sched).c_str());
+  }
+  return status_exit_code(result.worst);
+}
+
+int cmd_batch(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("batch: missing manifest file");
+  BatchOptions bopt;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--keep-going") bopt.keep_going = true;
+    else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      ++i;
+      bopt.jobs = parse_jobs("--jobs", args[i]);
+    } else if (args[i] == "--batch-timeout" && i + 1 < args.size()) {
+      ++i;
+      bopt.batch_deadline_seconds = parse_seconds("--batch-timeout", args[i]);
+    } else if (args[i] == "--batch-node-limit" && i + 1 < args.size()) {
+      ++i;
+      bopt.batch_allocation_budget =
+          static_cast<uint64_t>(parse_count("--batch-node-limit", args[i]));
+    } else if (args[i] == "--no-mapping") bopt.flow.run_mapping = false;
+    else if (args[i] == "--no-power") bopt.flow.run_power = false;
+    else if (parse_limit_flag(args, i, bopt.flow.limits)) {
+      // consumed
+    } else {
+      throw std::runtime_error("batch: unknown option " + args[i]);
     }
   }
-  std::printf("%s", format_table2(rows).c_str());
-  // Worst status over the sweep: ok = 0, degraded = 2, failed = 3.
-  return worst == 0 ? 0 : (worst == 1 ? 2 : 3);
+
+  // Manifest: one benchmark name or .pla/.blif path per line.
+  std::ifstream in(args[0]);
+  if (!in) throw std::runtime_error("cannot open manifest " + args[0]);
+  std::vector<Benchmark> benches;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t a = line.find_first_not_of(" \t\r");
+    if (a == std::string::npos) continue;
+    const std::size_t b = line.find_last_not_of(" \t\r");
+    const std::string entry = line.substr(a, b - a + 1);
+    if (has_benchmark(entry)) {
+      benches.push_back(make_benchmark(entry));
+    } else {
+      Benchmark bench;
+      bench.name = entry;
+      bench.spec = load_input(entry);
+      bench.num_inputs = static_cast<int>(bench.spec.pi_count());
+      bench.num_outputs = static_cast<int>(bench.spec.po_count());
+      bench.description = "manifest input";
+      benches.push_back(std::move(bench));
+    }
+  }
+  if (benches.empty()) throw std::runtime_error("batch: empty manifest");
+
+  BatchRunner runner(bopt);
+  std::size_t done = 0;
+  runner.on_row = [&](const FlowRow& r, std::size_t) {
+    // Rows settle in completion order under --jobs; the index printed is
+    // a completion counter, not the manifest position.
+    std::printf("[%zu/%zu] %-12s %-24s lits %zu vs %zu  power %.4f vs %.4f\n",
+                ++done, benches.size(), r.circuit.c_str(),
+                r.worst_status().to_string().c_str(), r.ours_lits,
+                r.base_lits, r.ours_power, r.base_power);
+    std::fflush(stdout);
+  };
+  const BatchResult result = runner.run(benches);
+
+  std::size_t ok = 0, degraded = 0, failed = 0, cancelled = 0;
+  for (const auto& r : result.rows) {
+    if (row_was_cancelled(r)) ++cancelled;
+    else if (r.worst_status().is_failed()) ++failed;
+    else if (r.worst_status().is_degraded()) ++degraded;
+    else ++ok;
+  }
+  std::printf("batch: %zu circuits in %.2fs at --jobs %d: "
+              "%zu ok, %zu degraded, %zu failed, %zu cancelled\n",
+              result.rows.size(), result.seconds, bopt.jobs, ok, degraded,
+              failed, cancelled);
+  if (bopt.jobs > 1) {
+    std::printf("%s", format_dd_kernel_summary(result.rows).c_str());
+    std::printf("%s", format_sched_summary(result.sched).c_str());
+  }
+  return status_exit_code(result.worst);
 }
 
 int cmd_list() {
@@ -336,8 +458,8 @@ int cmd_list() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s synth|baseline|map|verify|power|atpg|table2|list "
-                 "...\n",
+                 "usage: %s synth|baseline|map|verify|power|atpg|table2|"
+                 "batch|list ...\n",
                  argv[0]);
     return 2;
   }
@@ -353,6 +475,7 @@ int main(int argc, char** argv) {
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "table2") return cmd_table2(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "list") return cmd_list();
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
     return 2;
