@@ -1,0 +1,209 @@
+// Observability overhead bench: proves the tracer costs nothing when off.
+//
+// Three measurements:
+//  1. micro: cost of a *disabled* RMSYN_SPAN in ns (relaxed load + branch),
+//     measured over tens of millions of iterations;
+//  2. span census: how many spans one traced Table-2 flow actually emits
+//     (stages, polarity chunks, KFDD searches) — taken from a real traced
+//     run, not estimated;
+//  3. macro: min-of-3 interleaved flow wall times with tracing off vs on.
+//
+// The gate combines 1 and 2: extrapolated disabled-site cost per flow
+// (spans * ns_per_disabled_span) must stay under --max-overhead percent
+// (default 1%) of the plain flow wall time. The macro numbers are reported
+// for context but not gated — enabling tracing is allowed to cost more;
+// the contract is that *not* using it is free.
+//
+// Emits a machine-readable BENCH_obs.json for CI tracking.
+//
+// Usage: bench_obs [--out file.json] [--max-overhead pct] [circuit ...]
+//        (default: BENCH_obs.json, all Table-2 circuits, 1% gate;
+//         --max-overhead 0 disables the gate for very noisy hosts)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct Result {
+  std::string name;
+  double plain_seconds = 0.0;  // tracing disabled
+  double traced_seconds = 0.0; // tracing enabled, events recorded
+  uint64_t spans = 0;          // events one traced run emitted
+  std::size_t plain_lits = 0;
+  std::size_t traced_lits = 0;
+};
+
+double run_once(const std::string& name, const rmsyn::FlowOptions& opt,
+                std::size_t* lits_out) {
+  rmsyn::Stopwatch sw;
+  const rmsyn::FlowRow row = rmsyn::run_flow(name, opt);
+  if (lits_out != nullptr) *lits_out = row.ours_lits;
+  return sw.seconds();
+}
+
+// Cost of one disabled span site. The span name is a runtime value so the
+// compiler cannot fold the whole loop away; the check inside Span's ctor
+// (one relaxed load) is exactly what every RMSYN_SPAN site pays when
+// tracing is off.
+double disabled_span_ns(uint64_t iters) {
+  const char* volatile vname = "bench-disabled";
+  rmsyn::Stopwatch sw;
+  for (uint64_t i = 0; i < iters; ++i) {
+    RMSYN_SPAN(vname);
+  }
+  const double s = sw.seconds();
+  return 1e9 * s / static_cast<double>(iters);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmsyn;
+  std::string path = "BENCH_obs.json";
+  double max_overhead_pct = 1.0;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) path = argv[++i];
+    else if (arg == "--max-overhead" && i + 1 < argc)
+      max_overhead_pct = std::atof(argv[++i]);
+    else names.emplace_back(arg);
+  }
+  if (names.empty()) names = benchmark_names();
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+
+  // --- 1. micro: disabled-span cost -------------------------------------
+  constexpr uint64_t kMicroIters = 50'000'000;
+  double ns_per_span = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t = disabled_span_ns(kMicroIters);
+    if (t < ns_per_span) ns_per_span = t;
+  }
+  std::printf("== Observability overhead ==\n");
+  std::printf("disabled RMSYN_SPAN: %.3f ns/site (min of 3 x %lluM iters)\n",
+              ns_per_span,
+              static_cast<unsigned long long>(kMicroIters / 1'000'000));
+
+  // --- 2+3. per-circuit: span census and off/on wall times ---------------
+  FlowOptions opt;
+  opt.run_mapping = false;
+  opt.run_power = false;
+
+  constexpr int kReps = 3;
+  std::vector<Result> results;
+  for (const auto& name : names) {
+    Result r;
+    r.name = name;
+    r.plain_seconds = 1e30;
+    r.traced_seconds = 1e30;
+    // Interleave off/on so cache/frequency drift hits both equally.
+    for (int rep = 0; rep < kReps; ++rep) {
+      tracer.disable();
+      const double tp = run_once(name, opt, &r.plain_lits);
+      if (tp < r.plain_seconds) r.plain_seconds = tp;
+
+      tracer.reset();
+      tracer.enable();
+      const double tt = run_once(name, opt, &r.traced_lits);
+      tracer.disable();
+      if (tt < r.traced_seconds) r.traced_seconds = tt;
+      r.spans = tracer.summary().events;
+      tracer.reset();
+    }
+    results.push_back(r);
+  }
+
+  std::printf("%-10s %10s %10s %8s %12s\n", "circuit", "off(s)", "on(s)",
+              "spans", "off-cost(%)");
+  double sum_plain = 0, sum_traced = 0;
+  uint64_t sum_spans = 0;
+  bool lits_match = true;
+  double worst_disabled_pct = 0.0;
+  for (const auto& r : results) {
+    sum_plain += r.plain_seconds;
+    sum_traced += r.traced_seconds;
+    sum_spans += r.spans;
+    lits_match &= r.plain_lits == r.traced_lits;
+    // Extrapolated cost of the disabled sites this circuit's flow passes:
+    // every recorded span is one site that, when tracing is off, pays the
+    // measured per-site cost.
+    const double site_seconds =
+        1e-9 * ns_per_span * static_cast<double>(r.spans);
+    const double pct =
+        r.plain_seconds > 0 ? 100.0 * site_seconds / r.plain_seconds : 0.0;
+    if (pct > worst_disabled_pct) worst_disabled_pct = pct;
+    std::printf("%-10s %10.4f %10.4f %8llu %11.4f%%%s\n", r.name.c_str(),
+                r.plain_seconds, r.traced_seconds,
+                static_cast<unsigned long long>(r.spans), pct,
+                r.plain_lits == r.traced_lits ? "" : "  LITS DIFFER");
+  }
+  const double total_site_seconds =
+      1e-9 * ns_per_span * static_cast<double>(sum_spans);
+  const double disabled_pct =
+      sum_plain > 0 ? 100.0 * total_site_seconds / sum_plain : 0.0;
+  const double enabled_pct =
+      sum_plain > 0 ? 100.0 * (sum_traced / sum_plain - 1.0) : 0.0;
+  std::printf("\nTotal: off %.3fs, on %.3fs (+%.2f%% when enabled)\n",
+              sum_plain, sum_traced, enabled_pct);
+  std::printf("Disabled-tracer cost: %llu sites x %.3f ns = %.1f us over "
+              "%.3fs => %.4f%% (target < %.2f%%)\n",
+              static_cast<unsigned long long>(sum_spans), ns_per_span,
+              1e6 * total_site_seconds, sum_plain, disabled_pct,
+              max_overhead_pct);
+  if (!lits_match)
+    std::printf("WARNING: enabling the tracer changed a result — "
+                "it must be observation-only\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"obs\",\n"
+               "  \"disabled_span_ns\": %.4f,\n"
+               "  \"disabled_overhead_pct\": %.6f,\n"
+               "  \"worst_circuit_overhead_pct\": %.6f,\n"
+               "  \"enabled_overhead_pct\": %.3f,\n"
+               "  \"plain_seconds\": %.6f,\n  \"traced_seconds\": %.6f,\n"
+               "  \"total_spans\": %llu,\n"
+               "  \"results_identical\": %s,\n  \"results\": [\n",
+               ns_per_span, disabled_pct, worst_disabled_pct, enabled_pct,
+               sum_plain, sum_traced,
+               static_cast<unsigned long long>(sum_spans),
+               lits_match ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"plain_seconds\": %.6f, "
+                 "\"traced_seconds\": %.6f, \"spans\": %llu, "
+                 "\"lits\": %zu}%s\n",
+                 r.name.c_str(), r.plain_seconds, r.traced_seconds,
+                 static_cast<unsigned long long>(r.spans), r.traced_lits,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  // Gate: tracing-off must be free (extrapolated site cost under budget)
+  // and observation-only (identical literal counts traced vs not).
+  if (!lits_match) return 1;
+  if (max_overhead_pct > 0.0 && disabled_pct > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-tracer overhead %.4f%% exceeds the "
+                 "%.2f%% budget\n",
+                 disabled_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -63,19 +63,20 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
   Stopwatch sw;
   BaselineReport rep;
   ResourceGovernor* gov = opt.governor;
+  StageBreakdown* const sb = &rep.stages;
   const auto out_of_budget = [&] { return gov != nullptr && gov->exhausted(); };
 
   SopNetwork sn = SopNetwork::from_network(decompose2(strash(spec)));
 
   if (opt.flatten_to_two_level && !out_of_budget()) {
-    ResourceGovernor::StageScope stage(gov, "baseline-flatten");
+    obs::ScopedStage stage(gov, sb, "baseline-flatten");
     SopNetwork flat = sn;
     if (flat.flatten(opt.flatten_cube_cap)) sn = std::move(flat);
   }
 
   // sweep; simplify — espresso on every node cover.
   {
-    ResourceGovernor::StageScope stage(gov, "baseline-simplify");
+    obs::ScopedStage stage(gov, sb, "baseline-simplify");
     simplify_nodes(sn, gov);
   }
   rep.sop_lits_initial = sn.literal_count();
@@ -84,14 +85,14 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
   // removal is free), as script.rugged does, then extraction runs on the
   // flattened-enough network.
   if (!out_of_budget()) {
-    ResourceGovernor::StageScope stage(gov, "baseline-eliminate");
+    obs::ScopedStage stage(gov, sb, "baseline-eliminate");
     eliminate(sn, opt.eliminate_value, gov);
     simplify_nodes(sn, gov);
   }
 
   // gkx/gcx loop.
   if (!out_of_budget()) {
-    ResourceGovernor::StageScope stage(gov, "baseline-extract");
+    obs::ScopedStage stage(gov, sb, "baseline-extract");
     ExtractOptions ex;
     ex.governor = gov;
     for (std::size_t round = 0;
@@ -108,7 +109,7 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
   // Factor every node into gates.
   Network net;
   {
-    ResourceGovernor::StageScope stage(gov, "baseline-factor");
+    obs::ScopedStage stage(gov, sb, "baseline-factor");
     net = strash(sn.to_network());
   }
 
@@ -118,7 +119,7 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
   // When the budget already died, the pass gets a fresh slice only through
   // the caller's ladder (run_flow); here it is simply skipped.
   if (opt.run_redundancy_removal && !out_of_budget()) {
-    ResourceGovernor::StageScope stage(gov, "baseline-redundancy");
+    obs::ScopedStage stage(gov, sb, "baseline-redundancy");
     RedundancyOptions ro;
     ro.observability_pass = false;
     ro.governor = gov;
@@ -131,7 +132,7 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
     // equivalence-preserving and red_removal self-confirms its rewrites);
     // a decided mismatch still throws.
     if (gov != nullptr && gov->exhausted()) (void)gov->grant_fallback();
-    ResourceGovernor::StageScope stage(gov, "baseline-verify");
+    obs::ScopedStage stage(gov, sb, "baseline-verify");
     const auto check = check_equivalence(spec, net, 0xC0FFEE, gov);
     if (check.decided && !check.equivalent)
       throw std::logic_error("baseline_synthesize: result not equivalent: " +
@@ -144,6 +145,7 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
                    : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(net);
+  rep.governor_polls = gov != nullptr ? gov->steps() : 0;
   if (report != nullptr) *report = rep;
   return net;
 }

@@ -14,6 +14,7 @@
 #include "baseline/sop_network.hpp"
 #include "network/network.hpp"
 #include "network/stats.hpp"
+#include "obs/stage.hpp"
 #include "util/governor.hpp"
 
 namespace rmsyn {
@@ -47,6 +48,10 @@ struct BaselineReport {
   /// ok or degraded:<stage>; the script cannot fail (any pass prefix is a
   /// valid result), so Failed never originates here.
   FlowStatus status;
+  /// Wall-clock per baseline-* stage (names match the governor stack).
+  StageBreakdown stages;
+  /// Cooperative governor polls consumed (0 when no governor attached).
+  uint64_t governor_polls = 0;
 };
 
 /// Runs the baseline script on a specification network.

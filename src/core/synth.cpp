@@ -50,7 +50,8 @@ std::optional<Candidate> build_cubes_candidate(const Network& spec,
                                                BddManager& mgr,
                                                const std::vector<BddRef>& spec_fn,
                                                const SynthOptions& opt,
-                                               const BitVec* fixed_polarity) {
+                                               const BitVec* fixed_polarity,
+                                               StageBreakdown* sb) {
   ResourceGovernor* gov = mgr.governor();
   Candidate cand;
   const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
@@ -65,19 +66,19 @@ std::optional<Candidate> build_cubes_candidate(const Network& spec,
     }
     BitVec polarity;
     {
-      ResourceGovernor::StageScope stage(gov, "polarity-search");
+      obs::ScopedStage stage(gov, sb, "polarity-search");
       polarity = fixed_polarity != nullptr ? *fixed_polarity
                                            : best_polarity(mgr, f, opt.polarity);
     }
     Ofdd ofdd;
     {
-      ResourceGovernor::StageScope stage(gov, "ofdd-build");
+      obs::ScopedStage stage(gov, sb, "ofdd-build");
       ofdd = build_ofdd(mgr, f, polarity);
     }
     if (BddManager::is_invalid(ofdd.root)) return std::nullopt;
     FprmForm form;
     {
-      ResourceGovernor::StageScope stage(gov, "fprm-extract");
+      obs::ScopedStage stage(gov, sb, "fprm-extract");
       form = extract_fprm(mgr, ofdd, static_cast<int>(spec.pi_count()),
                           opt.cube_limit);
       cand.cube_counts.push_back(
@@ -89,7 +90,7 @@ std::optional<Candidate> build_cubes_candidate(const Network& spec,
       // routes the output through the (exact, structural) OFDD factoring —
       // the result stays correct, only the cube list in the report is a
       // prefix.
-      ResourceGovernor::StageScope stage(gov, "factor");
+      obs::ScopedStage stage(gov, sb, "factor");
       if (form.truncated) {
         root = factor_ofdd(cand.net, pi_nodes, mgr, ofdd);
         ++cand.via_ofdd;
@@ -114,13 +115,14 @@ std::optional<Candidate> build_ofdd_candidate(const Network& spec,
                                               BddManager& mgr,
                                               const std::vector<BddRef>& spec_fn,
                                               const SynthOptions& opt,
-                                              const BitVec* fixed_polarity) {
+                                              const BitVec* fixed_polarity,
+                                              StageBreakdown* sb) {
   ResourceGovernor* gov = mgr.governor();
   Candidate cand;
   const std::vector<NodeId> pi_nodes = add_spec_pis(cand.net, spec);
   BitVec polarity;
   {
-    ResourceGovernor::StageScope stage(gov, "polarity-search");
+    obs::ScopedStage stage(gov, sb, "polarity-search");
     polarity = fixed_polarity != nullptr
                    ? *fixed_polarity
                    : best_polarity_multi(mgr, spec_fn, opt.polarity);
@@ -143,18 +145,21 @@ std::optional<Candidate> build_ofdd_candidate(const Network& spec,
     }
     BddRef full_spec;
     {
-      ResourceGovernor::StageScope stage(gov, "ofdd-build");
+      obs::ScopedStage stage(gov, sb, "ofdd-build");
       full_spec = rm_spectrum(mgr, f, all_vars, polarity);
     }
     if (BddManager::is_invalid(full_spec)) return std::nullopt;
-    cand.net.add_po(builder.build(full_spec), spec.po_name(j));
+    {
+      obs::ScopedStage stage(gov, sb, "factor");
+      cand.net.add_po(builder.build(full_spec), spec.po_name(j));
+    }
     ++cand.via_ofdd;
 
     // Support-restricted form for pattern generation / reporting. Failure
     // here only degrades the report (redundancy removal falls back to
     // random patterns for an empty form), so it does not kill the
     // candidate.
-    ResourceGovernor::StageScope stage(gov, "fprm-extract");
+    obs::ScopedStage stage(gov, sb, "fprm-extract");
     const Ofdd ofdd = build_ofdd(mgr, f, polarity);
     if (BddManager::is_invalid(ofdd.root)) {
       cand.forms.emplace_back();
@@ -185,6 +190,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
   Stopwatch sw;
   SynthReport rep;
   ResourceGovernor* gov = opt.governor;
+  StageBreakdown* const sb = &rep.stages;
 
   // Candidate PI orders: the spec's natural order plus the reach heuristic.
   std::vector<std::vector<std::size_t>> orders;
@@ -221,7 +227,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
       mgr.set_governor(gov);
       std::vector<BddRef> spec_fn;
       {
-        ResourceGovernor::StageScope stage(gov, "spec-bdd");
+        obs::ScopedStage stage(gov, sb, "spec-bdd");
         spec_fn = output_bdds(mgr, spec_p);
       }
       bool fn_ok = true;
@@ -238,16 +244,18 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
       std::vector<std::optional<Candidate>> cands;
       if (rung != Rung::OfddOnly &&
           (opt.method == FactorMethod::Cubes || opt.method == FactorMethod::Best))
-        cands.push_back(build_cubes_candidate(spec_p, mgr, spec_fn, opt, fixed));
+        cands.push_back(
+            build_cubes_candidate(spec_p, mgr, spec_fn, opt, fixed, sb));
       if (rung == Rung::OfddOnly || opt.method == FactorMethod::Ofdd ||
           opt.method == FactorMethod::Best)
-        cands.push_back(build_ofdd_candidate(spec_p, mgr, spec_fn, opt, fixed));
+        cands.push_back(
+            build_ofdd_candidate(spec_p, mgr, spec_fn, opt, fixed, sb));
 
       for (auto& oc : cands) {
         if (!oc.has_value()) continue; // tripped mid-build: discard
         Candidate& c = *oc;
         if (opt.run_resub && rung != Rung::OfddOnly) {
-          ResourceGovernor::StageScope stage(gov, "resub");
+          obs::ScopedStage stage(gov, sb, "resub");
           ResubOptions ro;
           ro.governor = gov;
           c.net = resub_merge(c.net, ro);
@@ -296,6 +304,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
                 : "no candidate completed");
     rep.seconds = sw.seconds();
     rep.stats = network_stats(out);
+    rep.governor_polls = gov != nullptr ? gov->steps() : 0;
     if (report != nullptr) *report = rep;
     return out;
   }
@@ -310,7 +319,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
   // the FPRM forms refer to permuted PI indices). Skipped when the ladder
   // allowance is spent; the pass is optional for correctness.
   if (opt.run_redundancy_removal && regain()) {
-    ResourceGovernor::StageScope stage(gov, "redundancy");
+    obs::ScopedStage stage(gov, sb, "redundancy");
     RedundancyOptions rdo = opt.redundancy;
     rdo.governor = gov;
     out = remove_xor_redundancy(out, chosen.forms, rdo, &rep.redundancy);
@@ -365,7 +374,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
     // should at least try. Real mismatches still throw — degradation never
     // excuses a wrong network.
     (void)regain();
-    ResourceGovernor::StageScope stage(gov, "verify");
+    obs::ScopedStage stage(gov, sb, "verify");
     const auto check = check_equivalence(spec, out, 0xC0FFEE, gov);
     if (check.decided && !check.equivalent)
       throw std::logic_error("synthesize: result not equivalent to spec: " +
@@ -378,6 +387,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
                    : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(out);
+  rep.governor_polls = gov != nullptr ? gov->steps() : 0;
   if (report != nullptr) *report = rep;
   return out;
 }

@@ -18,6 +18,7 @@
 #include "fdd/fprm.hpp"
 #include "network/network.hpp"
 #include "network/stats.hpp"
+#include "obs/stage.hpp"
 #include "util/governor.hpp"
 
 namespace rmsyn {
@@ -69,6 +70,11 @@ struct SynthReport {
   FlowStatus status;
   /// How many ladder descents the result consumed (0 = full flow).
   std::size_t ladder_descents = 0;
+  /// Wall-clock per stage (polarity-search, ofdd-build, factor, ...);
+  /// stage names match the governor's stage stack and the trace spans.
+  StageBreakdown stages;
+  /// Cooperative governor polls consumed (0 when no governor attached).
+  uint64_t governor_polls = 0;
 };
 
 /// Runs the full flow. PI/PO order of the result matches the spec.

@@ -1,5 +1,7 @@
 #include "fdd/fprm.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -312,6 +314,7 @@ BitVec best_polarity_multi(BddManager& mgr, const std::vector<BddRef>& fs,
         const uint64_t hi = std::min(total, lo + per);
         futs.push_back(opt.pool->submit([&mgr, &fs, &vars, &out_vars, lo, hi,
                                          gov] {
+          RMSYN_SPAN("polarity-chunk");
           return scan_polarity_chunk(mgr, fs, vars, out_vars, lo, hi, gov);
         }));
       }

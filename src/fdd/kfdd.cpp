@@ -1,5 +1,7 @@
 #include "fdd/kfdd.hpp"
 
+#include "obs/trace.hpp"
+
 #include <limits>
 
 #include "equiv/equiv.hpp"
@@ -132,6 +134,7 @@ bool identity_order(const BddManager& mgr) {
 std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
                                                const std::vector<BddRef>& outputs,
                                                const KfddSearchOptions& opt) {
+  RMSYN_SPAN("kfdd-search");
   const auto n = static_cast<std::size_t>(mgr.nvars());
   // Candidate builds share this one manager; pin the outputs and collect
   // the Davio-difference garbage whenever it piles up.
@@ -200,6 +203,7 @@ std::vector<Expansion> best_kfdd_decomposition(BddManager& mgr,
 
 Network kfdd_synthesize(const Network& spec, const KfddSearchOptions& opt,
                         std::vector<Expansion>* chosen) {
+  RMSYN_SPAN("kfdd-synthesize");
   // Work in the spectrum-friendly variable order (carry-like inputs last)
   // so cross-output subgraph sharing materializes, then permute back.
   const std::vector<std::size_t> perm = spectrum_friendly_pi_order(spec);

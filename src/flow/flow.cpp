@@ -5,6 +5,8 @@
 
 #include "network/stats.hpp"
 #include "network/transform.hpp"
+#include "obs/trace.hpp"
+#include "util/progress.hpp"
 
 namespace rmsyn {
 
@@ -22,6 +24,9 @@ uint64_t fnv1a64(const std::string& s) {
 } // namespace
 
 FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
+  obs::Span flow_span("flow:" + bench.name);
+  if (ProgressBoard::active())
+    ProgressBoard::instance().set_circuit(bench.name);
   FlowRow row;
   row.circuit = bench.name;
   row.num_inputs = bench.num_inputs;
@@ -47,6 +52,9 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.ours_seconds = rep.seconds;
       row.bdd = rep.bdd;
       row.ours_status = rep.status;
+      row.stages.accumulate(rep.stages);
+      row.ours_polls = rep.governor_polls;
+      row.ladder_descents = rep.ladder_descents;
       if (!rep.status.is_failed()) ours = std::move(n);
     } catch (const std::exception& e) {
       row.ours_status = FlowStatus::failed("verify", e.what());
@@ -69,6 +77,8 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.base_lits = rep.stats.lits;
       row.base_seconds = rep.seconds;
       row.base_status = rep.status;
+      row.stages.accumulate(rep.stages);
+      row.base_polls = rep.governor_polls;
       base = std::move(n);
     } catch (const std::exception& e) {
       row.base_status = FlowStatus::failed("baseline-verify", e.what());
@@ -86,6 +96,7 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
   }
 
   if (opt.run_mapping) {
+    obs::ScopedStage stage(nullptr, &row.stages, "mapping");
     if (ours.has_value()) {
       const auto mo = map_network(*ours, mcnc_library());
       row.ours_gates = mo.gate_count;
@@ -98,6 +109,7 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
     }
   }
   if (opt.run_power) {
+    obs::ScopedStage stage(nullptr, &row.stages, "power");
     // Power is compared on XOR-expanded AND/OR networks so that a kept XOR
     // primitive (one net here, one cell after mapping) does not get an
     // artificial 3x advantage over the baseline's discrete implementation.
@@ -196,26 +208,75 @@ std::string format_table2(const std::vector<FlowRow>& rows) {
 }
 
 std::string format_dd_kernel_summary(const std::vector<FlowRow>& rows) {
-  BddStats s;
-  for (const auto& r : rows) s.accumulate(r.bdd);
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "DD kernel: %llu cache lookups (hit rate %.1f%%), "
-                "%llu unique-table probes (%.1f%% hits), peak live nodes %zu, "
-                "%llu gc runs freeing %llu nodes, %llu reorders (%llu swaps)\n",
-                static_cast<unsigned long long>(s.cache_lookups),
-                100.0 * s.cache_hit_rate(),
-                static_cast<unsigned long long>(s.unique_lookups),
-                s.unique_lookups == 0
-                    ? 0.0
-                    : 100.0 * static_cast<double>(s.unique_hits) /
-                          static_cast<double>(s.unique_lookups),
-                s.peak_live_nodes,
-                static_cast<unsigned long long>(s.gc_runs),
-                static_cast<unsigned long long>(s.nodes_freed),
-                static_cast<unsigned long long>(s.reorder_runs),
-                static_cast<unsigned long long>(s.reorder_swaps));
-  return std::string(buf);
+  obs::MetricsRegistry m;
+  for (const FlowRow& r : rows) m.absorb_bdd(r.bdd);
+  return obs::format_metrics_summary(m);
+}
+
+obs::MetricsRegistry collect_flow_metrics(const std::vector<FlowRow>& rows) {
+  obs::MetricsRegistry m;
+  for (const FlowRow& r : rows) {
+    m.absorb_bdd(r.bdd);
+    m.absorb_status(r.worst_status());
+    m.absorb_stages(r.stages);
+    m.add("flow.governor_polls", r.ours_polls + r.base_polls);
+    m.add("flow.ladder_descents", r.ladder_descents);
+  }
+  return m;
+}
+
+namespace {
+
+obs::Json status_json(const FlowStatus& st) {
+  obs::Json j = obs::Json::object();
+  j["outcome"] = st.is_failed() ? "failed"
+                                : (st.is_degraded() ? "degraded" : "ok");
+  j["stage"] = st.stage;
+  j["reason"] = st.reason;
+  return j;
+}
+
+} // namespace
+
+obs::Json flow_row_json(const FlowRow& row) {
+  obs::Json j = obs::Json::object();
+  j["circuit"] = row.circuit;
+  j["inputs"] = row.num_inputs;
+  j["outputs"] = row.num_outputs;
+  j["arithmetic"] = row.arithmetic;
+  j["exact_benchmark"] = row.exact_benchmark;
+  j["base_lits"] = row.base_lits;
+  j["base_seconds"] = row.base_seconds;
+  j["ours_lits"] = row.ours_lits;
+  j["ours_seconds"] = row.ours_seconds;
+  j["base_gates"] = row.base_gates;
+  j["base_map_lits"] = row.base_map_lits;
+  j["ours_gates"] = row.ours_gates;
+  j["ours_map_lits"] = row.ours_map_lits;
+  j["base_power"] = row.base_power;
+  j["ours_power"] = row.ours_power;
+  j["improve_lits_pct"] = row.improve_lits_pct();
+  j["improve_power_pct"] = row.improve_power_pct();
+  obs::Json status = obs::Json::object();
+  status["ours"] = status_json(row.ours_status);
+  status["base"] = status_json(row.base_status);
+  status["worst"] = row.worst_status().is_failed()
+                        ? "failed"
+                        : (row.worst_status().is_degraded() ? "degraded"
+                                                            : "ok");
+  j["status"] = std::move(status);
+  j["governor_polls"] = row.ours_polls + row.base_polls;
+  j["ladder_descents"] = row.ladder_descents;
+  obs::Json stages = obs::Json::array();
+  for (const StageBreakdown::Entry& e : row.stages.entries) {
+    obs::Json st = obs::Json::object();
+    st["name"] = e.name;
+    st["seconds"] = e.seconds;
+    st["calls"] = e.calls;
+    stages.push_back(std::move(st));
+  }
+  j["stages"] = std::move(stages);
+  return j;
 }
 
 } // namespace rmsyn

@@ -12,6 +12,8 @@
 #include "benchgen/spec.hpp"
 #include "core/synth.hpp"
 #include "mapping/mapper.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "power/power.hpp"
 
 namespace rmsyn {
@@ -42,6 +44,15 @@ struct FlowRow {
   // DD-kernel observability for the FPRM flow (accumulated over every
   // manager synthesize() created for this circuit).
   BddStats bdd;
+
+  // Per-stage wall clock, merged across both flows plus mapping and power
+  // (stage names match the trace spans and the governor stage stack).
+  StageBreakdown stages;
+  // Cooperative governor polls consumed by each flow (0 = ungoverned).
+  uint64_t ours_polls = 0;
+  uint64_t base_polls = 0;
+  // Degradation-ladder descents the FPRM flow consumed (0 = full flow).
+  std::size_t ladder_descents = 0;
 
   // Per-flow outcome. A failed flow keeps its columns at zero (or, for the
   // FPRM flow, mirrors the baseline columns when the baseline survived —
@@ -94,7 +105,20 @@ std::string format_table2(const std::vector<FlowRow>& rows);
 
 /// One-line DD-kernel summary over a set of rows: computed-table hit rate,
 /// peak live nodes, GC and reorder activity. Appended by the bench
-/// harnesses below their tables.
+/// harnesses below their tables. (A thin wrapper over the obs metrics
+/// registry: absorbs the accumulated BddStats and renders the dd.* group
+/// through obs::format_metrics_summary.)
 std::string format_dd_kernel_summary(const std::vector<FlowRow>& rows);
+
+/// Serializes one row for the machine-readable run report (obs/report.hpp):
+/// every Table-2 column, both FlowStatus values (plus the worst), governor
+/// poll counts, and the per-stage breakdown. Key order is schema-stable —
+/// data/report_schema.json is the contract.
+obs::Json flow_row_json(const FlowRow& row);
+
+/// Aggregates a run's rows into a metrics registry: dd.* from the
+/// accumulated BddStats, flow.* outcome/poll/descent counters, stage.*
+/// histograms from the merged breakdowns.
+obs::MetricsRegistry collect_flow_metrics(const std::vector<FlowRow>& rows);
 
 } // namespace rmsyn

@@ -1,0 +1,108 @@
+// Minimal JSON document model for the obs subsystem: the run-report writer,
+// the report-schema validator, and the golden-file round-trip tests all
+// need structured JSON, and the container ships no JSON library — so this
+// is a deliberately small, dependency-free implementation.
+//
+// Properties that matter here:
+//  * Objects preserve insertion order, so a report serializes with a
+//    stable, diffable key order (schema stability is an acceptance
+//    criterion, see data/report_schema.json).
+//  * Numbers round-trip: dump() emits integers without a decimal point and
+//    doubles via shortest-representation probing (%.15g, re-parsed and
+//    widened to %.17g only when lossy).
+//  * parse() reports errors with a byte offset, for CI diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rmsyn::obs {
+
+class Json {
+public:
+  enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(unsigned u) : type_(Type::Number), num_(u) {}
+  Json(long long i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(unsigned long long u) : type_(Type::Number), num_(static_cast<double>(u)) {}
+  Json(std::size_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+
+  // --- array ---------------------------------------------------------------
+  std::size_t size() const {
+    return is_object() ? members_.size() : items_.size();
+  }
+  void push_back(Json v) { items_.push_back(std::move(v)); }
+  const Json& at(std::size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+
+  // --- object (insertion-ordered) ------------------------------------------
+  /// Insert-or-get; turns a Null value into an Object first (builder style).
+  Json& operator[](std::string_view key);
+  /// Null-type reference when absent (distinguish with contains()).
+  const Json& get(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+  /// indent < 0: compact one-line form; indent >= 0: pretty-printed with
+  /// that many spaces per level and a trailing newline at top level.
+  std::string dump(int indent = -1) const;
+
+  /// Throws std::runtime_error ("json parse error at byte N: ...") on
+  /// malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  static std::string escape(std::string_view s);
+
+private:
+  void dump_to(std::string& out, int indent, int level) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace rmsyn::obs

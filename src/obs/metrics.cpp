@@ -1,0 +1,394 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+// Struct definitions only: the absorbers read plain fields (and inline
+// members), so rmsyn_obs needs no link-time dependency on the bdd/sched
+// libraries — the dependency arrow stays obs <- {bdd, sched, flow}.
+#include "bdd/bdd.hpp"
+#include "sched/pool.hpp"
+
+namespace rmsyn::obs {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+void MetricsRegistry::add(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    MetricValue v;
+    v.kind = MetricKind::Counter;
+    v.count = delta;
+    metrics_.emplace(std::string(name), v);
+    return;
+  }
+  it->second.count += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricValue& m = metrics_[std::string(name)];
+  m.kind = MetricKind::Gauge;
+  m.value = v;
+}
+
+void MetricsRegistry::set_max(std::string_view name, double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    MetricValue m;
+    m.kind = MetricKind::Gauge;
+    m.value = v;
+    metrics_.emplace(std::string(name), m);
+    return;
+  }
+  if (v > it->second.value) it->second.value = v;
+}
+
+void MetricsRegistry::observe(std::string_view name, double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    MetricValue m;
+    m.kind = MetricKind::Histogram;
+    m.count = 1;
+    m.sum = m.min = m.max = v;
+    metrics_.emplace(std::string(name), m);
+    return;
+  }
+  MetricValue& m = it->second;
+  ++m.count;
+  m.sum += v;
+  if (v < m.min) m.min = v;
+  if (v > m.max) m.max = v;
+}
+
+void MetricsRegistry::merge_locked(const std::string& name,
+                                   const MetricValue& v) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    metrics_.emplace(name, v);
+    return;
+  }
+  MetricValue& m = it->second;
+  switch (v.kind) {
+    case MetricKind::Counter: m.count += v.count; break;
+    case MetricKind::Gauge:
+      if (v.value > m.value) m.value = v.value; // merge keeps the max
+      break;
+    case MetricKind::Histogram:
+      if (m.count == 0) {
+        m = v;
+      } else if (v.count > 0) {
+        m.count += v.count;
+        m.sum += v.sum;
+        if (v.min < m.min) m.min = v.min;
+        if (v.max > m.max) m.max = v.max;
+      }
+      break;
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  std::vector<Entry> theirs = o.snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Entry& e : theirs) merge_locked(e.name, e.v);
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_.clear();
+}
+
+uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0 : it->second.count;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+double MetricsRegistry::hist_sum(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.sum;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return metrics_.find(name) != metrics_.end();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Entry> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, v] : metrics_) out.push_back(Entry{name, v});
+  return out;
+}
+
+// --- absorbers ---------------------------------------------------------------
+
+void MetricsRegistry::absorb_bdd(const BddStats& s) {
+  add("dd.unique_lookups", s.unique_lookups);
+  add("dd.unique_hits", s.unique_hits);
+  add("dd.cache_lookups", s.cache_lookups);
+  add("dd.cache_hits", s.cache_hits);
+  add("dd.cache_inserts", s.cache_inserts);
+  add("dd.gc_runs", s.gc_runs);
+  add("dd.nodes_freed", s.nodes_freed);
+  add("dd.reorder_runs", s.reorder_runs);
+  add("dd.reorder_swaps", s.reorder_swaps);
+  set_max("dd.peak_live_nodes", static_cast<double>(s.peak_live_nodes));
+}
+
+void MetricsRegistry::absorb_sched(const SchedStats& s) {
+  if (s.per_worker.empty()) return;
+  set_max("sched.workers", static_cast<double>(s.workers));
+  char name[64];
+  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+    const WorkerStats& w = s.per_worker[i];
+    add("sched.tasks", w.tasks_run);
+    add("sched.steals", w.steals);
+    add("sched.tasks_stolen", w.tasks_stolen);
+    add("sched.steal_attempts", w.steal_attempts);
+    observe("sched.busy_seconds", w.busy_seconds);
+    observe("sched.idle_seconds", w.idle_seconds);
+    set_max("sched.peak_queue_depth", static_cast<double>(w.peak_queue_depth));
+    if (w.tasks_run == 0 && w.steal_attempts == 0) continue;
+    // Per-slot detail; the last slot is the external helper (the thread
+    // that called wait() and worked the queue), as in sched/pool.hpp.
+    const bool external = i + 1 == s.per_worker.size() &&
+                          static_cast<int>(i) == s.workers;
+    if (external)
+      std::snprintf(name, sizeof name, "sched.ext");
+    else
+      std::snprintf(name, sizeof name, "sched.w%zu", i);
+    const std::string slot(name);
+    add(slot + ".tasks", w.tasks_run);
+    add(slot + ".steals", w.steals);
+    add(slot + ".tasks_stolen", w.tasks_stolen);
+    add(slot + ".steal_attempts", w.steal_attempts);
+    observe(slot + ".busy_seconds", w.busy_seconds);
+    observe(slot + ".idle_seconds", w.idle_seconds);
+    set_max(slot + ".peak_queue_depth",
+            static_cast<double>(w.peak_queue_depth));
+  }
+}
+
+void MetricsRegistry::absorb_status(const FlowStatus& st) {
+  add("flow.rows");
+  switch (st.outcome) {
+    case FlowOutcome::Ok: add("flow.ok"); break;
+    case FlowOutcome::Degraded: add("flow.degraded"); break;
+    case FlowOutcome::Failed: add("flow.failed"); break;
+  }
+}
+
+void MetricsRegistry::absorb_stages(const StageBreakdown& sb) {
+  for (const StageBreakdown::Entry& e : sb.entries) {
+    const std::string name = "stage." + e.name;
+    std::lock_guard<std::mutex> lk(mu_);
+    MetricValue v;
+    v.kind = MetricKind::Histogram;
+    v.count = e.calls;
+    v.sum = v.min = v.max = e.seconds;
+    merge_locked(name, v);
+  }
+}
+
+// --- the one formatter -------------------------------------------------------
+
+namespace {
+
+bool has_prefix(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+const MetricValue* find(const std::vector<MetricsRegistry::Entry>& es,
+                        std::string_view name) {
+  for (const auto& e : es)
+    if (e.name == name) return &e.v;
+  return nullptr;
+}
+
+uint64_t cnt(const std::vector<MetricsRegistry::Entry>& es,
+             std::string_view name) {
+  const MetricValue* v = find(es, name);
+  return v == nullptr ? 0 : v->count;
+}
+
+double gval(const std::vector<MetricsRegistry::Entry>& es,
+            std::string_view name) {
+  const MetricValue* v = find(es, name);
+  return v == nullptr ? 0.0 : v->value;
+}
+
+double hsum(const std::vector<MetricsRegistry::Entry>& es,
+            std::string_view name) {
+  const MetricValue* v = find(es, name);
+  return v == nullptr ? 0.0 : v->sum;
+}
+
+void format_dd_block(const std::vector<MetricsRegistry::Entry>& es,
+                     std::string& out) {
+  const uint64_t cache_lookups = cnt(es, "dd.cache_lookups");
+  const uint64_t unique_lookups = cnt(es, "dd.unique_lookups");
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "DD kernel: %llu cache lookups (hit rate %.1f%%), "
+      "%llu unique-table probes (%.1f%% hits), peak live nodes %zu, "
+      "%llu gc runs freeing %llu nodes, %llu reorders (%llu swaps)\n",
+      static_cast<unsigned long long>(cache_lookups),
+      cache_lookups == 0 ? 0.0
+                         : 100.0 *
+                               static_cast<double>(cnt(es, "dd.cache_hits")) /
+                               static_cast<double>(cache_lookups),
+      static_cast<unsigned long long>(unique_lookups),
+      unique_lookups == 0 ? 0.0
+                          : 100.0 *
+                                static_cast<double>(cnt(es, "dd.unique_hits")) /
+                                static_cast<double>(unique_lookups),
+      static_cast<std::size_t>(gval(es, "dd.peak_live_nodes")),
+      static_cast<unsigned long long>(cnt(es, "dd.gc_runs")),
+      static_cast<unsigned long long>(cnt(es, "dd.nodes_freed")),
+      static_cast<unsigned long long>(cnt(es, "dd.reorder_runs")),
+      static_cast<unsigned long long>(cnt(es, "dd.reorder_swaps")));
+  out += buf;
+}
+
+void format_sched_block(const std::vector<MetricsRegistry::Entry>& es,
+                        std::string& out) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "Scheduler: %d workers, %llu tasks (%llu stolen in %llu steals), "
+      "busy %.2fs / idle %.2fs, peak queue depth %zu\n",
+      static_cast<int>(gval(es, "sched.workers")),
+      static_cast<unsigned long long>(cnt(es, "sched.tasks")),
+      static_cast<unsigned long long>(cnt(es, "sched.tasks_stolen")),
+      static_cast<unsigned long long>(cnt(es, "sched.steals")),
+      hsum(es, "sched.busy_seconds"), hsum(es, "sched.idle_seconds"),
+      static_cast<std::size_t>(gval(es, "sched.peak_queue_depth")));
+  out += buf;
+  const auto slot_line = [&](const std::string& slot, const char* label) {
+    if (find(es, slot + ".tasks") == nullptr &&
+        find(es, slot + ".steal_attempts") == nullptr)
+      return;
+    std::snprintf(
+        buf, sizeof buf,
+        "  %-4s: %6llu tasks, %5llu stolen/%llu steals (%llu probes), "
+        "busy %8.2fs, idle %8.2fs, peak depth %zu\n",
+        label, static_cast<unsigned long long>(cnt(es, slot + ".tasks")),
+        static_cast<unsigned long long>(cnt(es, slot + ".tasks_stolen")),
+        static_cast<unsigned long long>(cnt(es, slot + ".steals")),
+        static_cast<unsigned long long>(cnt(es, slot + ".steal_attempts")),
+        hsum(es, slot + ".busy_seconds"), hsum(es, slot + ".idle_seconds"),
+        static_cast<std::size_t>(gval(es, slot + ".peak_queue_depth")));
+    out += buf;
+  };
+  const int workers = static_cast<int>(gval(es, "sched.workers"));
+  char label[32];
+  for (int i = 0; i < workers; ++i) {
+    std::snprintf(label, sizeof label, "w%d", i);
+    slot_line("sched.w" + std::to_string(i), label);
+  }
+  slot_line("sched.ext", "ext0");
+}
+
+void format_flow_block(const std::vector<MetricsRegistry::Entry>& es,
+                       std::string& out) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "Flow: %llu rows (%llu ok, %llu degraded, %llu failed), "
+      "%llu governor polls, %llu ladder descents\n",
+      static_cast<unsigned long long>(cnt(es, "flow.rows")),
+      static_cast<unsigned long long>(cnt(es, "flow.ok")),
+      static_cast<unsigned long long>(cnt(es, "flow.degraded")),
+      static_cast<unsigned long long>(cnt(es, "flow.failed")),
+      static_cast<unsigned long long>(cnt(es, "flow.governor_polls")),
+      static_cast<unsigned long long>(cnt(es, "flow.ladder_descents")));
+  out += buf;
+}
+
+void format_stage_block(const std::vector<MetricsRegistry::Entry>& es,
+                        std::string& out) {
+  std::vector<const MetricsRegistry::Entry*> stages;
+  for (const auto& e : es)
+    if (has_prefix(e.name, "stage.")) stages.push_back(&e);
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const MetricsRegistry::Entry* a,
+                      const MetricsRegistry::Entry* b) {
+                     return a->v.sum > b->v.sum;
+                   });
+  out += "Stages:";
+  char buf[128];
+  for (const auto* e : stages) {
+    std::snprintf(buf, sizeof buf, " %s %.3fs (%llu)",
+                  e->name.c_str() + 6, e->v.sum,
+                  static_cast<unsigned long long>(e->v.count));
+    out += buf;
+  }
+  out += "\n";
+}
+
+} // namespace
+
+std::string format_metrics_summary(const MetricsRegistry& m) {
+  const std::vector<MetricsRegistry::Entry> es = m.snapshot();
+  std::string out;
+  bool any_dd = false, any_sched = false, any_flow = false, any_stage = false;
+  for (const auto& e : es) {
+    any_dd |= has_prefix(e.name, "dd.");
+    any_sched |= has_prefix(e.name, "sched.");
+    any_flow |= has_prefix(e.name, "flow.");
+    any_stage |= has_prefix(e.name, "stage.");
+  }
+  if (any_dd) format_dd_block(es, out);
+  if (any_sched) format_sched_block(es, out);
+  if (any_flow) format_flow_block(es, out);
+  if (any_stage) format_stage_block(es, out);
+  // Anything outside the well-known groups renders generically, so new
+  // instrumentation shows up without formatter changes.
+  char buf[192];
+  for (const auto& e : es) {
+    if (has_prefix(e.name, "dd.") || has_prefix(e.name, "sched.") ||
+        has_prefix(e.name, "flow.") || has_prefix(e.name, "stage."))
+      continue;
+    switch (e.v.kind) {
+      case MetricKind::Counter:
+        std::snprintf(buf, sizeof buf, "%s=%llu\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.v.count));
+        break;
+      case MetricKind::Gauge:
+        std::snprintf(buf, sizeof buf, "%s=%g\n", e.name.c_str(), e.v.value);
+        break;
+      case MetricKind::Histogram:
+        std::snprintf(buf, sizeof buf,
+                      "%s: n=%llu sum=%g min=%g mean=%g max=%g\n",
+                      e.name.c_str(),
+                      static_cast<unsigned long long>(e.v.count), e.v.sum,
+                      e.v.min, e.v.mean(), e.v.max);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+} // namespace rmsyn::obs

@@ -1,0 +1,113 @@
+// Metrics registry — the "how much happened" half of the obs subsystem.
+//
+// Every layer of the flow already counts things (BddStats in the DD kernel,
+// SchedStats in the work-stealing pool, governor polls and ladder descents,
+// FlowStatus outcomes, per-stage seconds), but until this PR each block had
+// its own struct AND its own hand-rolled printer. The registry unifies
+// them: named counters / gauges / histograms under dotted names
+// ("dd.cache_lookups", "sched.w0.tasks", "stage.polarity-search.seconds"),
+// one absorber per legacy stat block, and ONE formatter —
+// format_metrics_summary() — that renders every summary block the CLI and
+// benches print. format_dd_kernel_summary / format_sched_summary are now
+// thin wrappers over it, and the run report serializes the same snapshot
+// as machine-readable JSON (obs/report.hpp).
+//
+// Thread safety: all operations lock a single mutex. The registry sits on
+// reporting paths (end of a flow, end of a run), never inside kernels, so
+// contention is irrelevant; the lock-free budget belongs to the tracer.
+//
+// Well-known name groups (see DESIGN.md §9):
+//   dd.*     DD-kernel counters absorbed from BddStats
+//   sched.*  pool aggregates + per-worker sched.w<i>.* / sched.ext.*
+//   flow.*   row outcomes, governor polls/descents, row count
+//   stage.*  per-stage wall-clock histograms (sum = seconds, count = calls)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stage.hpp"
+#include "util/governor.hpp"
+
+namespace rmsyn {
+
+struct BddStats;  // bdd/bdd.hpp
+struct SchedStats; // sched/pool.hpp
+
+namespace obs {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+const char* to_string(MetricKind k);
+
+/// One metric. Counters use `count`; gauges use `value`; histograms use
+/// count/sum/min/max (quantiles are out of scope — min/mean/max is what the
+/// summary blocks and the report need).
+struct MetricValue {
+  MetricKind kind = MetricKind::Counter;
+  uint64_t count = 0;
+  double value = 0.0; ///< gauge value
+  double sum = 0.0;   ///< histogram sum
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& o) { merge(o); }
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- writers -------------------------------------------------------------
+  void add(std::string_view name, uint64_t delta = 1);      ///< counter
+  void set(std::string_view name, double v);                ///< gauge (last)
+  void set_max(std::string_view name, double v);            ///< gauge (max)
+  void observe(std::string_view name, double v);            ///< histogram
+  void merge(const MetricsRegistry& o);
+  void clear();
+
+  // --- readers -------------------------------------------------------------
+  uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  double hist_sum(std::string_view name) const;
+  bool contains(std::string_view name) const;
+
+  struct Entry {
+    std::string name;
+    MetricValue v;
+  };
+  /// Name-sorted copy of every metric (stable serialization order).
+  std::vector<Entry> snapshot() const;
+
+  // --- absorbers for the pre-existing ad-hoc stat blocks -------------------
+  void absorb_bdd(const BddStats& s);
+  void absorb_sched(const SchedStats& s);
+  /// Row outcome (`flow.ok/degraded/failed`) under the given flow prefix.
+  void absorb_status(const FlowStatus& st);
+  /// Per-stage histograms: stage.<name> gets (seconds, calls).
+  void absorb_stages(const StageBreakdown& sb);
+
+private:
+  void merge_locked(const std::string& name, const MetricValue& v);
+
+  mutable std::mutex mu_;
+  std::map<std::string, MetricValue, std::less<>> metrics_;
+};
+
+/// THE summary formatter: renders every well-known metric group present in
+/// the registry as the human-readable blocks the CLI and bench harnesses
+/// print (DD kernel line, scheduler block with per-worker rows, flow/
+/// governor line, stage breakdown line). Groups with no entries are
+/// omitted; unknown groups render generically as "name=value" lines.
+std::string format_metrics_summary(const MetricsRegistry& m);
+
+} // namespace obs
+} // namespace rmsyn

@@ -1,0 +1,36 @@
+#include "obs/sink.hpp"
+
+#include <vector>
+
+namespace rmsyn::obs {
+
+void OutputSink::write(std::string_view text) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fwrite(text.data(), 1, text.size(), out_);
+  std::fflush(out_);
+}
+
+void OutputSink::printf(const char* fmt, ...) {
+  char stack_buf[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof stack_buf) {
+    va_end(ap2);
+    write(std::string_view(stack_buf, static_cast<std::size_t>(n)));
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, ap2);
+  va_end(ap2);
+  write(std::string_view(heap_buf.data(), static_cast<std::size_t>(n)));
+}
+
+} // namespace rmsyn::obs

@@ -1,0 +1,42 @@
+// Serialized output sink.
+//
+// Under `batch --jobs N` the per-row status lines and the heartbeat are
+// produced by different threads; raw printf interleaves mid-line. An
+// OutputSink funnels every line through one mutex and writes it with a
+// single fwrite, so concurrent writers can't shear each other's output.
+// The flow results themselves were already deterministic (BatchRunner
+// settles rows in order under settle_mu); this makes the *console* equally
+// well-defined.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rmsyn::obs {
+
+class OutputSink {
+public:
+  explicit OutputSink(std::FILE* out = stdout) : out_(out) {}
+  OutputSink(const OutputSink&) = delete;
+  OutputSink& operator=(const OutputSink&) = delete;
+
+  /// Writes `text` (verbatim, no newline appended) as one atomic chunk.
+  void write(std::string_view text);
+  /// printf-style; the formatted string is written as one atomic chunk.
+  void printf(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 2, 3)))
+#endif
+      ;
+
+  std::FILE* stream() const { return out_; }
+
+private:
+  std::FILE* out_;
+  std::mutex mu_;
+};
+
+} // namespace rmsyn::obs

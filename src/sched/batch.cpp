@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/trace.hpp"
+#include "util/progress.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rmsyn {
@@ -27,6 +29,9 @@ FlowRow BatchRunner::run_one(const Benchmark& bench, const FlowOptions& fopt) {
 }
 
 BatchResult BatchRunner::run(const std::vector<Benchmark>& benches) {
+  RMSYN_SPAN("batch");
+  if (ProgressBoard::active())
+    ProgressBoard::instance().reset(benches.size());
   Stopwatch sw;
   BatchResult result;
   result.rows.resize(benches.size());
@@ -44,6 +49,9 @@ BatchResult BatchRunner::run(const std::vector<Benchmark>& benches) {
     std::lock_guard<std::mutex> lk(settle_mu);
     if (row.worst_status().is_failed() && !opt_.keep_going) budget_.cancel();
     result.rows[i] = std::move(row);
+    if (ProgressBoard::active())
+      ProgressBoard::instance().rows_done.fetch_add(
+          1, std::memory_order_relaxed);
     if (on_row) on_row(result.rows[i], i);
   };
 

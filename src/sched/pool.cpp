@@ -1,5 +1,7 @@
 #include "sched/pool.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -75,34 +77,11 @@ void SchedStats::accumulate(const SchedStats& o) {
 }
 
 std::string format_sched_summary(const SchedStats& s) {
-  std::string out;
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "Scheduler: %d workers, %llu tasks (%llu stolen in %llu "
-                "steals), busy %.2fs / idle %.2fs, peak queue depth %zu\n",
-                s.workers, static_cast<unsigned long long>(s.total_tasks()),
-                static_cast<unsigned long long>(s.total_tasks_stolen()),
-                static_cast<unsigned long long>(s.total_steals()),
-                s.total_busy_seconds(), s.total_idle_seconds(),
-                s.max_queue_depth());
-  out += buf;
-  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
-    const WorkerStats& w = s.per_worker[i];
-    if (w.tasks_run == 0 && w.steal_attempts == 0) continue;
-    const bool external = i == s.per_worker.size() - 1 &&
-                          static_cast<int>(i) == s.workers;
-    std::snprintf(buf, sizeof buf,
-                  "  %s%-2zu: %6llu tasks, %5llu stolen/%llu steals "
-                  "(%llu probes), busy %8.2fs, idle %8.2fs, peak depth %zu\n",
-                  external ? "ext" : "w", external ? std::size_t{0} : i,
-                  static_cast<unsigned long long>(w.tasks_run),
-                  static_cast<unsigned long long>(w.tasks_stolen),
-                  static_cast<unsigned long long>(w.steals),
-                  static_cast<unsigned long long>(w.steal_attempts),
-                  w.busy_seconds, w.idle_seconds, w.peak_queue_depth);
-    out += buf;
-  }
-  return out;
+  // Thin wrapper over the obs metrics registry (the dedup point for every
+  // summary printer): absorb the stats, render the sched.* group.
+  obs::MetricsRegistry m;
+  m.absorb_sched(s);
+  return obs::format_metrics_summary(m);
 }
 
 // --- ThreadPool -------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/progress.hpp"
+
 namespace rmsyn {
 
 const char* to_string(TripKind k) {
@@ -58,6 +60,9 @@ bool ResourceGovernor::slow_poll() {
 }
 
 bool ResourceGovernor::note_nodes(std::size_t live) {
+  // Heartbeat feed: one relaxed load when no heartbeat runs, one relaxed
+  // store when one does (the board is advisory; see util/progress.hpp).
+  if (ProgressBoard::active()) ProgressBoard::instance().note_live_nodes(live);
   if (tripped_.load(std::memory_order_relaxed)) return false;
   if (limits_.node_limit != 0 && live > limits_.node_limit) {
     trip(TripKind::NodeLimit, "live node limit exceeded");

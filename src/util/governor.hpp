@@ -232,6 +232,10 @@ public:
   int fallbacks_granted() const { return fallbacks_; }
 
   uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  /// DD-node allocations counted so far (count_allocation calls).
+  uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
   const ResourceLimits& limits() const { return limits_; }
   SharedBudget* shared_budget() const { return limits_.shared; }
 

@@ -1,0 +1,84 @@
+// Global progress board: the low-frequency rendezvous between the running
+// flow and the obs heartbeat (src/obs/heartbeat.hpp).
+//
+// Producers are the layers that already know where the run is — the batch
+// runner (rows done/total), obs::ScopedStage (current stage + circuit), and
+// ResourceGovernor::note_nodes (live DD nodes) — and they publish only when
+// a heartbeat has switched the board on, so the disabled cost on the DD
+// allocation path is a single relaxed atomic load. The consumer is the
+// heartbeat thread, which samples the board once per period; everything here
+// is advisory and approximate by design (a stale stage name for one period
+// is fine, a lock on the allocation path is not).
+//
+// Lives in util (not obs) so the governor can publish live-node counts
+// without util depending on the obs library.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace rmsyn {
+
+class ProgressBoard {
+public:
+  static ProgressBoard& instance() {
+    static ProgressBoard board;
+    return board;
+  }
+  /// Hot-path guard: publishers skip every store while no heartbeat runs.
+  static bool active() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Re-arms the board for a new run of `total_rows` rows.
+  void reset(uint64_t total_rows) {
+    rows_total.store(total_rows, std::memory_order_relaxed);
+    rows_done.store(0, std::memory_order_relaxed);
+    live_nodes.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    stage_.clear();
+    circuit_.clear();
+  }
+
+  std::atomic<uint64_t> rows_done{0};
+  std::atomic<uint64_t> rows_total{0};
+  /// Latest live-node count any governed DD manager reported.
+  std::atomic<std::size_t> live_nodes{0};
+
+  void note_live_nodes(std::size_t n) {
+    live_nodes.store(n, std::memory_order_relaxed);
+  }
+
+  void set_stage(const char* stage) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stage_ = stage;
+  }
+  void set_circuit(const std::string& circuit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    circuit_ = circuit;
+  }
+  std::string stage() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stage_;
+  }
+  std::string circuit() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return circuit_;
+  }
+
+private:
+  ProgressBoard() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::string stage_;
+  std::string circuit_;
+};
+
+} // namespace rmsyn

@@ -1,0 +1,577 @@
+// Observability subsystem tests: span tracer (lock-free thread buffers,
+// Chrome export), stage breakdowns, the metrics registry and its absorbers,
+// the unified summary formatter, the JSON model, the report builder plus
+// subset-schema validation, golden-file schema stability, FlowStatus
+// ordering, the heartbeat, and the serialized output sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/stage.hpp"
+#include "obs/trace.hpp"
+#include "sched/pool.hpp"
+#include "util/governor.hpp"
+#include "util/progress.hpp"
+
+#ifndef RMSYN_SOURCE_DIR
+#define RMSYN_SOURCE_DIR "."
+#endif
+
+namespace rmsyn {
+namespace {
+
+// --- tracer -----------------------------------------------------------------
+
+class TracerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().enable();
+  }
+  void TearDown() override {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().reset();
+  }
+};
+
+TEST_F(TracerTest, RecordsNestedSpansWithDepth) {
+  {
+    RMSYN_SPAN("outer");
+    RMSYN_SPAN("inner");
+  }
+  const auto snap = obs::Tracer::instance().snapshot();
+  std::size_t events = 0;
+  bool saw_outer = false, saw_inner = false;
+  for (const auto& t : snap.threads) {
+    events += t.events.size();
+    for (const auto& e : t.events) {
+      if (std::string(e.name) == "outer") {
+        saw_outer = true;
+        EXPECT_EQ(e.depth, 0);
+      }
+      if (std::string(e.name) == "inner") {
+        saw_inner = true;
+        EXPECT_EQ(e.depth, 1);
+      }
+    }
+  }
+  EXPECT_EQ(events, 2u);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer::instance().disable();
+  { RMSYN_SPAN("ghost"); }
+  EXPECT_EQ(obs::Tracer::instance().summary().events, 0u);
+}
+
+TEST_F(TracerTest, MergesSpansFromManyThreads) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([] {
+      for (int k = 0; k < 10; ++k) RMSYN_SPAN("worker-span");
+    });
+  for (auto& t : threads) t.join();
+  const auto sum = obs::Tracer::instance().summary();
+  EXPECT_EQ(sum.events, 40u);
+  EXPECT_GE(sum.threads, kThreads);
+  EXPECT_EQ(sum.dropped, 0u);
+}
+
+TEST_F(TracerTest, OverflowDropsAndCounts) {
+  for (std::size_t i = 0; i < obs::Tracer::kThreadCapacity + 100; ++i)
+    RMSYN_SPAN("tiny");
+  const auto snap = obs::Tracer::instance().snapshot();
+  uint64_t dropped = 0;
+  std::size_t events = 0;
+  for (const auto& t : snap.threads) {
+    dropped += t.dropped;
+    events += t.events.size();
+  }
+  EXPECT_EQ(dropped, 100u);
+  EXPECT_EQ(events, obs::Tracer::kThreadCapacity);
+}
+
+TEST_F(TracerTest, ChromeExportIsValidJsonWithThreadNames) {
+  {
+    RMSYN_SPAN("exported \"span\"\n");
+  }
+  const std::string json = obs::Tracer::instance().chrome_trace_json();
+  const obs::Json doc = obs::Json::parse(json); // must parse
+  ASSERT_TRUE(doc.get("traceEvents").is_array());
+  bool meta = false, span = false;
+  for (const obs::Json& ev : doc.get("traceEvents").items()) {
+    if (ev.get("ph").as_string() == "M") meta = true;
+    if (ev.get("ph").as_string() == "X") {
+      span = true;
+      EXPECT_TRUE(ev.contains("ts"));
+      EXPECT_TRUE(ev.contains("dur"));
+    }
+  }
+  EXPECT_TRUE(meta);
+  EXPECT_TRUE(span);
+}
+
+TEST_F(TracerTest, ResetDiscardsEverything) {
+  { RMSYN_SPAN("before-reset"); }
+  EXPECT_GT(obs::Tracer::instance().summary().events, 0u);
+  obs::Tracer::instance().reset();
+  EXPECT_EQ(obs::Tracer::instance().summary().events, 0u);
+}
+
+// --- stage breakdown --------------------------------------------------------
+
+TEST(StageBreakdown, MergesByNameAndSorts) {
+  StageBreakdown sb;
+  sb.add("verify", 0.5);
+  sb.add("factor", 2.0);
+  sb.add("verify", 0.25, 2);
+  EXPECT_EQ(sb.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(sb.seconds_for("verify"), 0.75);
+  EXPECT_EQ(sb.find("verify")->calls, 3u);
+  EXPECT_DOUBLE_EQ(sb.total_seconds(), 2.75);
+  // to_string sorts descending by seconds: factor first.
+  const std::string s = sb.to_string();
+  EXPECT_LT(s.find("factor"), s.find("verify"));
+
+  StageBreakdown other;
+  other.add("factor", 1.0);
+  other.add("mapping", 0.1);
+  sb.accumulate(other);
+  EXPECT_DOUBLE_EQ(sb.seconds_for("factor"), 3.0);
+  EXPECT_EQ(sb.entries.size(), 3u);
+}
+
+TEST(ScopedStage, TimesIntoBreakdownAndTracksGovernorStage) {
+  StageBreakdown sb;
+  ResourceGovernor gov{ResourceLimits{}};
+  {
+    obs::ScopedStage stage(&gov, &sb, "unit-stage");
+    EXPECT_EQ(gov.current_stage(), "unit-stage");
+  }
+  EXPECT_EQ(gov.current_stage(), "");
+  ASSERT_NE(sb.find("unit-stage"), nullptr);
+  EXPECT_EQ(sb.find("unit-stage")->calls, 1u);
+  EXPECT_GE(sb.find("unit-stage")->seconds, 0.0);
+}
+
+TEST(ScopedStage, WorksWithoutGovernorOrBreakdown) {
+  obs::ScopedStage a(nullptr, nullptr, "nothing");
+  StageBreakdown sb;
+  obs::ScopedStage b(nullptr, &sb, "only-sb");
+}
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  obs::MetricsRegistry m;
+  m.add("c");
+  m.add("c", 4);
+  m.set("g", 2.0);
+  m.set("g", 1.0); // set = last wins
+  m.set_max("p", 5.0);
+  m.set_max("p", 3.0); // set_max keeps the max
+  m.observe("h", 1.0);
+  m.observe("h", 3.0);
+  EXPECT_EQ(m.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("p"), 5.0);
+  EXPECT_DOUBLE_EQ(m.hist_sum("h"), 4.0);
+  EXPECT_TRUE(m.contains("c"));
+  EXPECT_FALSE(m.contains("missing"));
+  EXPECT_EQ(m.counter("missing"), 0u);
+
+  obs::MetricsRegistry o;
+  o.add("c", 10);
+  o.set_max("p", 9.0);
+  o.observe("h", 0.5);
+  m.merge(o);
+  EXPECT_EQ(m.counter("c"), 15u);
+  EXPECT_DOUBLE_EQ(m.gauge("p"), 9.0);
+  EXPECT_DOUBLE_EQ(m.hist_sum("h"), 4.5);
+
+  const auto snap = m.snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].name, snap[i].name); // name-sorted
+  m.clear();
+  EXPECT_FALSE(m.contains("c"));
+}
+
+TEST(MetricsRegistry, AbsorbersPopulateWellKnownGroups) {
+  obs::MetricsRegistry m;
+  BddStats bdd;
+  bdd.cache_lookups = 100;
+  bdd.cache_hits = 60;
+  bdd.unique_lookups = 50;
+  bdd.unique_hits = 25;
+  bdd.peak_live_nodes = 42;
+  bdd.gc_runs = 3;
+  m.absorb_bdd(bdd);
+  EXPECT_EQ(m.counter("dd.cache_lookups"), 100u);
+  EXPECT_DOUBLE_EQ(m.gauge("dd.peak_live_nodes"), 42.0);
+
+  SchedStats sched;
+  sched.workers = 2;
+  sched.per_worker.resize(3); // 2 workers + external slot
+  sched.per_worker[0].tasks_run = 7;
+  sched.per_worker[0].busy_seconds = 0.5;
+  sched.per_worker[1].tasks_run = 5;
+  sched.per_worker[1].steals = 2;
+  sched.per_worker[1].tasks_stolen = 2;
+  sched.per_worker[1].steal_attempts = 4;
+  sched.per_worker[2].tasks_run = 1;
+  sched.per_worker[2].peak_queue_depth = 9;
+  m.absorb_sched(sched);
+  EXPECT_EQ(m.counter("sched.tasks"), 13u);
+  EXPECT_EQ(m.counter("sched.w1.steals"), 2u);
+  EXPECT_EQ(m.counter("sched.ext.tasks"), 1u);
+  EXPECT_DOUBLE_EQ(m.gauge("sched.peak_queue_depth"), 9.0);
+
+  m.absorb_status(FlowStatus::ok());
+  m.absorb_status(FlowStatus::degraded("factor"));
+  m.absorb_status(FlowStatus::failed("verify", "boom"));
+  EXPECT_EQ(m.counter("flow.rows"), 3u);
+  EXPECT_EQ(m.counter("flow.ok"), 1u);
+  EXPECT_EQ(m.counter("flow.degraded"), 1u);
+  EXPECT_EQ(m.counter("flow.failed"), 1u);
+
+  StageBreakdown sb;
+  sb.add("factor", 1.5, 3);
+  m.absorb_stages(sb);
+  EXPECT_DOUBLE_EQ(m.hist_sum("stage.factor"), 1.5);
+
+  const std::string out = obs::format_metrics_summary(m);
+  EXPECT_NE(out.find("DD kernel: 100 cache lookups (hit rate 60.0%)"),
+            std::string::npos);
+  EXPECT_NE(out.find("Scheduler: 2 workers, 13 tasks"), std::string::npos);
+  EXPECT_NE(out.find("ext0"), std::string::npos);
+  EXPECT_NE(out.find("Flow: 3 rows (1 ok, 1 degraded, 1 failed)"),
+            std::string::npos);
+  EXPECT_NE(out.find("Stages: factor 1.500s (3)"), std::string::npos);
+}
+
+TEST(MetricsRegistry, FormatterOmitsEmptyGroupsAndRendersUnknownOnes) {
+  obs::MetricsRegistry m;
+  m.add("custom.counter", 7);
+  const std::string out = obs::format_metrics_summary(m);
+  EXPECT_EQ(out.find("DD kernel"), std::string::npos);
+  EXPECT_EQ(out.find("Scheduler"), std::string::npos);
+  EXPECT_NE(out.find("custom.counter=7"), std::string::npos);
+}
+
+// --- json -------------------------------------------------------------------
+
+TEST(Json, RoundTripsAndPreservesKeyOrder) {
+  obs::Json doc = obs::Json::object();
+  doc["zeta"] = 1;
+  doc["alpha"] = "text with \"quotes\" and\nnewline";
+  doc["pi"] = 3.141592653589793;
+  doc["big"] = uint64_t{1} << 40;
+  doc["neg"] = -17;
+  doc["flag"] = true;
+  doc["nothing"] = nullptr;
+  obs::Json arr = obs::Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc["arr"] = std::move(arr);
+
+  const std::string compact = doc.dump();
+  // Insertion order, not alphabetical.
+  EXPECT_LT(compact.find("zeta"), compact.find("alpha"));
+  EXPECT_EQ(obs::Json::parse(compact), doc);
+  EXPECT_EQ(obs::Json::parse(doc.dump(2)), doc); // pretty form too
+  // Integers serialize without a decimal point.
+  EXPECT_NE(compact.find("\"big\":1099511627776"), std::string::npos);
+  // Doubles round-trip exactly.
+  EXPECT_DOUBLE_EQ(
+      obs::Json::parse(compact).get("pi").as_number(), 3.141592653589793);
+}
+
+TEST(Json, ParseErrorsCarryByteOffsets) {
+  EXPECT_THROW(obs::Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{} trailing"), std::runtime_error);
+  try {
+    obs::Json::parse("[tru]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(obs::Json::escape("a\tb\x01"), "a\\tb\\u0001");
+  const obs::Json round = obs::Json::parse(obs::Json("a\tb\x01").dump());
+  EXPECT_EQ(round.as_string(), "a\tb\x01");
+}
+
+// --- schema validation ------------------------------------------------------
+
+TEST(Validate, AcceptsGoodAndRejectsBadDocuments) {
+  const obs::Json schema = obs::Json::parse(R"({
+    "type": "object",
+    "required": ["name", "count", "rows"],
+    "properties": {
+      "name": {"type": "string"},
+      "count": {"type": "integer"},
+      "rows": {"type": "array", "items": {"type": "number"}}
+    }
+  })");
+  std::vector<std::string> errors;
+  EXPECT_TRUE(obs::validate_json(
+      obs::Json::parse(R"({"name":"x","count":3,"rows":[1,2.5]})"), schema,
+      &errors));
+  EXPECT_TRUE(errors.empty());
+
+  // Missing required key.
+  EXPECT_FALSE(obs::validate_json(
+      obs::Json::parse(R"({"name":"x","count":3})"), schema, &errors));
+  EXPECT_NE(errors.back().find("rows"), std::string::npos);
+
+  // "integer" rejects a fractional number.
+  errors.clear();
+  EXPECT_FALSE(obs::validate_json(
+      obs::Json::parse(R"({"name":"x","count":3.5,"rows":[]})"), schema,
+      &errors));
+  EXPECT_NE(errors.back().find("count"), std::string::npos);
+
+  // Bad array element, with its index in the path.
+  errors.clear();
+  EXPECT_FALSE(obs::validate_json(
+      obs::Json::parse(R"({"name":"x","count":1,"rows":[1,"two"]})"), schema,
+      &errors));
+  EXPECT_NE(errors.back().find("rows[1]"), std::string::npos);
+
+  // Unknown keys are allowed (additive schema evolution).
+  errors.clear();
+  EXPECT_TRUE(obs::validate_json(
+      obs::Json::parse(R"({"name":"x","count":1,"rows":[],"extra":true})"),
+      schema, &errors));
+}
+
+// --- report -----------------------------------------------------------------
+
+/// Deterministic report document; also used to (re)generate the golden
+/// file, so every value is fixed.
+obs::Json golden_report() {
+  FlowRow a;
+  a.circuit = "rd53";
+  a.num_inputs = 5;
+  a.num_outputs = 3;
+  a.arithmetic = true;
+  a.exact_benchmark = true;
+  a.base_lits = 92;
+  a.base_seconds = 0.25;
+  a.ours_lits = 62;
+  a.ours_seconds = 0.5;
+  a.base_gates = 47;
+  a.base_map_lits = 91;
+  a.ours_gates = 24;
+  a.ours_map_lits = 47;
+  a.base_power = 1.5;
+  a.ours_power = 1.0;
+  a.ours_polls = 1000;
+  a.base_polls = 500;
+  a.stages.add("spec-bdd", 0.125, 2);
+  a.stages.add("factor", 0.25, 8);
+
+  FlowRow b;
+  b.circuit = "t481";
+  b.num_inputs = 16;
+  b.num_outputs = 1;
+  b.ours_status = FlowStatus::degraded("polarity-search", "Deadline");
+  b.ladder_descents = 1;
+
+  obs::ReportBuilder rb("table2", 2);
+  rb.add_row(flow_row_json(a));
+  rb.add_row(flow_row_json(b));
+  obs::MetricsRegistry m;
+  m.add("dd.cache_lookups", 1234);
+  m.set_max("dd.peak_live_nodes", 42.0);
+  m.observe("stage.factor", 0.25);
+  rb.set_metrics(m);
+  obs::Tracer::Summary ts;
+  ts.events = 4;
+  ts.dropped = 0;
+  ts.threads = 2;
+  ts.span_seconds = 1.5;
+  ts.wall_seconds = 2.0;
+  rb.set_trace(ts, 4.0, "t.json");
+  return rb.finish(3.25);
+}
+
+TEST(Report, BuilderComputesWorstStatusAndValidatesAgainstSchema) {
+  const obs::Json doc = golden_report();
+  EXPECT_EQ(doc.get("worst_status").as_string(), "degraded");
+  EXPECT_EQ(doc.get("rows").size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.get("trace").get("coverage_pct").as_number(), 50.0);
+
+  const obs::Json schema = obs::Json::parse(obs::read_file(
+      std::string(RMSYN_SOURCE_DIR) + "/data/report_schema.json"));
+  std::vector<std::string> errors;
+  EXPECT_TRUE(obs::validate_json(doc, schema, &errors));
+  for (const auto& e : errors) ADD_FAILURE() << e;
+}
+
+TEST(Report, GoldenFilePinsTheSerialization) {
+  // Byte-for-byte stability of the serialized report is the schema
+  // contract: if this fails, either fix the regression or consciously
+  // regenerate the golden (and bump kReportSchemaVersion on incompatible
+  // changes).
+  const std::string golden = obs::read_file(
+      std::string(RMSYN_SOURCE_DIR) + "/tests/golden/report_golden.json");
+  EXPECT_EQ(golden_report().dump(2), golden);
+}
+
+TEST(Report, MetricsJsonCarriesKindSpecificFields) {
+  obs::MetricsRegistry m;
+  m.add("c", 3);
+  m.set("g", 1.5);
+  m.observe("h", 2.0);
+  m.observe("h", 4.0);
+  const obs::Json j = obs::metrics_json(m);
+  EXPECT_EQ(j.get("c").get("kind").as_string(), "counter");
+  EXPECT_DOUBLE_EQ(j.get("c").get("count").as_number(), 3.0);
+  EXPECT_EQ(j.get("g").get("kind").as_string(), "gauge");
+  EXPECT_EQ(j.get("h").get("kind").as_string(), "histogram");
+  EXPECT_DOUBLE_EQ(j.get("h").get("mean").as_number(), 3.0);
+}
+
+// --- FlowStatus ordering (exit codes / worst_status) ------------------------
+
+TEST(FlowStatus, SeverityOrdersOkDegradedFailed) {
+  const FlowStatus ok = FlowStatus::ok();
+  const FlowStatus deg = FlowStatus::degraded("factor");
+  const FlowStatus fail = FlowStatus::failed("verify", "boom");
+  EXPECT_LT(ok.severity(), deg.severity());
+  EXPECT_LT(deg.severity(), fail.severity());
+
+  EXPECT_EQ(worse(ok, deg).severity(), deg.severity());
+  EXPECT_EQ(worse(fail, deg).severity(), fail.severity());
+  EXPECT_EQ(worse(ok, ok).severity(), ok.severity());
+  // worse() is symmetric in severity.
+  EXPECT_EQ(worse(deg, fail).severity(), worse(fail, deg).severity());
+}
+
+TEST(FlowStatus, FlowRowWorstStatusPicksTheWorseFlow) {
+  FlowRow row;
+  row.ours_status = FlowStatus::degraded("factor");
+  row.base_status = FlowStatus::ok();
+  EXPECT_TRUE(row.worst_status().is_degraded());
+  row.base_status = FlowStatus::failed("baseline-verify", "x");
+  EXPECT_TRUE(row.worst_status().is_failed());
+}
+
+// --- flow integration -------------------------------------------------------
+
+TEST(FlowIntegration, RunFlowFillsStageBreakdownAndRowJson) {
+  const FlowRow row = run_flow("majority");
+  ASSERT_FALSE(row.stages.empty());
+  // Both flows contribute their stages.
+  EXPECT_NE(row.stages.find("spec-bdd"), nullptr);
+  EXPECT_NE(row.stages.find("baseline-simplify"), nullptr);
+  EXPECT_NE(row.stages.find("mapping"), nullptr);
+  EXPECT_NE(row.stages.find("power"), nullptr);
+  EXPECT_GT(row.stages.total_seconds(), 0.0);
+
+  const obs::Json j = flow_row_json(row);
+  const obs::Json schema = obs::Json::parse(obs::read_file(
+      std::string(RMSYN_SOURCE_DIR) + "/data/report_schema.json"));
+  std::vector<std::string> errors;
+  EXPECT_TRUE(obs::validate_json(
+      j, schema.get("properties").get("rows").get("items"), &errors));
+  for (const auto& e : errors) ADD_FAILURE() << e;
+
+  obs::MetricsRegistry m = collect_flow_metrics({row});
+  EXPECT_EQ(m.counter("flow.rows"), 1u);
+  EXPECT_GT(m.counter("dd.cache_lookups"), 0u);
+  EXPECT_GT(m.hist_sum("stage.spec-bdd"), 0.0);
+}
+
+TEST(FlowIntegration, GovernedFlowReportsPolls) {
+  FlowOptions opt;
+  opt.limits.step_limit = 1u << 22; // generous: never trips on majority
+  const FlowRow row = run_flow("majority", opt);
+  EXPECT_GT(row.ours_polls, 0u);
+  EXPECT_GT(row.base_polls, 0u);
+  EXPECT_TRUE(row.worst_status().is_ok());
+}
+
+// --- output sink ------------------------------------------------------------
+
+TEST(OutputSink, ConcurrentWritersNeverInterleaveLines) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  {
+    obs::OutputSink sink(f);
+    constexpr int kThreads = 8, kLines = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kLines; ++i)
+          sink.printf("writer-%d line %d end\n", t, i);
+      });
+    for (auto& t : threads) t.join();
+  }
+  std::rewind(f);
+  char line[256];
+  int count = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++count;
+    std::string s(line);
+    // Every line must be exactly "writer-T line I end".
+    EXPECT_EQ(s.rfind("writer-", 0), 0u) << s;
+    EXPECT_NE(s.find(" end\n"), std::string::npos) << s;
+  }
+  EXPECT_EQ(count, 8 * 50);
+  std::fclose(f);
+}
+
+// --- heartbeat --------------------------------------------------------------
+
+TEST(Heartbeat, EmitsProgressLinesAndTogglesBoard) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::OutputSink sink(f);
+  EXPECT_FALSE(ProgressBoard::active());
+  {
+    obs::Heartbeat hb(sink, 0.01);
+    EXPECT_TRUE(ProgressBoard::active());
+    ProgressBoard::instance().reset(5);
+    ProgressBoard::instance().rows_done.store(2);
+    ProgressBoard::instance().set_circuit("rd53");
+    ProgressBoard::instance().set_stage("factor");
+    ProgressBoard::instance().note_live_nodes(123);
+    // Wait until at least one beat lands (bounded).
+    for (int i = 0; i < 500 && hb.beats() == 0; ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GT(hb.beats(), 0u);
+    hb.stop();
+  }
+  EXPECT_FALSE(ProgressBoard::active());
+  std::rewind(f);
+  std::string all;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) all += buf;
+  std::fclose(f);
+  EXPECT_NE(all.find("[hb "), std::string::npos);
+  EXPECT_NE(all.find("rows 2/5"), std::string::npos);
+  EXPECT_NE(all.find("circuit=rd53"), std::string::npos);
+  EXPECT_NE(all.find("stage=factor"), std::string::npos);
+  EXPECT_NE(all.find("live nodes 123"), std::string::npos);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -1,7 +1,7 @@
 // rmsyn command-line driver.
 //
 //   rmsyn_cli synth    <input> [-o out.blif] [--method cubes|ofdd|best]
-//                      [--no-redundancy] [--no-resub]
+//                      [--no-redundancy] [--no-resub] [--trace out.json]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //   rmsyn_cli baseline <input> [-o out.blif]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
@@ -12,10 +12,15 @@
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
 //   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
+//                      [--trace out.json] [--report out.json]
+//                      [--heartbeat sec]
 //   rmsyn_cli batch    <manifest> [--jobs N] [--keep-going]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--batch-timeout sec] [--batch-node-limit n]
 //                      [--no-mapping] [--no-power]
+//                      [--trace out.json] [--report out.json]
+//                      [--heartbeat sec]
+//   rmsyn_cli validate-report <report.json> <schema.json>
 //   rmsyn_cli list
 //
 // <input> is a .blif file, a .pla file, or the name of a built-in Table-2
@@ -30,6 +35,14 @@
 // on the work-stealing scheduler (sched/batch.hpp); every result column is
 // bit-identical to --jobs 1. --batch-timeout/--batch-node-limit are budgets
 // for the whole batch, shared by all workers.
+//
+// Observability (src/obs): --trace writes a Chrome trace-event JSON
+// (chrome://tracing / Perfetto) merged from every worker thread's spans;
+// --report writes the machine-readable run report (schema:
+// data/report_schema.json, checked by `validate-report`); --heartbeat N
+// prints a progress line (rows done, current circuit/stage, live DD nodes)
+// every N seconds while the run is in flight. None of the three perturbs
+// the result columns.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -50,8 +63,13 @@
 #include "network/io.hpp"
 #include "network/stats.hpp"
 #include "network/transform.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "power/power.hpp"
 #include "sched/batch.hpp"
+#include "util/stopwatch.hpp"
 #include "sop/pla.hpp"
 #include "testability/faults.hpp"
 
@@ -139,8 +157,10 @@ int cmd_synth(const std::vector<std::string>& args) {
   SynthOptions opt;
   ResourceLimits limits;
   std::string out_path;
+  std::string trace_path;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--trace" && i + 1 < args.size()) trace_path = args[++i];
     else if (args[i] == "--method" && i + 1 < args.size()) {
       const std::string m = args[++i];
       if (m == "cubes") opt.method = FactorMethod::Cubes;
@@ -163,8 +183,21 @@ int cmd_synth(const std::vector<std::string>& args) {
     opt.governor = &*gov;
   }
   const Network spec = load_input(args[0]);
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().enable();
+  }
   SynthReport rep;
-  const Network result = synthesize(spec, opt, &rep);
+  Network result;
+  {
+    RMSYN_SPAN("synth");
+    result = synthesize(spec, opt, &rep);
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().write_chrome_trace(trace_path);
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
   std::printf("synthesized %s: %s in %.3fs (status %s)\n", args[0].c_str(),
               to_string(rep.stats).c_str(), rep.seconds,
               rep.status.to_string().c_str());
@@ -179,6 +212,7 @@ int cmd_synth(const std::vector<std::string>& args) {
               100.0 * rep.bdd.cache_hit_rate(), rep.bdd.peak_live_nodes,
               static_cast<unsigned long long>(rep.bdd.gc_runs),
               static_cast<unsigned long long>(rep.bdd.reorder_runs));
+  if (!rep.stages.empty()) std::printf("%s", rep.stages.to_string().c_str());
   write_output(result, out_path, "rmsyn_synth");
   return rep.status.is_failed() ? 3 : 0;
 }
@@ -300,6 +334,64 @@ int parse_jobs(const std::string& flag, const std::string& v) {
   return static_cast<int>(n);
 }
 
+/// Observability switches shared by table2 and batch.
+struct RunObs {
+  std::string trace_path;  ///< --trace: Chrome trace-event JSON
+  std::string report_path; ///< --report: machine-readable run report
+  double heartbeat_seconds = 0.0; ///< --heartbeat: progress-line period
+  bool tracing() const { return !trace_path.empty(); }
+};
+
+/// Consumes --trace/--report/--heartbeat at args[i]; returns true (with i
+/// advanced past the value) when it did.
+bool parse_obs_flag(const std::vector<std::string>& args, std::size_t& i,
+                    RunObs& o) {
+  const std::string& a = args[i];
+  if (a == "--trace" && i + 1 < args.size()) {
+    o.trace_path = args[++i];
+    return true;
+  }
+  if (a == "--report" && i + 1 < args.size()) {
+    o.report_path = args[++i];
+    return true;
+  }
+  if (a == "--heartbeat" && i + 1 < args.size()) {
+    o.heartbeat_seconds = parse_seconds(a, args[++i]);
+    return true;
+  }
+  return false;
+}
+
+/// Arms the tracer for a run (idempotent reset + enable).
+void start_tracing(const RunObs& o) {
+  if (!o.tracing()) return;
+  obs::Tracer::instance().reset();
+  obs::Tracer::instance().enable();
+}
+
+/// Writes the --trace and --report artifacts after a run. `command` names
+/// the subcommand for the report; `sched` is null when the run was serial.
+void write_run_artifacts(const RunObs& o, const char* command, int jobs,
+                         const std::vector<FlowRow>& rows,
+                         const SchedStats* sched, double wall_seconds) {
+  if (o.tracing()) {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().write_chrome_trace(o.trace_path);
+    std::printf("wrote trace %s\n", o.trace_path.c_str());
+  }
+  if (o.report_path.empty()) return;
+  obs::ReportBuilder rb(command, jobs);
+  for (const FlowRow& r : rows) rb.add_row(flow_row_json(r));
+  obs::MetricsRegistry m = collect_flow_metrics(rows);
+  if (sched != nullptr) m.absorb_sched(*sched);
+  rb.set_metrics(m);
+  if (o.tracing())
+    rb.set_trace(obs::Tracer::instance().summary(), wall_seconds,
+                 o.trace_path);
+  obs::write_json_file(o.report_path, rb.finish(wall_seconds));
+  std::printf("wrote report %s\n", o.report_path.c_str());
+}
+
 /// A row the batch runner never started because the budget was cancelled
 /// (keep_going=false after a failure, batch deadline, or explicit cancel).
 bool row_was_cancelled(const FlowRow& r) {
@@ -314,6 +406,7 @@ int status_exit_code(const FlowStatus& st) {
 int cmd_table2(const std::vector<std::string>& args) {
   BatchOptions bopt;
   bopt.keep_going = false;
+  RunObs obs_opt;
   std::vector<std::string> names;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--keep-going") bopt.keep_going = true;
@@ -321,6 +414,8 @@ int cmd_table2(const std::vector<std::string>& args) {
       ++i;
       bopt.jobs = parse_jobs("--jobs", args[i]);
     } else if (parse_limit_flag(args, i, bopt.flow.limits)) {
+      // consumed
+    } else if (parse_obs_flag(args, i, obs_opt)) {
       // consumed
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw std::runtime_error("table2: unknown option " + args[i]);
@@ -333,8 +428,22 @@ int cmd_table2(const std::vector<std::string>& args) {
   benches.reserve(names.size());
   for (const auto& n : names) benches.push_back(make_benchmark(n));
 
-  BatchRunner runner(bopt);
-  const BatchResult result = runner.run(benches);
+  obs::OutputSink sink;
+  std::optional<obs::Heartbeat> heartbeat;
+  if (obs_opt.heartbeat_seconds > 0.0)
+    heartbeat.emplace(sink, obs_opt.heartbeat_seconds);
+  start_tracing(obs_opt);
+  Stopwatch sw;
+  BatchResult result;
+  {
+    RMSYN_SPAN("table2"); // root span: must close before the trace export
+    BatchRunner runner(bopt);
+    result = runner.run(benches);
+  }
+  const double wall = sw.seconds();
+  if (heartbeat.has_value()) heartbeat->stop();
+  write_run_artifacts(obs_opt, "table2", bopt.jobs, result.rows,
+                      bopt.jobs > 1 ? &result.sched : nullptr, wall);
 
   if (result.worst.is_failed() && !bopt.keep_going) {
     // Print what actually ran (everything up to the failure in serial
@@ -365,6 +474,7 @@ int cmd_table2(const std::vector<std::string>& args) {
 int cmd_batch(const std::vector<std::string>& args) {
   if (args.empty()) throw std::runtime_error("batch: missing manifest file");
   BatchOptions bopt;
+  RunObs obs_opt;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--keep-going") bopt.keep_going = true;
     else if (args[i] == "--jobs" && i + 1 < args.size()) {
@@ -380,6 +490,8 @@ int cmd_batch(const std::vector<std::string>& args) {
     } else if (args[i] == "--no-mapping") bopt.flow.run_mapping = false;
     else if (args[i] == "--no-power") bopt.flow.run_power = false;
     else if (parse_limit_flag(args, i, bopt.flow.limits)) {
+      // consumed
+    } else if (parse_obs_flag(args, i, obs_opt)) {
       // consumed
     } else {
       throw std::runtime_error("batch: unknown option " + args[i]);
@@ -412,18 +524,34 @@ int cmd_batch(const std::vector<std::string>& args) {
   }
   if (benches.empty()) throw std::runtime_error("batch: empty manifest");
 
+  // Per-row status lines and heartbeat lines funnel through one sink, so
+  // concurrent writers under --jobs N cannot interleave mid-line.
+  obs::OutputSink sink;
+  std::optional<obs::Heartbeat> heartbeat;
+  if (obs_opt.heartbeat_seconds > 0.0)
+    heartbeat.emplace(sink, obs_opt.heartbeat_seconds);
+  start_tracing(obs_opt);
+  Stopwatch sw;
   BatchRunner runner(bopt);
   std::size_t done = 0;
   runner.on_row = [&](const FlowRow& r, std::size_t) {
     // Rows settle in completion order under --jobs; the index printed is
-    // a completion counter, not the manifest position.
-    std::printf("[%zu/%zu] %-12s %-24s lits %zu vs %zu  power %.4f vs %.4f\n",
+    // a completion counter, not the manifest position. (The counter needs
+    // no lock: on_row is already serialized by the runner's settle mutex.)
+    sink.printf("[%zu/%zu] %-12s %-24s lits %zu vs %zu  power %.4f vs %.4f\n",
                 ++done, benches.size(), r.circuit.c_str(),
                 r.worst_status().to_string().c_str(), r.ours_lits,
                 r.base_lits, r.ours_power, r.base_power);
-    std::fflush(stdout);
   };
-  const BatchResult result = runner.run(benches);
+  BatchResult result;
+  {
+    RMSYN_SPAN("batch-run"); // root span: must close before the export
+    result = runner.run(benches);
+  }
+  const double wall = sw.seconds();
+  if (heartbeat.has_value()) heartbeat->stop();
+  write_run_artifacts(obs_opt, "batch", bopt.jobs, result.rows,
+                      bopt.jobs > 1 ? &result.sched : nullptr, wall);
 
   std::size_t ok = 0, degraded = 0, failed = 0, cancelled = 0;
   for (const auto& r : result.rows) {
@@ -443,6 +571,25 @@ int cmd_batch(const std::vector<std::string>& args) {
   return status_exit_code(result.worst);
 }
 
+int cmd_validate_report(const std::vector<std::string>& args) {
+  if (args.size() != 2)
+    throw std::runtime_error(
+        "validate-report: need <report.json> <schema.json>");
+  const obs::Json doc = obs::Json::parse(obs::read_file(args[0]));
+  const obs::Json schema = obs::Json::parse(obs::read_file(args[1]));
+  std::vector<std::string> errors;
+  if (!obs::validate_json(doc, schema, &errors)) {
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "validate-report: %s\n", e.c_str());
+    return 1;
+  }
+  std::printf("report OK: schema_version %d, %zu rows, worst status %s\n",
+              static_cast<int>(doc.get("schema_version").as_number()),
+              doc.get("rows").size(),
+              doc.get("worst_status").as_string().c_str());
+  return 0;
+}
+
 int cmd_list() {
   for (const auto& name : benchmark_names()) {
     const Benchmark b = make_benchmark(name);
@@ -459,7 +606,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s synth|baseline|map|verify|power|atpg|table2|"
-                 "batch|list ...\n",
+                 "batch|validate-report|list ...\n",
                  argv[0]);
     return 2;
   }
@@ -476,6 +623,7 @@ int main(int argc, char** argv) {
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "table2") return cmd_table2(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "validate-report") return cmd_validate_report(args);
     if (cmd == "list") return cmd_list();
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
     return 2;
