@@ -1,0 +1,177 @@
+// Fault-simulation engine bench: times the reference full-resim fault
+// simulator against the incremental event-driven engine (cone-limited
+// probes + fault dropping, sim/sim.hpp) on the largest benchgen circuits
+// and gates a minimum speedup on the largest one. Detection results are
+// verified bit-identical before anything is timed — a fast wrong answer
+// fails the run outright.
+//
+// Emits a machine-readable BENCH_sim.json for CI tracking.
+//
+// Usage: bench_sim [--out file.json] [--min-speedup X] [--patterns N]
+//        (default: BENCH_sim.json, 5.0, 16384)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/spec.hpp"
+#include "network/transform.hpp"
+#include "sim/sim.hpp"
+#include "testability/faults.hpp"
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Min-of-3 wall-clock of `fn` — the usual defense against a cold first
+/// iteration and scheduler noise.
+template <typename Fn>
+double time_min3(Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+struct Row {
+  std::string circuit;
+  std::size_t nodes = 0;
+  std::size_t faults = 0;
+  std::size_t detected = 0;
+  double full_seconds = 0.0;
+  double incr_seconds = 0.0;
+  double speedup = 0.0;
+  rmsyn::SimStats stats;
+};
+
+bool same_result(const rmsyn::FaultSimResult& a,
+                 const rmsyn::FaultSimResult& b) {
+  if (a.total != b.total || a.detected != b.detected ||
+      a.undetected.size() != b.undetected.size())
+    return false;
+  for (std::size_t i = 0; i < a.undetected.size(); ++i) {
+    if (a.undetected[i].node != b.undetected[i].node ||
+        a.undetected[i].fanin_index != b.undetected[i].fanin_index ||
+        a.undetected[i].stuck_value != b.undetected[i].stuck_value)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmsyn;
+  std::string path = "BENCH_sim.json";
+  double min_speedup = 5.0;
+  std::size_t num_patterns = 1 << 14;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) path = argv[++i];
+    else if (arg == "--min-speedup" && i + 1 < argc)
+      min_speedup = std::stod(argv[++i]);
+    else if (arg == "--patterns" && i + 1 < argc)
+      num_patterns = static_cast<std::size_t>(std::stoul(argv[++i]));
+  }
+
+  // Largest benchgen arithmetic circuits; my_adder (16-bit ripple adder,
+  // 33 PIs) is the largest and carries the gate.
+  const std::vector<std::string> names = {"mlp4", "addm4", "my_adder"};
+  const std::string gated = "my_adder";
+
+  std::vector<Row> rows;
+  bool identical = true;
+  for (const auto& name : names) {
+    const Network net = decompose2(strash(make_benchmark(name).spec));
+    const PatternSet patterns =
+        random_patterns(net.pi_count(), num_patterns, 0xB7A5 + net.pi_count());
+
+    // Correctness first: both engines must agree fault-for-fault.
+    const FaultSimResult ref = fault_simulate_full(net, patterns);
+    FaultSimOptions opt;
+    SimStats stats;
+    opt.stats = &stats;
+    const FaultSimResult incr = fault_simulate(net, patterns, opt);
+    if (!same_result(ref, incr)) {
+      identical = false;
+      std::printf("MISMATCH on %s: full %zu/%zu vs incremental %zu/%zu\n",
+                  name.c_str(), ref.detected, ref.total, incr.detected,
+                  incr.total);
+      continue;
+    }
+
+    Row row;
+    row.circuit = name;
+    row.nodes = net.node_count();
+    row.faults = ref.total;
+    row.detected = ref.detected;
+    row.stats = stats;
+    row.full_seconds =
+        time_min3([&] { (void)fault_simulate_full(net, patterns); });
+    row.incr_seconds = time_min3([&] { (void)fault_simulate(net, patterns); });
+    row.speedup =
+        row.incr_seconds > 0 ? row.full_seconds / row.incr_seconds : 0.0;
+    std::printf("%-10s %5zu faults (%zu detected)  full %8.4fs  "
+                "incremental %8.4fs  speedup %6.2fx\n",
+                name.c_str(), row.faults, row.detected, row.full_seconds,
+                row.incr_seconds, row.speedup);
+    rows.push_back(row);
+  }
+
+  bool gate_ok = identical;
+  for (const Row& r : rows) {
+    if (r.circuit != gated) continue;
+    if (r.speedup < min_speedup) {
+      std::printf("GATE FAILED: %s speedup %.2fx < required %.2fx\n",
+                  gated.c_str(), r.speedup, min_speedup);
+      gate_ok = false;
+    } else {
+      std::printf("gate ok: %s speedup %.2fx >= %.2fx\n", gated.c_str(),
+                  r.speedup, min_speedup);
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"sim\",\n"
+               "  \"patterns\": %zu,\n"
+               "  \"min_speedup\": %.2f,\n"
+               "  \"gated_circuit\": \"%s\",\n"
+               "  \"results_identical\": %s,\n  \"rows\": [\n",
+               num_patterns, min_speedup, gated.c_str(),
+               identical ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"circuit\": \"%s\", \"nodes\": %zu, \"faults\": %zu, "
+        "\"detected\": %zu, \"full_seconds\": %.6f, "
+        "\"incremental_seconds\": %.6f, \"speedup\": %.4f, "
+        "\"fault_probes\": %llu, \"cone_nodes\": %llu, "
+        "\"faults_dropped\": %llu, \"blocks_skipped\": %llu}%s\n",
+        r.circuit.c_str(), r.nodes, r.faults, r.detected, r.full_seconds,
+        r.incr_seconds, r.speedup,
+        static_cast<unsigned long long>(r.stats.fault_probes),
+        static_cast<unsigned long long>(r.stats.cone_nodes),
+        static_cast<unsigned long long>(r.stats.faults_dropped),
+        static_cast<unsigned long long>(r.stats.blocks_skipped),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  return gate_ok ? 0 : 1;
+}

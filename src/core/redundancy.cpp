@@ -16,6 +16,14 @@ PatternSet fprm_pattern_set(std::size_t num_pis,
                             const std::vector<FprmForm>& forms,
                             bool include_sa1, std::size_t max_patterns) {
   PatternSet ps(num_pis, 0);
+  // Exact pattern count (modulo the cap), so append() never reallocates.
+  std::size_t expected = 1;
+  for (const auto& form : forms) {
+    expected += 2;
+    for (const auto& cube : form.cubes)
+      expected += 1 + (include_sa1 ? cube.count() : 0);
+  }
+  ps.reserve(std::min(expected, max_patterns));
   const auto add = [&](const BitVec& a) {
     if (ps.num_patterns < max_patterns) ps.append(a);
   };
@@ -261,16 +269,17 @@ Network remove_xor_redundancy(const Network& net,
                              opt.max_patterns);
   std::vector<uint8_t> seen(work.node_count(), 0);
   if (opt.use_pattern_filter && patterns.num_patterns > 0) {
-    const auto values = simulate(work, patterns);
+    SimState sim(work, patterns);
     for (NodeId n = 0; n < work.node_count(); ++n) {
       if (work.type(n) != GateType::Xor || work.fanins(n).size() != 2) continue;
-      const BitVec& vg = values[work.fanins(n)[0]];
-      const BitVec& vh = values[work.fanins(n)[1]];
+      const BitVec& vg = sim.value(work.fanins(n)[0]);
+      const BitVec& vh = sim.value(work.fanins(n)[1]);
       for (std::size_t p = 0; p < patterns.num_patterns; ++p) {
         const unsigned idx = (vg.get(p) ? 2u : 0u) + (vh.get(p) ? 1u : 0u);
         seen[n] |= static_cast<uint8_t>(1u << idx);
       }
     }
+    stats.sim.accumulate(sim.take_stats());
   }
 
   const auto topo = work.topo_order();
@@ -415,14 +424,10 @@ Network remove_xor_redundancy(const Network& net,
             : fprm_pattern_set(work.pi_count(), forms, /*include_sa1=*/true,
                                opt.max_patterns);
 
-    const auto po_values_of = [&](const Network& candidate) {
-      const auto vals = simulate(candidate, sa_patterns);
-      std::vector<BitVec> po_vals;
-      po_vals.reserve(candidate.po_count());
-      for (std::size_t i = 0; i < candidate.po_count(); ++i)
-        po_vals.push_back(vals[candidate.po(i)]);
-      return po_vals;
-    };
+    // Cached good-simulation of `work`: each candidate rewrite below is a
+    // single dirty node whose fanout cone is re-simulated incrementally —
+    // the old code re-ran simulate() over the whole network per candidate.
+    SimState sim(work, sa_patterns);
     const auto outputs_match_golden = [&](const Network& candidate) {
       funcs.invalidate(0);
       bool ok = true;
@@ -437,7 +442,7 @@ Network remove_xor_redundancy(const Network& net,
 
     // Accepted removals preserve the PO values on every pattern (confirmed
     // exactly), so `base_po_values` stays valid across the whole pass.
-    const auto base_po_values = po_values_of(work);
+    const auto base_po_values = sim.po_values();
     bool changed = true;
     int guard = 0;
     while (changed && guard++ < 4 && !out_of_budget()) {
@@ -464,7 +469,8 @@ Network remove_xor_redundancy(const Network& net,
 
           // Pattern filter: when the OC/SA1 set already distinguishes the
           // candidate, the fault is testable — skip the exact check.
-          bool candidate_ok = po_values_of(work) == base_po_values;
+          sim.resimulate(n);
+          bool candidate_ok = sim.po_values_match(base_po_values);
           if (candidate_ok) {
             ++stats.exact_checks;
             candidate_ok = outputs_match_golden(work);
@@ -478,12 +484,14 @@ Network remove_xor_redundancy(const Network& net,
             // Re-test the same position (a new fanin shifted into it).
           } else {
             work.rewrite_gate(n, t, saved_fi);
+            sim.resimulate(n);
             funcs.invalidate(n);
             ++k;
           }
         }
       }
     }
+    stats.sim.accumulate(sim.take_stats());
   }
 
   Network result = strash(work);

@@ -39,6 +39,7 @@
 #include "fdd/fprm.hpp"
 #include "network/network.hpp"
 #include "network/simulate.hpp"
+#include "sim/sim.hpp"
 #include "util/governor.hpp"
 
 namespace rmsyn {
@@ -66,6 +67,9 @@ struct RedundancyStats {
   std::size_t exact_checks = 0;       ///< BDD decisions performed
   std::size_t pattern_pruned = 0;     ///< XOR gates proven irreducible by
                                       ///< simulation alone (no exact check)
+  /// Incremental-simulation counters (sim/sim.hpp): step 1's pattern
+  /// recording and step 4's per-candidate dirty-region resims.
+  SimStats sim;
 };
 
 /// Builds the paper's PI pattern sets from the FPRM forms of the outputs:

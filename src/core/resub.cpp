@@ -2,15 +2,92 @@
 
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 #include "equiv/equiv.hpp"
+#include "network/simulate.hpp"
 #include "network/transform.hpp"
 
 namespace rmsyn {
 
+namespace {
+
+/// True when some pair of live nodes shares a simulation signature (or a
+/// complemented one, when complement merging is on) — i.e. the exact sweep
+/// MIGHT merge something. No collision ⇒ all node functions are pairwise
+/// distinct ⇒ the sweep is the identity rebuild.
+bool signatures_collide(const Network& hashed, const ResubOptions& opt) {
+  SimState sim(hashed,
+               random_patterns(hashed.pi_count(), opt.prefilter_patterns,
+                               opt.prefilter_seed));
+  bool collision = false;
+  std::unordered_set<BitVec, BitVecHash> seen;
+  // Mirrors the rep-map seeding of the exact sweep: constants, then PIs.
+  seen.insert(sim.value(Network::kConst0));
+  seen.insert(sim.value(Network::kConst1));
+  for (const NodeId pi : hashed.pis()) seen.insert(sim.value(pi));
+  BitVec flipped;
+  for (const NodeId n : hashed.topo_order()) {
+    const GateType t = hashed.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    const BitVec& v = sim.value(n);
+    if (seen.count(v) != 0) {
+      collision = true;
+      break;
+    }
+    if (opt.merge_complements) {
+      flipped = v;
+      flipped.flip_all();
+      if (seen.count(flipped) != 0) {
+        collision = true;
+        break;
+      }
+    }
+    seen.insert(v);
+  }
+  if (opt.sim_stats != nullptr) opt.sim_stats->accumulate(sim.take_stats());
+  return collision;
+}
+
+/// The exact sweep's rebuild with an empty merge set: live cone copied in
+/// topo order, then strashed. Byte-identical to what the BDD path emits
+/// when no rep lookup ever hits.
+Network rebuild_unmerged(const Network& hashed) {
+  Network out;
+  std::vector<NodeId> map(hashed.node_count(), Network::kConst0);
+  map[Network::kConst1] = Network::kConst1;
+  for (std::size_t i = 0; i < hashed.pi_count(); ++i)
+    map[hashed.pis()[i]] = out.add_pi(hashed.name(hashed.pis()[i]));
+  const auto live = hashed.live_mask();
+  for (const NodeId n : hashed.topo_order()) {
+    if (!live[n]) continue;
+    const GateType t = hashed.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    std::vector<NodeId> fi;
+    fi.reserve(hashed.fanins(n).size());
+    for (const NodeId g : hashed.fanins(n)) fi.push_back(map[g]);
+    map[n] = out.add_gate(t, std::move(fi));
+  }
+  for (std::size_t i = 0; i < hashed.po_count(); ++i)
+    out.add_po(map[hashed.po(i)], hashed.po_name(i));
+  return strash(out);
+}
+
+} // namespace
+
 Network resub_merge(const Network& net, const ResubOptions& opt) {
   Network hashed = strash(net);
+
+  // Signature screen before any BDD is built. Skipped under an exhausted
+  // governor so a budget-starved call keeps its pre-screen behavior.
+  if (opt.sim_prefilter && hashed.pi_count() > 0 &&
+      opt.prefilter_patterns > 0 &&
+      (opt.governor == nullptr || !opt.governor->exhausted()) &&
+      !signatures_collide(hashed, opt))
+    return rebuild_unmerged(hashed);
 
   try {
     BddManager mgr(static_cast<int>(hashed.pi_count()));

@@ -258,6 +258,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
           obs::ScopedStage stage(gov, sb, "resub");
           ResubOptions ro;
           ro.governor = gov;
+          ro.sim_stats = &rep.sim;
           c.net = resub_merge(c.net, ro);
         } else {
           c.net = strash(c.net);
@@ -323,6 +324,7 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
     RedundancyOptions rdo = opt.redundancy;
     rdo.governor = gov;
     out = remove_xor_redundancy(out, chosen.forms, rdo, &rep.redundancy);
+    rep.sim.accumulate(rep.redundancy.sim);
   }
   out = strash(out);
 

@@ -65,6 +65,9 @@ struct SynthReport {
   /// DD-kernel counters accumulated over every manager the flow created
   /// (one per candidate PI order).
   BddStats bdd;
+  /// Incremental-simulation counters accumulated over the flow's resub
+  /// prefilters and the redundancy pass (sim/sim.hpp).
+  SimStats sim;
   /// ok, degraded:<stage-of-first-trip>, or failed:<reason>. Always `ok`
   /// when no governor is attached.
   FlowStatus status;

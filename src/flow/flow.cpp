@@ -51,6 +51,7 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.ours_lits = rep.stats.lits;
       row.ours_seconds = rep.seconds;
       row.bdd = rep.bdd;
+      row.sim = rep.sim;
       row.ours_status = rep.status;
       row.stages.accumulate(rep.stages);
       row.ours_polls = rep.governor_polls;
@@ -121,10 +122,16 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
     // order) match the serial table exactly.
     PowerOptions po = opt.power;
     po.sim_seed = opt.power.sim_seed ^ fnv1a64(bench.name);
-    if (ours.has_value())
-      row.ours_power = estimate_power(nets_of(*ours), po).total;
-    if (base.has_value())
-      row.base_power = estimate_power(nets_of(*base), po).total;
+    if (ours.has_value()) {
+      const PowerReport pr = estimate_power(nets_of(*ours), po);
+      row.ours_power = pr.total;
+      row.sim.accumulate(pr.sim);
+    }
+    if (base.has_value()) {
+      const PowerReport pr = estimate_power(nets_of(*base), po);
+      row.base_power = pr.total;
+      row.sim.accumulate(pr.sim);
+    }
   }
   return row;
 }
@@ -217,6 +224,7 @@ obs::MetricsRegistry collect_flow_metrics(const std::vector<FlowRow>& rows) {
   obs::MetricsRegistry m;
   for (const FlowRow& r : rows) {
     m.absorb_bdd(r.bdd);
+    m.absorb_sim(r.sim);
     m.absorb_status(r.worst_status());
     m.absorb_stages(r.stages);
     m.add("flow.governor_polls", r.ours_polls + r.base_polls);

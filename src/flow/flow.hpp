@@ -45,6 +45,11 @@ struct FlowRow {
   // manager synthesize() created for this circuit).
   BddStats bdd;
 
+  // Incremental-simulation counters (sim/sim.hpp): the FPRM flow's resub
+  // prefilters + redundancy resims, plus both power estimates' sampled
+  // fallbacks.
+  SimStats sim;
+
   // Per-stage wall clock, merged across both flows plus mapping and power
   // (stage names match the trace spans and the governor stage stack).
   StageBreakdown stages;

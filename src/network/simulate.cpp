@@ -15,6 +15,10 @@ void PatternSet::append(const BitVec& assignment) {
   ++num_patterns;
 }
 
+void PatternSet::reserve(std::size_t expected_patterns) {
+  for (auto& b : bits) b.reserve(expected_patterns);
+}
+
 std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
   assert(patterns.bits.size() == net.pi_count());
   const std::size_t np = patterns.num_patterns;
@@ -34,43 +38,24 @@ std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
         break;
       case GateType::Not:
         out = value[fi[0]];
-        for (std::size_t w = 0; w < out.words(); ++w) out.word(w) = ~out.word(w);
-        // Mask stray tail bits by re-anding with an all-ones vector of the
-        // right width.
-        {
-          BitVec ones(np);
-          ones.set_all();
-          out &= ones;
-        }
+        out.flip_all();
         break;
       case GateType::And: case GateType::Nand: {
         out = value[fi[0]];
         for (std::size_t k = 1; k < fi.size(); ++k) out &= value[fi[k]];
-        if (net.type(n) == GateType::Nand) {
-          BitVec ones(np);
-          ones.set_all();
-          out ^= ones;
-        }
+        if (net.type(n) == GateType::Nand) out.flip_all();
         break;
       }
       case GateType::Or: case GateType::Nor: {
         out = value[fi[0]];
         for (std::size_t k = 1; k < fi.size(); ++k) out |= value[fi[k]];
-        if (net.type(n) == GateType::Nor) {
-          BitVec ones(np);
-          ones.set_all();
-          out ^= ones;
-        }
+        if (net.type(n) == GateType::Nor) out.flip_all();
         break;
       }
       case GateType::Xor: case GateType::Xnor: {
         out = value[fi[0]];
         for (std::size_t k = 1; k < fi.size(); ++k) out ^= value[fi[k]];
-        if (net.type(n) == GateType::Xnor) {
-          BitVec ones(np);
-          ones.set_all();
-          out ^= ones;
-        }
+        if (net.type(n) == GateType::Xnor) out.flip_all();
         break;
       }
     }
@@ -81,13 +66,29 @@ std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
 PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed) {
   Rng rng(seed);
   PatternSet ps(num_pis, count);
-  for (auto& b : ps.bits)
+  for (auto& b : ps.bits) {
     for (std::size_t w = 0; w < b.words(); ++w) b.word(w) = rng.next();
-  // Mask tails.
-  BitVec ones(count);
-  ones.set_all();
-  for (auto& b : ps.bits) b &= ones;
+    // Double complement masks the stray tail bits of the last word.
+    b.flip_all();
+    b.flip_all();
+  }
   return ps;
+}
+
+PatternSet pattern_block(const PatternSet& ps, std::size_t first_pattern,
+                         std::size_t count) {
+  assert(first_pattern % 64 == 0);
+  assert(first_pattern + count <= ps.num_patterns);
+  const std::size_t first_word = first_pattern / 64;
+  PatternSet out(ps.bits.size(), count);
+  for (std::size_t i = 0; i < ps.bits.size(); ++i) {
+    BitVec& row = out.bits[i];
+    for (std::size_t w = 0; w < row.words(); ++w)
+      row.word(w) = ps.bits[i].word(first_word + w);
+    row.flip_all();
+    row.flip_all(); // tail masking
+  }
+  return out;
 }
 
 } // namespace rmsyn

@@ -21,6 +21,10 @@ struct PatternSet {
 
   /// Appends one pattern given as a PI-indexed assignment.
   void append(const BitVec& assignment);
+
+  /// Pre-allocates storage for `expected_patterns` so a run of append()
+  /// calls never reallocates the per-PI rows; num_patterns is unchanged.
+  void reserve(std::size_t expected_patterns);
 };
 
 /// Simulates all patterns; result[n] holds node n's value for each pattern.
@@ -28,5 +32,11 @@ std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns);
 
 /// Simulates `count` uniformly random patterns (seeded).
 PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed);
+
+/// Word-aligned slice [first_pattern, first_pattern + count) of a pattern
+/// set; `first_pattern` must be a multiple of 64. Used to split fault
+/// simulation into blocks that detected faults drop out of (sim/sim.hpp).
+PatternSet pattern_block(const PatternSet& ps, std::size_t first_pattern,
+                         std::size_t count);
 
 } // namespace rmsyn

@@ -8,6 +8,7 @@
 // libraries — the dependency arrow stays obs <- {bdd, sched, flow}.
 #include "bdd/bdd.hpp"
 #include "sched/pool.hpp"
+#include "sim/sim.hpp"
 
 namespace rmsyn::obs {
 
@@ -188,6 +189,19 @@ void MetricsRegistry::absorb_sched(const SchedStats& s) {
   }
 }
 
+void MetricsRegistry::absorb_sim(const SimStats& s) {
+  if (s.empty()) return;
+  add("sim.full_passes", s.full_passes);
+  add("sim.incr_resims", s.incr_resims);
+  add("sim.events", s.events);
+  add("sim.events_died", s.events_died);
+  add("sim.fault_probes", s.fault_probes);
+  add("sim.cone_nodes", s.cone_nodes);
+  add("sim.faults_dropped", s.faults_dropped);
+  add("sim.blocks_skipped", s.blocks_skipped);
+  add("sim.value_reuses", s.value_reuses);
+}
+
 void MetricsRegistry::absorb_status(const FlowStatus& st) {
   add("flow.rows");
   switch (st.outcome) {
@@ -310,6 +324,29 @@ void format_sched_block(const std::vector<MetricsRegistry::Entry>& es,
   slot_line("sched.ext", "ext0");
 }
 
+void format_sim_block(const std::vector<MetricsRegistry::Entry>& es,
+                      std::string& out) {
+  const uint64_t events = cnt(es, "sim.events");
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "Sim engine: %llu full passes, %llu incremental resims "
+      "(%llu events, %.1f%% died), %llu fault probes over %llu cone nodes, "
+      "%llu faults dropped (%llu blocks skipped), %llu cached reads\n",
+      static_cast<unsigned long long>(cnt(es, "sim.full_passes")),
+      static_cast<unsigned long long>(cnt(es, "sim.incr_resims")),
+      static_cast<unsigned long long>(events),
+      events == 0 ? 0.0
+                  : 100.0 * static_cast<double>(cnt(es, "sim.events_died")) /
+                        static_cast<double>(events),
+      static_cast<unsigned long long>(cnt(es, "sim.fault_probes")),
+      static_cast<unsigned long long>(cnt(es, "sim.cone_nodes")),
+      static_cast<unsigned long long>(cnt(es, "sim.faults_dropped")),
+      static_cast<unsigned long long>(cnt(es, "sim.blocks_skipped")),
+      static_cast<unsigned long long>(cnt(es, "sim.value_reuses")));
+  out += buf;
+}
+
 void format_flow_block(const std::vector<MetricsRegistry::Entry>& es,
                        std::string& out) {
   char buf[256];
@@ -352,15 +389,18 @@ void format_stage_block(const std::vector<MetricsRegistry::Entry>& es,
 std::string format_metrics_summary(const MetricsRegistry& m) {
   const std::vector<MetricsRegistry::Entry> es = m.snapshot();
   std::string out;
-  bool any_dd = false, any_sched = false, any_flow = false, any_stage = false;
+  bool any_dd = false, any_sched = false, any_sim = false, any_flow = false,
+       any_stage = false;
   for (const auto& e : es) {
     any_dd |= has_prefix(e.name, "dd.");
     any_sched |= has_prefix(e.name, "sched.");
+    any_sim |= has_prefix(e.name, "sim.");
     any_flow |= has_prefix(e.name, "flow.");
     any_stage |= has_prefix(e.name, "stage.");
   }
   if (any_dd) format_dd_block(es, out);
   if (any_sched) format_sched_block(es, out);
+  if (any_sim) format_sim_block(es, out);
   if (any_flow) format_flow_block(es, out);
   if (any_stage) format_stage_block(es, out);
   // Anything outside the well-known groups renders generically, so new
@@ -368,7 +408,8 @@ std::string format_metrics_summary(const MetricsRegistry& m) {
   char buf[192];
   for (const auto& e : es) {
     if (has_prefix(e.name, "dd.") || has_prefix(e.name, "sched.") ||
-        has_prefix(e.name, "flow.") || has_prefix(e.name, "stage."))
+        has_prefix(e.name, "sim.") || has_prefix(e.name, "flow.") ||
+        has_prefix(e.name, "stage."))
       continue;
     switch (e.v.kind) {
       case MetricKind::Counter:

@@ -19,6 +19,7 @@
 // Well-known name groups (see DESIGN.md §9):
 //   dd.*     DD-kernel counters absorbed from BddStats
 //   sched.*  pool aggregates + per-worker sched.w<i>.* / sched.ext.*
+//   sim.*    incremental-simulation engine counters absorbed from SimStats
 //   flow.*   row outcomes, governor polls/descents, row count
 //   stage.*  per-stage wall-clock histograms (sum = seconds, count = calls)
 #pragma once
@@ -37,6 +38,7 @@ namespace rmsyn {
 
 struct BddStats;  // bdd/bdd.hpp
 struct SchedStats; // sched/pool.hpp
+struct SimStats;  // sim/sim.hpp
 
 namespace obs {
 
@@ -90,6 +92,9 @@ public:
   // --- absorbers for the pre-existing ad-hoc stat blocks -------------------
   void absorb_bdd(const BddStats& s);
   void absorb_sched(const SchedStats& s);
+  /// No-op for an all-zero block, so rows that never simulated anything
+  /// do not grow spurious sim.* entries.
+  void absorb_sim(const SimStats& s);
   /// Row outcome (`flow.ok/degraded/failed`) under the given flow prefix.
   void absorb_status(const FlowStatus& st);
   /// Per-stage histograms: stage.<name> gets (seconds, calls).

@@ -5,6 +5,7 @@
 #include "bdd/bdd.hpp"
 #include "equiv/equiv.hpp"
 #include "network/simulate.hpp"
+#include "sim/sim.hpp"
 
 namespace rmsyn {
 
@@ -32,13 +33,15 @@ PowerReport estimate_power(const Network& net, const PowerOptions& opt) {
     }
   }
   if (!exact_ok) {
-    const auto patterns =
-        random_patterns(net.pi_count(), opt.sim_patterns, opt.sim_seed);
-    const auto values = simulate(net, patterns);
+    // Sampled fallback: one cached good-simulation serves every live node's
+    // probability read (sim/sim.hpp).
+    SimState sim(net, random_patterns(net.pi_count(), opt.sim_patterns,
+                                      opt.sim_seed));
+    const auto np = static_cast<double>(sim.num_patterns());
     for (NodeId n = 0; n < net.node_count(); ++n)
       if (live[n])
-        prob[n] = static_cast<double>(values[n].count()) /
-                  static_cast<double>(patterns.num_patterns);
+        prob[n] = static_cast<double>(sim.value(n).count()) / np;
+    rep.sim = sim.take_stats();
   }
   rep.exact = exact_ok;
 

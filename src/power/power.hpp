@@ -5,6 +5,7 @@
 #pragma once
 
 #include "network/network.hpp"
+#include "sim/sim.hpp"
 
 namespace rmsyn {
 
@@ -22,6 +23,8 @@ struct PowerReport {
   double switching_sum = 0.0;      ///< Σ activity
   std::size_t nets = 0;
   bool exact = false;              ///< true when BDD probabilities were used
+  /// Engine counters of the sampled fallback (empty on the exact path).
+  SimStats sim;
 };
 
 /// Estimates power of the network (any gate mix). The metric is relative:

@@ -1,0 +1,334 @@
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmsyn {
+
+namespace {
+
+inline bool is_source(GateType t) {
+  return t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// Evaluates one gate into `out`; in(k) is the k-th fanin value. `out`
+/// must not alias any input (the callers use a dedicated scratch buffer).
+template <typename In>
+void eval_gate_into(GateType t, std::size_t nfi, const In& in, BitVec& out) {
+  out = in(0);
+  switch (t) {
+    case GateType::Buf:
+      break;
+    case GateType::Not:
+      out.flip_all();
+      break;
+    case GateType::And:
+    case GateType::Nand:
+      for (std::size_t k = 1; k < nfi; ++k) out &= in(k);
+      if (t == GateType::Nand) out.flip_all();
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+      for (std::size_t k = 1; k < nfi; ++k) out |= in(k);
+      if (t == GateType::Nor) out.flip_all();
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t k = 1; k < nfi; ++k) out ^= in(k);
+      if (t == GateType::Xnor) out.flip_all();
+      break;
+    default:
+      break; // sources are never evaluated
+  }
+}
+
+} // namespace
+
+// --- SimState ----------------------------------------------------------------
+
+SimState::SimState(const Network& net, PatternSet patterns)
+    : net_(net), patterns_(std::move(patterns)) {
+  assert(patterns_.bits.size() == net_.pi_count());
+  const std::size_t np = patterns_.num_patterns;
+  zeros_ = BitVec(np);
+  ones_ = BitVec(np);
+  ones_.set_all();
+
+  const std::size_t count = net_.node_count();
+  values_.assign(count, zeros_);
+  fanins_.assign(count, {});
+  fanouts_.assign(count, {});
+  levels_.assign(count, 0);
+  active_.assign(count, 0);
+  is_po_.assign(count, 0);
+  queued_.assign(count, 0);
+
+  values_[Network::kConst1] = ones_;
+  active_[Network::kConst0] = active_[Network::kConst1] = 1;
+  for (std::size_t i = 0; i < net_.pi_count(); ++i) {
+    const NodeId pi = net_.pis()[i];
+    values_[pi] = patterns_.bits[i];
+    active_[pi] = 1;
+  }
+  for (std::size_t i = 0; i < net_.po_count(); ++i) is_po_[net_.po(i)] = 1;
+
+  for (const NodeId n : net_.topo_order()) {
+    if (is_source(net_.type(n))) continue;
+    fanins_[n] = net_.fanins(n);
+    uint32_t lv = 0;
+    for (const NodeId f : fanins_[n]) {
+      fanouts_[f].push_back(n);
+      lv = std::max(lv, levels_[f] + 1);
+    }
+    levels_[n] = lv;
+    eval_node(n, scratch_);
+    std::swap(values_[n], scratch_);
+    active_[n] = 1;
+  }
+  ++stats_.full_passes;
+}
+
+std::vector<BitVec> SimState::po_values() const {
+  std::vector<BitVec> out;
+  out.reserve(net_.po_count());
+  for (std::size_t i = 0; i < net_.po_count(); ++i)
+    out.push_back(values_[net_.po(i)]);
+  return out;
+}
+
+bool SimState::po_values_match(const std::vector<BitVec>& expect) const {
+  assert(expect.size() == net_.po_count());
+  for (std::size_t i = 0; i < net_.po_count(); ++i)
+    if (!(values_[net_.po(i)] == expect[i])) return false;
+  return true;
+}
+
+void SimState::resimulate(NodeId dirty) {
+  ++stats_.incr_resims;
+  grow();
+  sync_node(dirty);
+  push_event(dirty);
+  propagate();
+}
+
+void SimState::resimulate(const std::vector<NodeId>& dirty) {
+  ++stats_.incr_resims;
+  grow();
+  for (const NodeId n : dirty) sync_node(n);
+  for (const NodeId n : dirty) push_event(n);
+  propagate();
+}
+
+SimStats SimState::take_stats() {
+  SimStats out = stats_;
+  stats_ = SimStats{};
+  return out;
+}
+
+void SimState::grow() {
+  const std::size_t count = net_.node_count();
+  if (values_.size() >= count) return;
+  values_.resize(count, zeros_);
+  fanins_.resize(count);
+  fanouts_.resize(count);
+  levels_.resize(count, 0);
+  active_.resize(count, 0);
+  is_po_.resize(count, 0);
+  queued_.resize(count, 0);
+}
+
+void SimState::ensure_active(NodeId n) {
+  if (active_[n]) return;
+  // Activate the whole inactive cone below n, fanins first.
+  std::vector<NodeId> stack{n};
+  while (!stack.empty()) {
+    const NodeId m = stack.back();
+    if (active_[m]) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const NodeId f : net_.fanins(m)) {
+      if (!active_[f]) {
+        stack.push_back(f);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    active_[m] = 1;
+    if (is_source(net_.type(m))) continue; // PI added post-construction: stays 0
+    fanins_[m] = net_.fanins(m);
+    uint32_t lv = 0;
+    for (const NodeId f : fanins_[m]) {
+      fanouts_[f].push_back(m);
+      lv = std::max(lv, levels_[f] + 1);
+    }
+    levels_[m] = lv;
+    eval_node(m, scratch_);
+    std::swap(values_[m], scratch_);
+    ++stats_.events;
+  }
+}
+
+void SimState::sync_node(NodeId n) {
+  if (!active_[n]) {
+    ensure_active(n);
+    return;
+  }
+  if (is_source(net_.type(n))) return;
+  const auto& now = net_.fanins(n);
+  auto& mirror = fanins_[n];
+  if (mirror != now) {
+    for (const NodeId f : mirror) {
+      auto& fo = fanouts_[f];
+      const auto it = std::find(fo.begin(), fo.end(), n);
+      if (it != fo.end()) {
+        *it = fo.back();
+        fo.pop_back();
+      }
+    }
+    for (const NodeId f : now) {
+      ensure_active(f);
+      fanouts_[f].push_back(n);
+    }
+    mirror = now;
+  }
+  repair_levels_from(n);
+}
+
+void SimState::repair_levels_from(NodeId n) {
+  std::vector<NodeId> wl{n};
+  while (!wl.empty()) {
+    const NodeId m = wl.back();
+    wl.pop_back();
+    uint32_t lv = 0;
+    for (const NodeId f : fanins_[m]) lv = std::max(lv, levels_[f] + 1);
+    if (lv == levels_[m]) continue;
+    levels_[m] = lv;
+    for (const NodeId fo : fanouts_[m]) wl.push_back(fo);
+  }
+}
+
+void SimState::push_event(NodeId n) {
+  if (!active_[n] || queued_[n] || is_source(net_.type(n))) return;
+  queued_[n] = 1;
+  const uint32_t lv = levels_[n];
+  if (buckets_.size() <= lv) buckets_.resize(lv + 1);
+  buckets_[lv].push_back(n);
+  ++pending_;
+}
+
+void SimState::propagate() {
+  for (std::size_t lv = 0; lv < buckets_.size() && pending_ > 0; ++lv) {
+    // push_event may resize buckets_, so index (never reference) the row;
+    // new events always land at strictly higher levels.
+    for (std::size_t i = 0; i < buckets_[lv].size(); ++i) {
+      const NodeId n = buckets_[lv][i];
+      queued_[n] = 0;
+      --pending_;
+      ++stats_.events;
+      eval_node(n, scratch_);
+      if (scratch_ == values_[n]) {
+        ++stats_.events_died;
+        continue;
+      }
+      std::swap(values_[n], scratch_);
+      for (const NodeId fo : fanouts_[n]) push_event(fo);
+    }
+    buckets_[lv].clear();
+  }
+}
+
+void SimState::eval_node(NodeId n, BitVec& out) const {
+  const auto& fi = fanins_[n];
+  eval_gate_into(
+      net_.type(n), fi.size(),
+      [&](std::size_t k) -> const BitVec& { return values_[fi[k]]; }, out);
+}
+
+// --- FaultProber -------------------------------------------------------------
+
+FaultProber::FaultProber(const SimState& proto) { grow(proto); }
+
+void FaultProber::grow(const SimState& s) {
+  const std::size_t count = s.values_.size();
+  if (faulty_.size() < count) {
+    faulty_.resize(count);
+    stamp_.resize(count, 0);
+    queued_.resize(count, 0);
+  }
+}
+
+void FaultProber::push(const SimState& s, NodeId n) {
+  if (queued_[n]) return;
+  queued_[n] = 1;
+  const uint32_t lv = s.levels_[n];
+  if (buckets_.size() <= lv) buckets_.resize(lv + 1);
+  buckets_[lv].push_back(n);
+  ++pending_;
+}
+
+bool FaultProber::detects(const SimState& s, NodeId node, int pin,
+                          bool stuck_value) {
+  ++stats_.fault_probes;
+  grow(s);
+  ++epoch_;
+  const BitVec& forced = stuck_value ? s.ones_ : s.zeros_;
+
+  // Seed: the faulty value at the fault site itself.
+  if (pin < 0) {
+    scratch_ = forced;
+  } else {
+    const auto& fi = s.fanins_[node];
+    eval_gate_into(
+        s.net_.type(node), fi.size(),
+        [&](std::size_t k) -> const BitVec& {
+          return k == static_cast<std::size_t>(pin) ? forced : s.values_[fi[k]];
+        },
+        scratch_);
+  }
+  ++stats_.cone_nodes;
+  if (scratch_ == s.values_[node]) {
+    ++stats_.events_died;
+    return false;
+  }
+  std::swap(faulty_[node], scratch_);
+  stamp_[node] = epoch_;
+  bool detected = s.is_po_[node] != 0;
+  if (!detected)
+    for (const NodeId fo : s.fanouts_[node]) push(s, fo);
+
+  for (std::size_t lv = 0; lv < buckets_.size() && pending_ > 0; ++lv) {
+    for (std::size_t i = 0; i < buckets_[lv].size(); ++i) {
+      const NodeId m = buckets_[lv][i];
+      queued_[m] = 0;
+      --pending_;
+      if (detected) continue; // drain remaining queue flags only
+      const auto& fi = s.fanins_[m];
+      eval_gate_into(
+          s.net_.type(m), fi.size(),
+          [&](std::size_t k) -> const BitVec& {
+            const NodeId f = fi[k];
+            return stamp_[f] == epoch_ ? faulty_[f] : s.values_[f];
+          },
+          scratch_);
+      ++stats_.cone_nodes;
+      if (scratch_ == s.values_[m]) {
+        ++stats_.events_died;
+        continue;
+      }
+      std::swap(faulty_[m], scratch_);
+      stamp_[m] = epoch_;
+      if (s.is_po_[m]) {
+        detected = true;
+        continue;
+      }
+      for (const NodeId fo : s.fanouts_[m]) push(s, fo);
+    }
+    buckets_[lv].clear();
+  }
+  return detected;
+}
+
+} // namespace rmsyn

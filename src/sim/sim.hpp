@@ -1,0 +1,183 @@
+// Event-driven incremental simulation engine.
+//
+// Every simulation consumer in rmsyn used to pay for a full levelized pass
+// over the network per query: fault simulation re-simulated the whole
+// network once per fault, redundancy removal once per candidate rewrite,
+// and power/equiv ran private passes of their own. The classic result
+// (Ulrich & Baker's concurrent fault simulation, Waicukauski's PPSFP) is
+// that almost all of that work is redundant: a change at one node only
+// affects its transitive fanout cone, and word-parallel values make
+// "did anything change?" a cheap 64-wide compare.
+//
+// Two classes implement that here, both on the existing BitVec values:
+//
+//  * SimState — caches the good value of every node for one pattern set,
+//    levelized so events process fanins-before-fanouts even after
+//    rewrite_gate added higher-id nodes feeding lower-id gates. After a
+//    structural edit, resimulate(dirty) re-evaluates only the fanout cone
+//    of the dirty nodes; an evaluation whose value is unchanged kills its
+//    event, so propagation dies out early (redundancy removal's try/revert
+//    loop typically touches a handful of nodes per candidate).
+//
+//  * FaultProber — answers "does this stuck-at fault change any PO under
+//    this SimState's patterns?" without ever mutating the state: faulty
+//    values live in an epoch-stamped overlay, the fault seeds a single
+//    event, and propagation stops at the first differing PO. One prober
+//    serves any number of SimStates over the SAME network (fault
+//    simulation keeps one state per pattern block so detected faults drop
+//    out of the remaining blocks); per-worker probers make parallel fault
+//    chunks bit-identical to serial.
+//
+// Determinism: values depend only on (network, patterns); event/statistic
+// counts depend only on the dirty sets and faults probed, never on thread
+// schedule or fanout-list order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "network/simulate.hpp"
+#include "util/bitvec.hpp"
+
+namespace rmsyn {
+
+/// Counters for the incremental engine; absorbed into the metrics registry
+/// as the sim.* group (obs/metrics.hpp) and surfaced on SynthReport /
+/// FlowRow next to BddStats.
+struct SimStats {
+  uint64_t full_passes = 0;    ///< levelized full evaluations (state builds)
+  uint64_t incr_resims = 0;    ///< resimulate() calls after edits
+  uint64_t events = 0;         ///< node evaluations triggered by events
+  uint64_t events_died = 0;    ///< evaluations whose value did not change
+  uint64_t fault_probes = 0;   ///< FaultProber::detects() calls
+  uint64_t cone_nodes = 0;     ///< faulty-cone nodes evaluated across probes
+  uint64_t faults_dropped = 0; ///< faults detected before the last block
+  uint64_t blocks_skipped = 0; ///< pattern blocks skipped via dropping
+  uint64_t value_reuses = 0;   ///< cached good values served to clients
+
+  // Inline so rmsyn_obs can absorb the struct header-only (the same deal
+  // BddStats/SchedStats get).
+  void accumulate(const SimStats& o) {
+    full_passes += o.full_passes;
+    incr_resims += o.incr_resims;
+    events += o.events;
+    events_died += o.events_died;
+    fault_probes += o.fault_probes;
+    cone_nodes += o.cone_nodes;
+    faults_dropped += o.faults_dropped;
+    blocks_skipped += o.blocks_skipped;
+    value_reuses += o.value_reuses;
+  }
+  bool empty() const {
+    return full_passes == 0 && incr_resims == 0 && events == 0 &&
+           events_died == 0 && fault_probes == 0 && cone_nodes == 0 &&
+           faults_dropped == 0 && blocks_skipped == 0 && value_reuses == 0;
+  }
+};
+
+/// Cached good-simulation of one network under one pattern set.
+///
+/// The referenced network must outlive the state. Structural edits
+/// (rewrite_gate / newly added nodes) are legal as long as every rewritten
+/// node is passed to resimulate() before values are read again; new nodes
+/// reachable from a dirty node are discovered and folded in automatically.
+/// Retargeting POs after construction is not supported.
+class SimState {
+public:
+  SimState(const Network& net, PatternSet patterns);
+
+  const Network& net() const { return net_; }
+  std::size_t num_patterns() const { return patterns_.num_patterns; }
+
+  /// Cached value of node n (64 patterns per word). PIs/constants are
+  /// their pattern rows; nodes outside the PO-cone-plus-PI set simulate()
+  /// covers stay all-zero, matching simulate()'s result vector.
+  const BitVec& value(NodeId n) const {
+    ++stats_.value_reuses;
+    return values_[n];
+  }
+
+  std::vector<BitVec> po_values() const;
+  /// True when every PO value equals `expect` (one BitVec per PO).
+  bool po_values_match(const std::vector<BitVec>& expect) const;
+
+  /// Declares `dirty` structurally edited and re-simulates its cone.
+  void resimulate(NodeId dirty);
+  /// Multi-node edit: all structure is synced before any value moves, so
+  /// interdependent rewrites settle in one wave.
+  void resimulate(const std::vector<NodeId>& dirty);
+
+  const SimStats& stats() const { return stats_; }
+  /// Moves the counters out (e.g. into a report) and zeroes them.
+  SimStats take_stats();
+
+private:
+  friend class FaultProber;
+
+  void grow();
+  void ensure_active(NodeId n);
+  void sync_node(NodeId n);
+  void repair_levels_from(NodeId n);
+  void push_event(NodeId n);
+  void propagate();
+  void eval_node(NodeId n, BitVec& out) const;
+
+  const Network& net_;
+  PatternSet patterns_;
+  BitVec ones_, zeros_;
+
+  std::vector<BitVec> values_;
+  std::vector<std::vector<NodeId>> fanins_;  ///< synced mirror of net fanins
+  std::vector<std::vector<NodeId>> fanouts_; ///< edges to active consumers
+  std::vector<uint32_t> levels_;
+  std::vector<uint8_t> active_; ///< evaluated at least once (≈ topo set)
+  std::vector<uint8_t> is_po_;
+
+  // Level-bucketed event queue: events always fire at strictly higher
+  // levels than the node that spawned them, so one ascending sweep settles
+  // the whole wave.
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<uint8_t> queued_;
+  std::size_t pending_ = 0;
+
+  BitVec scratch_; ///< reused evaluation buffer (alloc-free steady state)
+  mutable SimStats stats_;
+};
+
+/// Stuck-at fault oracle over a const SimState (or several states sharing
+/// one network — fault simulation keeps one state per pattern block).
+/// Faulty values live in an epoch-stamped overlay, so consecutive probes
+/// reuse the buffers without clearing; the good state is never touched.
+/// Not thread-safe: use one prober per worker.
+class FaultProber {
+public:
+  /// Sizes the overlay for `proto`'s network; any SimState over the same
+  /// network may be probed.
+  explicit FaultProber(const SimState& proto);
+
+  /// True when the stuck-at fault (pin < 0 = stem, else that input pin
+  /// forced to `stuck_value`) changes some PO value under s's patterns.
+  /// Propagation is cone-limited and stops at the first differing PO.
+  bool detects(const SimState& s, NodeId node, int pin, bool stuck_value);
+
+  const SimStats& stats() const { return stats_; }
+
+private:
+  void grow(const SimState& s);
+  void push(const SimState& s, NodeId n);
+
+  std::vector<BitVec> faulty_;   ///< overlay value, valid iff stamp == epoch
+  std::vector<uint64_t> stamp_;
+  uint64_t epoch_ = 0;
+
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<uint8_t> queued_;
+  std::size_t pending_ = 0;
+
+  BitVec scratch_;
+  SimStats stats_;
+};
+
+} // namespace rmsyn

@@ -1,8 +1,10 @@
 #include "testability/faults.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "bdd/bdd.hpp"
+#include "sched/pool.hpp"
 
 namespace rmsyn {
 
@@ -76,7 +78,8 @@ std::vector<BitVec> simulate_faulty(const Network& net,
 
 } // namespace
 
-FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns) {
+FaultSimResult fault_simulate_full(const Network& net,
+                                   const PatternSet& patterns) {
   FaultSimResult result;
   const auto faults = enumerate_faults(net);
   result.total = faults.size();
@@ -90,6 +93,76 @@ FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns) {
     if (detected) ++result.detected;
     else result.undetected.push_back(fault);
   }
+  return result;
+}
+
+FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns,
+                              const FaultSimOptions& opt) {
+  FaultSimResult result;
+  const auto faults = enumerate_faults(net);
+  result.total = faults.size();
+  const std::size_t np = patterns.num_patterns;
+  if (np == 0 || faults.empty()) {
+    result.undetected = faults;
+    return result;
+  }
+
+  // One good pass per block; together the blocks cost exactly one full
+  // simulation of the whole set.
+  std::size_t bp = opt.drop_faults ? opt.block_patterns : np;
+  bp = std::max<std::size_t>(64, (bp + 63) / 64 * 64);
+  std::vector<SimState> blocks;
+  for (std::size_t p0 = 0; p0 < np; p0 += bp)
+    blocks.emplace_back(net, pattern_block(patterns, p0, std::min(bp, np - p0)));
+  const std::size_t nblocks = blocks.size();
+
+  // A fault is detected iff SOME pattern distinguishes it, so probing block
+  // by block and stopping at the first hit decides exactly the same set as
+  // one monolithic pass. Counters are per-fault sums, hence independent of
+  // how the fault range is chunked across workers.
+  std::vector<uint8_t> detected(faults.size(), 0);
+  const auto run_chunk = [&](std::size_t lo, std::size_t hi) {
+    SimStats st;
+    FaultProber prober(blocks.front());
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Fault& f = faults[i];
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        if (!prober.detects(blocks[b], f.node, f.fanin_index, f.stuck_value))
+          continue;
+        detected[i] = 1;
+        if (b + 1 < nblocks) {
+          ++st.faults_dropped;
+          st.blocks_skipped += nblocks - b - 1;
+        }
+        break;
+      }
+    }
+    st.accumulate(prober.stats());
+    return st;
+  };
+
+  SimStats stats;
+  if (opt.pool != nullptr && opt.pool->worker_count() > 0 &&
+      faults.size() > 1) {
+    const std::size_t nchunks = std::min<std::size_t>(
+        faults.size(), static_cast<std::size_t>(opt.pool->slot_count()) * 4);
+    const std::size_t step = (faults.size() + nchunks - 1) / nchunks;
+    std::vector<Future<SimStats>> futs;
+    for (std::size_t lo = 0; lo < faults.size(); lo += step) {
+      const std::size_t hi = std::min(lo + step, faults.size());
+      futs.push_back(opt.pool->submit([&, lo, hi] { return run_chunk(lo, hi); }));
+    }
+    for (auto& fut : futs) stats.accumulate(opt.pool->wait(fut));
+  } else {
+    stats.accumulate(run_chunk(0, faults.size()));
+  }
+  for (const auto& b : blocks) stats.accumulate(b.stats());
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i]) ++result.detected;
+    else result.undetected.push_back(faults[i]);
+  }
+  if (opt.stats != nullptr) opt.stats->accumulate(stats);
   return result;
 }
 

@@ -9,8 +9,11 @@
 
 #include "network/network.hpp"
 #include "network/simulate.hpp"
+#include "sim/sim.hpp"
 
 namespace rmsyn {
+
+class ThreadPool; // sched/pool.hpp
 
 struct Fault {
   NodeId node = 0;
@@ -32,9 +35,35 @@ struct FaultSimResult {
   }
 };
 
-/// Parallel-pattern fault simulation: simulates every fault against the
-/// whole pattern set (64 patterns per word) and reports coverage.
-FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns);
+struct FaultSimOptions {
+  /// Split the pattern set into blocks and stop probing a fault at the
+  /// first detecting block (classic fault dropping). Off = one block over
+  /// the whole set. Detection results are identical either way; dropping
+  /// only skips work.
+  bool drop_faults = true;
+  /// Patterns per block, rounded up to a multiple of 64 (word-aligned
+  /// blocks make the good values plain word slices).
+  std::size_t block_patterns = 256;
+  /// Run fault chunks on this pool (null = serial). Each worker probes a
+  /// disjoint fault range with its own FaultProber against shared const
+  /// block states, so results AND counters are bit-identical to serial.
+  ThreadPool* pool = nullptr;
+  /// Engine counters accumulated here when non-null.
+  SimStats* stats = nullptr;
+};
+
+/// Event-driven parallel-pattern fault simulation (sim/sim.hpp): one good
+/// pass per pattern block, then each fault is a single-node event whose
+/// cone is propagated until a PO differs — with fault dropping across
+/// blocks. Detected/undetected sets are identical to fault_simulate_full.
+FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns,
+                              const FaultSimOptions& opt = {});
+
+/// Reference implementation: re-simulates the whole network once per fault.
+/// Kept as the cross-check and benchmark baseline for the incremental
+/// engine; use fault_simulate for real work.
+FaultSimResult fault_simulate_full(const Network& net,
+                                   const PatternSet& patterns);
 
 /// True when the network is single-stuck-at irredundant: every fault is
 /// detectable by some input vector (checked exactly with BDDs).

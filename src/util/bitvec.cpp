@@ -25,6 +25,13 @@ void BitVec::set_all() {
   mask_tail();
 }
 
+void BitVec::flip_all() {
+  for (auto& w : words_) w = ~w;
+  mask_tail();
+}
+
+void BitVec::reserve(std::size_t nbits) { words_.reserve((nbits + 63) / 64); }
+
 void BitVec::resize(std::size_t nbits, bool value) {
   const std::size_t old_bits = nbits_;
   nbits_ = nbits;

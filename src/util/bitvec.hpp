@@ -38,7 +38,11 @@ public:
 
   void clear_all();
   void set_all();
+  /// Complements every bit in place (tail bits of the last word stay 0).
+  void flip_all();
   void resize(std::size_t nbits, bool value = false);
+  /// Pre-allocates word storage for `nbits` bits; size() is unchanged.
+  void reserve(std::size_t nbits);
 
   std::size_t count() const;
   bool any() const;

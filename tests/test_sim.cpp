@@ -1,0 +1,256 @@
+// Incremental simulation engine tests (sim/sim.hpp): the cached state and
+// its cone-limited resims must be bit-identical to a fresh full simulate()
+// after arbitrary edits, fault dropping must not change the detected set,
+// parallel fault chunks must match serial exactly (results AND counters),
+// and resub's signature prefilter must not perturb the merged network.
+#include "sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/spec.hpp"
+#include "core/resub.hpp"
+#include "core/synth.hpp"
+#include "network/io.hpp"
+#include "network/transform.hpp"
+#include "sched/pool.hpp"
+#include "testability/faults.hpp"
+#include "util/rng.hpp"
+
+namespace rmsyn {
+namespace {
+
+/// Every node a fresh simulate() evaluates must carry the same value in
+/// the cached state (dead nodes stay all-zero on both sides).
+void expect_state_matches_full(const SimState& sim, const Network& net,
+                               const PatternSet& patterns,
+                               const std::string& context) {
+  const auto full = simulate(net, patterns);
+  for (const NodeId n : net.topo_order())
+    ASSERT_EQ(sim.value(n), full[n]) << context << ": node " << n;
+}
+
+TEST(SimState, MatchesFullSimulateOnEveryBenchmark) {
+  for (const auto& name : benchmark_names()) {
+    const Network net = make_benchmark(name).spec;
+    const PatternSet patterns =
+        random_patterns(net.pi_count(), 256, 0xABCD0 + net.pi_count());
+    SimState sim(net, patterns);
+    expect_state_matches_full(sim, net, patterns, name);
+  }
+}
+
+TEST(SimState, HandlesNonWordMultiplePatternCounts) {
+  const Network net = make_benchmark("z4ml").spec;
+  for (const std::size_t np : {1u, 63u, 64u, 65u, 130u}) {
+    const PatternSet patterns = random_patterns(net.pi_count(), np, 77);
+    SimState sim(net, patterns);
+    expect_state_matches_full(sim, net, patterns, "np=" + std::to_string(np));
+  }
+}
+
+/// Applies one random structural edit to a gate and returns the dirty node.
+/// Targets and fanins are restricted to the ORIGINAL id range (ids below
+/// `orig_count`), fanins strictly below the target: every edge then drops a
+/// potential (original id, or target-id-minus-half for a fresh inverter),
+/// so no edit sequence can close a cycle. Fresh inverters still land ABOVE
+/// the dirty node in id order — exactly the case where node-id order stops
+/// being a topo order and the engine's level repair has to kick in.
+NodeId random_edit(Network& net, NodeId orig_count, Rng& rng) {
+  std::vector<NodeId> gates;
+  for (NodeId n = 2; n < orig_count; ++n)
+    if (net.type(n) != GateType::Pi) gates.push_back(n);
+  const NodeId n = gates[rng.next() % gates.size()];
+  const auto pick_below = [&]() -> NodeId {
+    return static_cast<NodeId>(rng.next() % n); // original id < n
+  };
+  static const GateType kTypes[] = {GateType::And,  GateType::Or,
+                                    GateType::Xor,  GateType::Nand,
+                                    GateType::Nor,  GateType::Xnor,
+                                    GateType::Not,  GateType::Buf};
+  const GateType t = kTypes[rng.next() % 8];
+  if (t == GateType::Not || t == GateType::Buf) {
+    net.rewrite_gate(n, t, {pick_below()});
+  } else if (rng.next() % 4 == 0) {
+    // New higher-id inverter feeding the rewritten (lower-id) gate.
+    const NodeId inv = net.add_not(pick_below());
+    net.rewrite_gate(n, t, {pick_below(), inv});
+  } else {
+    net.rewrite_gate(n, t, {pick_below(), pick_below()});
+  }
+  return n;
+}
+
+TEST(SimState, IncrementalResimMatchesFullAfterRandomEdits) {
+  for (const auto& name : {"z4ml", "f2", "adr4", "majority"}) {
+    Network net = make_benchmark(name).spec;
+    const PatternSet patterns = random_patterns(net.pi_count(), 192, 0xE417);
+    SimState sim(net, patterns);
+    const NodeId orig_count = static_cast<NodeId>(net.node_count());
+    Rng rng(0x5EED ^ net.node_count());
+    for (int round = 0; round < 60; ++round) {
+      const NodeId dirty = random_edit(net, orig_count, rng);
+      sim.resimulate(dirty);
+      expect_state_matches_full(sim, net, patterns,
+                                std::string(name) + " round " +
+                                    std::to_string(round));
+    }
+    EXPECT_GT(sim.stats().incr_resims, 0u);
+  }
+}
+
+TEST(SimState, MultiNodeEditsSettleInOneWave) {
+  Network net = make_benchmark("my_adder").spec;
+  const PatternSet patterns = random_patterns(net.pi_count(), 128, 0xBEE);
+  SimState sim(net, patterns);
+  const NodeId orig_count = static_cast<NodeId>(net.node_count());
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<NodeId> dirty;
+    for (int k = 0; k < 3; ++k)
+      dirty.push_back(random_edit(net, orig_count, rng));
+    sim.resimulate(dirty);
+    expect_state_matches_full(sim, net, patterns,
+                              "round " + std::to_string(round));
+  }
+}
+
+TEST(SimState, RevertRestoresValuesWithDyingEvents) {
+  Network net = make_benchmark("f2").spec;
+  const PatternSet patterns = random_patterns(net.pi_count(), 256, 9);
+  SimState sim(net, patterns);
+  const auto golden = sim.po_values();
+  // Find a 2-fanin gate, knock one fanin out, then revert.
+  for (NodeId n = 2; n < net.node_count(); ++n) {
+    if (net.type(n) == GateType::Pi || net.fanins(n).size() != 2) continue;
+    const GateType t = net.type(n);
+    const auto saved = net.fanins(n);
+    net.rewrite_gate(n, GateType::Buf, {saved[0]});
+    sim.resimulate(n);
+    net.rewrite_gate(n, t, saved);
+    sim.resimulate(n);
+    break;
+  }
+  EXPECT_TRUE(sim.po_values_match(golden));
+  expect_state_matches_full(sim, net, patterns, "after revert");
+}
+
+void expect_same_result(const FaultSimResult& a, const FaultSimResult& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.detected, b.detected);
+  ASSERT_EQ(a.undetected.size(), b.undetected.size());
+  for (std::size_t i = 0; i < a.undetected.size(); ++i) {
+    EXPECT_EQ(a.undetected[i].node, b.undetected[i].node);
+    EXPECT_EQ(a.undetected[i].fanin_index, b.undetected[i].fanin_index);
+    EXPECT_EQ(a.undetected[i].stuck_value, b.undetected[i].stuck_value);
+  }
+}
+
+TEST(FaultSim, DroppingAndConeLimitingMatchFullResim) {
+  for (const auto& name : benchmark_names()) {
+    const Network net = decompose2(strash(make_benchmark(name).spec));
+    // 520 patterns = 3 blocks of 256/256/8 when dropping.
+    const PatternSet patterns = random_patterns(net.pi_count(), 520, 0xFA17);
+    const FaultSimResult full = fault_simulate_full(net, patterns);
+    FaultSimOptions drop;
+    const FaultSimResult incr = fault_simulate(net, patterns, drop);
+    FaultSimOptions nodrop;
+    nodrop.drop_faults = false;
+    const FaultSimResult mono = fault_simulate(net, patterns, nodrop);
+    expect_same_result(full, incr);
+    expect_same_result(full, mono);
+  }
+}
+
+TEST(FaultSim, ParallelChunksMatchSerialBitIdentically) {
+  const Network net = decompose2(strash(make_benchmark("my_adder").spec));
+  const PatternSet patterns = random_patterns(net.pi_count(), 1024, 0x9A9A);
+  SimStats serial_stats;
+  FaultSimOptions serial;
+  serial.stats = &serial_stats;
+  const FaultSimResult a = fault_simulate(net, patterns, serial);
+
+  ThreadPool pool(3);
+  SimStats par_stats;
+  FaultSimOptions parallel;
+  parallel.pool = &pool;
+  parallel.stats = &par_stats;
+  const FaultSimResult b = fault_simulate(net, patterns, parallel);
+
+  expect_same_result(a, b);
+  // Counters are per-fault sums, so chunking must not change them either.
+  EXPECT_EQ(serial_stats.fault_probes, par_stats.fault_probes);
+  EXPECT_EQ(serial_stats.cone_nodes, par_stats.cone_nodes);
+  EXPECT_EQ(serial_stats.faults_dropped, par_stats.faults_dropped);
+  EXPECT_EQ(serial_stats.blocks_skipped, par_stats.blocks_skipped);
+  EXPECT_EQ(serial_stats.events_died, par_stats.events_died);
+  EXPECT_GT(par_stats.faults_dropped, 0u);
+}
+
+TEST(PatternSet, ReserveDoesNotChangeAppendResults) {
+  Rng rng(123);
+  PatternSet plain(17, 0);
+  PatternSet reserved(17, 0);
+  reserved.reserve(300);
+  for (int i = 0; i < 300; ++i) {
+    BitVec a(17);
+    for (std::size_t v = 0; v < 17; ++v) a.set(v, (rng.next() & 1) != 0);
+    plain.append(a);
+    reserved.append(a);
+  }
+  EXPECT_EQ(plain.num_patterns, reserved.num_patterns);
+  for (std::size_t i = 0; i < plain.bits.size(); ++i)
+    EXPECT_EQ(plain.bits[i], reserved.bits[i]);
+}
+
+TEST(PatternSet, WordAlignedBlocksReassembleTheSet) {
+  const PatternSet ps = random_patterns(5, 200, 777);
+  const PatternSet b0 = pattern_block(ps, 0, 128);
+  const PatternSet b1 = pattern_block(ps, 128, 72);
+  ASSERT_EQ(b0.num_patterns + b1.num_patterns, ps.num_patterns);
+  for (std::size_t i = 0; i < ps.bits.size(); ++i) {
+    for (std::size_t p = 0; p < 128; ++p)
+      EXPECT_EQ(b0.bits[i].get(p), ps.bits[i].get(p));
+    for (std::size_t p = 0; p < 72; ++p)
+      EXPECT_EQ(b1.bits[i].get(p), ps.bits[i].get(128 + p));
+  }
+}
+
+TEST(BitVec, FlipAllMasksTail) {
+  BitVec v(70);
+  v.set(3);
+  v.set(69);
+  v.flip_all();
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_EQ(v.count(), 68u);
+  EXPECT_FALSE(v.get(3));
+  EXPECT_TRUE(v.get(0));
+  v.flip_all();
+  EXPECT_EQ(v.count(), 2u);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(69));
+}
+
+TEST(Resub, SignaturePrefilterIsBitIdentical) {
+  for (const auto& name : benchmark_names()) {
+    // decompose2 bounds gate arity so write_blif can serialize the result.
+    const Network net = decompose2(make_benchmark(name).spec);
+    ResubOptions with;
+    SimStats stats;
+    with.sim_stats = &stats;
+    ResubOptions without;
+    without.sim_prefilter = false;
+    const Network a = resub_merge(net, with);
+    const Network b = resub_merge(net, without);
+    EXPECT_EQ(write_blif_string(a, name), write_blif_string(b, name)) << name;
+  }
+}
+
+TEST(Synth, ReportCarriesSimCounters) {
+  SynthReport rep;
+  synthesize(make_benchmark("z4ml").spec, {}, &rep);
+  // Redundancy's step-1/step-4 states always run at least one full pass.
+  EXPECT_GT(rep.sim.full_passes, 0u);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -8,7 +8,7 @@
 //   rmsyn_cli map      <input> [--lib file.genlib]
 //   rmsyn_cli verify   <input-a> <input-b>
 //   rmsyn_cli power    <input>
-//   rmsyn_cli atpg     <input>
+//   rmsyn_cli atpg     <input> [--jobs N] [--no-drop]
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
 //   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
@@ -64,11 +64,13 @@
 #include "network/stats.hpp"
 #include "network/transform.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "power/power.hpp"
 #include "sched/batch.hpp"
+#include "sched/pool.hpp"
 #include "util/stopwatch.hpp"
 #include "sop/pla.hpp"
 #include "testability/faults.hpp"
@@ -295,20 +297,46 @@ int cmd_power(const std::vector<std::string>& args) {
   return 0;
 }
 
+int parse_jobs(const std::string& flag, const std::string& v) {
+  const std::size_t n = parse_count(flag, v);
+  if (n > 256) throw std::runtime_error(flag + ": at most 256 jobs");
+  return static_cast<int>(n);
+}
+
 int cmd_atpg(const std::vector<std::string>& args) {
   if (args.empty()) throw std::runtime_error("atpg: missing input");
+  int jobs = 1;
+  FaultSimOptions fo;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--jobs" && i + 1 < args.size())
+      jobs = parse_jobs("--jobs", args[++i]);
+    else if (args[i] == "--no-drop")
+      fo.drop_faults = false;
+    else
+      throw std::runtime_error("atpg: unknown option " + args[i]);
+  }
   const Network spec = load_input(args[0]);
   SynthReport rep;
   const Network net = synthesize(spec, {}, &rep);
   const PatternSet tests = fprm_pattern_set(
       net.pi_count(), rep.forms, /*include_sa1=*/true, std::size_t{1} << 16);
-  const auto sim = fault_simulate(net, tests);
+  SimStats stats;
+  fo.stats = &stats;
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) {
+    pool.emplace(jobs - 1); // the caller helps, as in table2/batch
+    fo.pool = &*pool;
+  }
+  const auto sim = fault_simulate(net, tests, fo);
   std::printf("synthesized network: %zu faults, FPRM-derived test set of %zu "
               "patterns detects %zu (%.1f%% coverage)\n",
               sim.total, tests.num_patterns, sim.detected,
               100.0 * sim.coverage());
   for (const auto& f : sim.undetected)
     std::printf("  undetected: %s\n", to_string(f, net).c_str());
+  obs::MetricsRegistry m;
+  m.absorb_sim(stats);
+  std::printf("%s", obs::format_metrics_summary(m).c_str());
   return 0;
 }
 
@@ -326,12 +354,6 @@ int cmd_dump(const std::vector<std::string>& args) {
     write_output(net, out_path, args[0]);
   }
   return 0;
-}
-
-int parse_jobs(const std::string& flag, const std::string& v) {
-  const std::size_t n = parse_count(flag, v);
-  if (n > 256) throw std::runtime_error(flag + ": at most 256 jobs");
-  return static_cast<int>(n);
 }
 
 /// Observability switches shared by table2 and batch.
