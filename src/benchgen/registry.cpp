@@ -147,6 +147,24 @@ const std::vector<std::pair<std::string, Entry>>& registry() {
   return table;
 }
 
+/// Parses a parameterized family name "<prefix><N>" (e.g. adder64,
+/// mult128). Returns N, or 0 when `name` is not of that shape or N is
+/// outside [2, max_bits].
+int parse_param(const std::string& name, const std::string& prefix,
+                int max_bits) {
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0)
+    return 0;
+  int n = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    n = n * 10 + (c - '0');
+    if (n > max_bits) return 0;
+  }
+  return n >= 2 ? n : 0;
+}
+
 } // namespace
 
 const std::vector<std::string>& benchmark_names() {
@@ -161,7 +179,8 @@ const std::vector<std::string>& benchmark_names() {
 bool has_benchmark(const std::string& name) {
   for (const auto& [n, e] : registry())
     if (n == name) return true;
-  return false;
+  return parse_param(name, "adder", 1024) != 0 ||
+         parse_param(name, "mult", 512) != 0;
 }
 
 Benchmark make_benchmark(const std::string& name) {
@@ -173,6 +192,31 @@ Benchmark make_benchmark(const std::string& name) {
     b.exact = e.exact;
     b.description = e.description;
     b.spec = e.build();
+    b.num_inputs = static_cast<int>(b.spec.pi_count());
+    b.num_outputs = static_cast<int>(b.spec.po_count());
+    return b;
+  }
+  // Parameterized large-benchmark families, not part of the Table-2 set:
+  // adderN = N-bit ripple adder with carry-in/out, multN = NxN array
+  // multiplier with the full 2N-bit product (mult128 is ~100k+ gates).
+  if (const int n = parse_param(name, "adder", 1024)) {
+    Benchmark b;
+    b.name = name;
+    b.arithmetic = b.exact = true;
+    b.description = std::to_string(n) +
+                    "-bit ripple adder with carry-in and carry-out (generated)";
+    b.spec = ripple_adder(n, true, true);
+    b.num_inputs = static_cast<int>(b.spec.pi_count());
+    b.num_outputs = static_cast<int>(b.spec.po_count());
+    return b;
+  }
+  if (const int n = parse_param(name, "mult", 512)) {
+    Benchmark b;
+    b.name = name;
+    b.arithmetic = b.exact = true;
+    b.description = std::to_string(n) + "x" + std::to_string(n) +
+                    " array multiplier, full product (generated)";
+    b.spec = array_multiplier(n, n, 2 * n);
     b.num_inputs = static_cast<int>(b.spec.pi_count());
     b.num_outputs = static_cast<int>(b.spec.po_count());
     return b;

@@ -32,11 +32,15 @@ struct Benchmark {
 /// All Table-2 circuit names, in the paper's row order.
 const std::vector<std::string>& benchmark_names();
 
-/// Builds one benchmark by name. Throws std::invalid_argument for unknown
-/// names.
+/// Builds one benchmark by name. Besides the Table-2 registry this accepts
+/// the parameterized large-benchmark families "adderN" (N-bit ripple adder
+/// with carry-in/out, 2 <= N <= 1024) and "multN" (NxN array multiplier
+/// with the full 2N-bit product, 2 <= N <= 512), e.g. adder64, mult128.
+/// Throws std::invalid_argument for unknown names.
 Benchmark make_benchmark(const std::string& name);
 
-/// True when `name` is in the registry.
+/// True when `name` is in the registry or a valid parameterized family
+/// name (see make_benchmark).
 bool has_benchmark(const std::string& name);
 
 // ---- building blocks shared by generators and tests ----

@@ -339,18 +339,40 @@ Network remove_xor_redundancy(const Network& net,
     int guard = 0;
     while (changed && guard++ < 16 && !out_of_budget()) {
       changed = false;
-      // Fanout structure of the current network.
-      std::vector<std::vector<NodeId>> fanouts(work.node_count());
-      std::vector<uint32_t> nrefs(work.node_count(), 0);
-      const auto live = work.live_mask();
-      for (NodeId m = 0; m < work.node_count(); ++m) {
-        if (!live[m]) continue;
-        for (const NodeId fi : work.fanins(m)) {
-          fanouts[fi].push_back(m);
-          ++nrefs[fi];
+      // The network maintains its fanout lists, so each wave only
+      // recomputes liveness (rewrites orphan whole cones, which stay
+      // linked into the lists until compact()).
+      const std::vector<bool> live = work.live_mask();
+#ifndef NDEBUG
+      // Cross-check maintained lists against a full fanin rescan: every
+      // live node's live-owner edge count must match.
+      {
+        std::vector<uint32_t> rescan(work.node_count(), 0);
+        for (NodeId m = 0; m < work.node_count(); ++m)
+          if (live[m])
+            for (const NodeId fi : work.fanins(m)) ++rescan[fi];
+        for (NodeId m = 0; m < work.node_count(); ++m) {
+          if (!live[m]) continue;
+          uint32_t maintained = 0;
+          for (const NodeId fo : work.fanouts(m))
+            if (live[fo]) ++maintained;
+          assert(maintained == rescan[m]);
         }
       }
-      for (std::size_t i = 0; i < work.po_count(); ++i) ++nrefs[work.po(i)];
+#endif
+      // Sole live consumer of m: exactly one live-owner edge and zero PO
+      // refs, else kNoNode. A consumer reading m twice disqualifies (two
+      // edges), matching the rebuilt-list semantics this replaced.
+      const auto sole_live_fanout = [&](NodeId m) -> NodeId {
+        if (work.po_ref_count(m) != 0) return Network::kNoNode;
+        NodeId only = Network::kNoNode;
+        for (const NodeId fo : work.fanouts(m)) {
+          if (!live[fo]) continue;
+          if (only != Network::kNoNode) return Network::kNoNode;
+          only = fo;
+        }
+        return only;
+      };
 
       const auto order = work.topo_order();
       for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -358,14 +380,15 @@ Network remove_xor_redundancy(const Network& net,
         if (!live[n]) continue;
         if (work.type(n) != GateType::Xor || work.fanins(n).size() != 2)
           continue;
-        if (nrefs[n] != 1 || fanouts[n].size() != 1) continue;
+        NodeId v = sole_live_fanout(n);
+        if (v == Network::kNoNode) continue;
         // Walk up through single-fanout inverters/buffers.
         NodeId below = n;
-        NodeId v = fanouts[n][0];
-        while ((work.type(v) == GateType::Not || work.type(v) == GateType::Buf) &&
-               nrefs[v] == 1 && fanouts[v].size() == 1) {
+        while (work.type(v) == GateType::Not || work.type(v) == GateType::Buf) {
+          const NodeId next = sole_live_fanout(v);
+          if (next == Network::kNoNode) break;
           below = v;
-          v = fanouts[v][0];
+          v = next;
         }
         const GateType vt = work.type(v);
         if (vt != GateType::And && vt != GateType::Or && vt != GateType::Nand &&

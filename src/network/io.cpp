@@ -125,7 +125,7 @@ struct BlifNames {
 } // namespace
 
 Network read_blif(std::istream& in) {
-  std::vector<std::string> input_names, output_names;
+  std::vector<std::pair<std::string, int>> input_names, output_names;
   std::vector<BlifNames> blocks;
 
   std::string line, pending;
@@ -162,10 +162,12 @@ Network read_blif(std::istream& in) {
     if (toks[0] == ".model") {
       current = nullptr;
     } else if (toks[0] == ".inputs") {
-      input_names.insert(input_names.end(), toks.begin() + 1, toks.end());
+      for (auto it = toks.begin() + 1; it != toks.end(); ++it)
+        input_names.emplace_back(*it, logical_line);
       current = nullptr;
     } else if (toks[0] == ".outputs") {
-      output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
+      for (auto it = toks.begin() + 1; it != toks.end(); ++it)
+        output_names.emplace_back(*it, logical_line);
       current = nullptr;
     } else if (toks[0] == ".names") {
       if (toks.size() < 2) blif_error(logical_line, ".names without output");
@@ -193,9 +195,8 @@ Network read_blif(std::istream& in) {
 
   Network net;
   std::map<std::string, NodeId> signal;
-  for (const auto& n : input_names) {
-    if (signal.count(n))
-      throw std::runtime_error("read_blif: duplicate input " + n);
+  for (const auto& [n, lineno] : input_names) {
+    if (signal.count(n)) blif_error(lineno, "duplicate input " + n);
     signal[n] = net.add_pi(n);
   }
   // Reject .names blocks that would silently shadow a PI or another block.
@@ -283,13 +284,17 @@ Network read_blif(std::istream& in) {
       progress = true;
     }
   }
-  if (remaining > 0)
-    throw std::runtime_error("read_blif: unresolved (cyclic?) .names blocks");
+  if (remaining > 0) {
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi)
+      if (!done[bi])
+        blif_error(blocks[bi].line, "unresolved (cyclic or undriven-input?) "
+                                    ".names block for " +
+                                        blocks[bi].output);
+  }
 
-  for (const auto& n : output_names) {
+  for (const auto& [n, lineno] : output_names) {
     const auto it = signal.find(n);
-    if (it == signal.end())
-      throw std::runtime_error("read_blif: undriven output " + n);
+    if (it == signal.end()) blif_error(lineno, "undriven output " + n);
     net.add_po(it->second, n);
   }
   return net;
@@ -298,6 +303,301 @@ Network read_blif(std::istream& in) {
 Network read_blif_string(const std::string& text) {
   std::istringstream ss(text);
   return read_blif(ss);
+}
+
+// --- AIGER -------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void aiger_error(const std::string& what) {
+  throw std::runtime_error("read_aiger: " + what);
+}
+
+uint64_t aiger_u64(const std::string& tok, const std::string& what) {
+  uint64_t v = 0;
+  if (tok.empty()) aiger_error(what + ": empty field");
+  for (const char c : tok) {
+    if (c < '0' || c > '9') aiger_error(what + ": not a number: " + tok);
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// LEB128-style delta used by the binary and-gate section: 7 payload bits
+/// per byte, MSB set on all but the last byte.
+uint64_t aiger_varint(std::istream& in) {
+  uint64_t x = 0;
+  int shift = 0;
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof())
+      aiger_error("truncated binary and-gate section");
+    x |= static_cast<uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return x;
+    shift += 7;
+    if (shift > 63) aiger_error("varint overflow in and-gate section");
+  }
+}
+
+} // namespace
+
+Network read_aiger(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) aiger_error("empty file");
+  const auto htoks = split_tokens(header);
+  if (htoks.size() != 6 || (htoks[0] != "aag" && htoks[0] != "aig"))
+    aiger_error("bad header (want 'aag|aig M I L O A'): " + header);
+  const bool binary = htoks[0] == "aig";
+  const uint64_t M = aiger_u64(htoks[1], "M");
+  const uint64_t I = aiger_u64(htoks[2], "I");
+  const uint64_t L = aiger_u64(htoks[3], "L");
+  const uint64_t O = aiger_u64(htoks[4], "O");
+  const uint64_t A = aiger_u64(htoks[5], "A");
+  if (L != 0) aiger_error("latches not supported (combinational only)");
+  if (binary && M != I + A)
+    aiger_error("binary header requires M = I + A");
+  if (I + A > M) aiger_error("header claims more variables than M");
+
+  const auto next_line = [&](const std::string& what) {
+    std::string line;
+    if (!std::getline(in, line)) aiger_error("truncated " + what + " section");
+    return line;
+  };
+
+  // Input literals: explicit in ascii, implicitly 2,4,...,2I in binary.
+  std::vector<uint64_t> in_lits(I);
+  for (uint64_t i = 0; i < I; ++i) {
+    if (binary) {
+      in_lits[i] = 2 * (i + 1);
+      continue;
+    }
+    const uint64_t lit = aiger_u64(next_line("input"), "input literal");
+    if (lit < 2 || (lit & 1) != 0 || lit / 2 > M)
+      aiger_error("bad input literal " + std::to_string(lit));
+    in_lits[i] = lit;
+  }
+
+  std::vector<uint64_t> out_lits(O);
+  for (uint64_t i = 0; i < O; ++i) {
+    out_lits[i] = aiger_u64(next_line("output"), "output literal");
+    if (out_lits[i] / 2 > M)
+      aiger_error("output literal " + std::to_string(out_lits[i]) +
+                  " exceeds M");
+  }
+
+  struct AndDef {
+    uint64_t lhs, rhs0, rhs1;
+  };
+  std::vector<AndDef> ands;
+  ands.reserve(A);
+  for (uint64_t i = 0; i < A; ++i) {
+    if (binary) {
+      const uint64_t lhs = 2 * (I + i + 1);
+      const uint64_t d0 = aiger_varint(in);
+      const uint64_t d1 = aiger_varint(in);
+      if (d0 == 0 || d0 > lhs || d1 > lhs - d0)
+        aiger_error("bad delta encoding for and-gate " + std::to_string(lhs));
+      ands.push_back({lhs, lhs - d0, lhs - d0 - d1});
+    } else {
+      const auto toks = split_tokens(next_line("and-gate"));
+      if (toks.size() != 3)
+        aiger_error("and-gate line needs 'lhs rhs0 rhs1'");
+      const AndDef d{aiger_u64(toks[0], "lhs"), aiger_u64(toks[1], "rhs0"),
+                     aiger_u64(toks[2], "rhs1")};
+      if (d.lhs < 2 || (d.lhs & 1) != 0 || d.lhs / 2 > M)
+        aiger_error("bad and-gate lhs " + std::to_string(d.lhs));
+      if (d.rhs0 / 2 > M || d.rhs1 / 2 > M)
+        aiger_error("and-gate rhs exceeds M");
+      ands.push_back(d);
+    }
+  }
+
+  // Optional symbol table, terminated by EOF or a 'c' comment header.
+  std::vector<std::string> in_names(I), out_names(O);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "c") break;
+    if (line.empty()) continue;
+    const auto sp = line.find(' ');
+    if (sp == std::string::npos || sp < 2) continue; // tolerate junk
+    const char kind = line[0];
+    const uint64_t idx = aiger_u64(line.substr(1, sp - 1), "symbol index");
+    const std::string name = line.substr(sp + 1);
+    if (kind == 'i' && idx < I) in_names[idx] = name;
+    else if (kind == 'o' && idx < O) out_names[idx] = name;
+    else if (kind != 'i' && kind != 'o')
+      aiger_error("unsupported symbol entry: " + line);
+  }
+
+  Network net;
+  std::vector<NodeId> var_node(M + 1, Network::kNoNode);
+  std::vector<NodeId> neg_node(M + 1, Network::kNoNode);
+  for (uint64_t i = 0; i < I; ++i) {
+    const uint64_t v = in_lits[i] / 2;
+    if (var_node[v] != Network::kNoNode)
+      aiger_error("duplicate input variable " + std::to_string(v));
+    var_node[v] =
+        net.add_pi(in_names[i].empty() ? "i" + std::to_string(i) : in_names[i]);
+  }
+  for (const auto& d : ands) {
+    if (var_node[d.lhs / 2] != Network::kNoNode)
+      aiger_error("variable " + std::to_string(d.lhs / 2) + " defined twice");
+    var_node[d.lhs / 2] = Network::kConst0; // placeholder: marks "defined"
+  }
+  for (const auto& d : ands) var_node[d.lhs / 2] = Network::kNoNode;
+
+  // lit -> node, creating one shared inverter per complemented variable.
+  const auto lit_node = [&](uint64_t lit) -> NodeId {
+    if (lit < 2) return lit == 0 ? Network::kConst0 : Network::kConst1;
+    const NodeId v = var_node[lit / 2];
+    if (v == Network::kNoNode) return Network::kNoNode;
+    if ((lit & 1) == 0) return v;
+    NodeId& neg = neg_node[lit / 2];
+    if (neg == Network::kNoNode) neg = net.add_not(v);
+    return neg;
+  };
+
+  // Ascii files may define gates in any order; resolve iteratively (binary
+  // files are ordered and settle in one pass).
+  std::vector<bool> done(ands.size(), false);
+  std::size_t remaining = ands.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < ands.size(); ++i) {
+      if (done[i]) continue;
+      const NodeId a = lit_node(ands[i].rhs0);
+      if (a == Network::kNoNode) continue;
+      const NodeId b = lit_node(ands[i].rhs1);
+      if (b == Network::kNoNode) continue;
+      var_node[ands[i].lhs / 2] = net.add_gate(GateType::And, {a, b});
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) aiger_error("unresolved (cyclic?) and-gates");
+
+  for (uint64_t i = 0; i < O; ++i) {
+    const NodeId n = lit_node(out_lits[i]);
+    if (n == Network::kNoNode)
+      aiger_error("output " + std::to_string(i) + " reads undefined variable " +
+                  std::to_string(out_lits[i] / 2));
+    net.add_po(n, out_names[i].empty() ? "o" + std::to_string(i)
+                                       : out_names[i]);
+  }
+  return net;
+}
+
+Network read_aiger_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_aiger(ss);
+}
+
+void write_aiger(std::ostream& out, const Network& net, bool binary) {
+  const auto order = net.topo_order();
+  const auto live = net.live_mask();
+  const std::size_t I = net.pi_count();
+
+  constexpr uint64_t kUnset = ~0ull;
+  std::vector<uint64_t> lit(net.node_count(), kUnset);
+  lit[Network::kConst0] = 0;
+  lit[Network::kConst1] = 1;
+  for (std::size_t i = 0; i < I; ++i) lit[net.pis()[i]] = 2 * (i + 1);
+
+  uint64_t next_var = I + 1;
+  struct AndGate {
+    uint64_t rhs0, rhs1; // rhs0 >= rhs1; lhs implicit: 2*(I + 1 + index)
+  };
+  std::vector<AndGate> ands;
+  const auto mk_and = [&](uint64_t a, uint64_t b) -> uint64_t {
+    if (a < b) std::swap(a, b);
+    ands.push_back({a, b});
+    return 2 * next_var++;
+  };
+
+  for (const NodeId n : order) {
+    if (!live[n]) continue;
+    const GateType t = net.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    const FaninSpan fi = net.fanins(n);
+    const auto in_lit = [&](std::size_t k) { return lit[fi[k]]; };
+    switch (t) {
+      case GateType::Buf:
+        lit[n] = in_lit(0);
+        break;
+      case GateType::Not:
+        lit[n] = in_lit(0) ^ 1;
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        uint64_t acc = in_lit(0);
+        for (std::size_t k = 1; k < fi.size(); ++k)
+          acc = mk_and(acc, in_lit(k));
+        lit[n] = t == GateType::Nand ? acc ^ 1 : acc;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        uint64_t acc = in_lit(0) ^ 1; // NOR as AND of complements
+        for (std::size_t k = 1; k < fi.size(); ++k)
+          acc = mk_and(acc, in_lit(k) ^ 1);
+        lit[n] = t == GateType::Or ? acc ^ 1 : acc;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        uint64_t acc = in_lit(0);
+        for (std::size_t k = 1; k < fi.size(); ++k) {
+          const uint64_t b = in_lit(k);
+          const uint64_t t0 = mk_and(acc, b ^ 1);
+          const uint64_t t1 = mk_and(acc ^ 1, b);
+          acc = mk_and(t0 ^ 1, t1 ^ 1) ^ 1;
+        }
+        lit[n] = t == GateType::Xnor ? acc ^ 1 : acc;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const uint64_t M = next_var - 1;
+  out << (binary ? "aig " : "aag ") << M << ' ' << I << " 0 "
+      << net.po_count() << ' ' << ands.size() << "\n";
+  if (!binary)
+    for (std::size_t i = 0; i < I; ++i) out << 2 * (i + 1) << "\n";
+  for (std::size_t i = 0; i < net.po_count(); ++i) out << lit[net.po(i)] << "\n";
+  if (binary) {
+    const auto put_varint = [&](uint64_t x) {
+      while (x >= 0x80) {
+        out.put(static_cast<char>(0x80 | (x & 0x7F)));
+        x >>= 7;
+      }
+      out.put(static_cast<char>(x));
+    };
+    for (std::size_t i = 0; i < ands.size(); ++i) {
+      const uint64_t lhs = 2 * (I + 1 + i);
+      put_varint(lhs - ands[i].rhs0);
+      put_varint(ands[i].rhs0 - ands[i].rhs1);
+    }
+  } else {
+    for (std::size_t i = 0; i < ands.size(); ++i)
+      out << 2 * (I + 1 + i) << ' ' << ands[i].rhs0 << ' ' << ands[i].rhs1
+          << "\n";
+  }
+  for (std::size_t i = 0; i < I; ++i)
+    if (!net.name(net.pis()[i]).empty())
+      out << 'i' << i << ' ' << net.name(net.pis()[i]) << "\n";
+  for (std::size_t i = 0; i < net.po_count(); ++i)
+    if (!net.po_name(i).empty()) out << 'o' << i << ' ' << net.po_name(i) << "\n";
+}
+
+std::string write_aiger_string(const Network& net, bool binary) {
+  std::ostringstream ss;
+  write_aiger(ss, net, binary);
+  return ss.str();
 }
 
 std::string to_dot(const Network& net, const std::string& name) {

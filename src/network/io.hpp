@@ -23,6 +23,22 @@ std::string write_blif_string(const Network& net,
 Network read_blif(std::istream& in);
 Network read_blif_string(const std::string& text);
 
+/// Reads a combinational AIGER file, ascii ("aag") or binary ("aig")
+/// auto-detected from the header. Latches are rejected. Each and-gate
+/// becomes a 2-input AND node; complemented literals become NOT nodes
+/// (one shared inverter per variable). PI/PO names come from the symbol
+/// table when present, else "i<k>"/"o<k>". Throws std::runtime_error on
+/// malformed input. Streams must be opened in binary mode for "aig".
+Network read_aiger(std::istream& in);
+Network read_aiger_string(const std::string& text);
+
+/// Writes the live cone as AIGER, ascii "aag" (default) or binary "aig".
+/// Every gate is lowered on the fly to 2-input ANDs plus complemented
+/// edges (OR/NAND/NOR via De Morgan, XOR/XNOR via three ANDs); the
+/// network itself is not modified.
+void write_aiger(std::ostream& out, const Network& net, bool binary = false);
+std::string write_aiger_string(const Network& net, bool binary = false);
+
 std::string to_dot(const Network& net, const std::string& name = "net");
 
 } // namespace rmsyn

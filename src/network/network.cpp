@@ -1,6 +1,6 @@
 #include "network/network.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <stdexcept>
 
 namespace rmsyn {
@@ -23,22 +23,81 @@ const char* gate_type_name(GateType t) {
 }
 
 Network::Network() {
-  types_ = {GateType::Const0, GateType::Const1};
-  fanins_.resize(2);
-  names_ = {"const0", "const1"};
+  new_node(GateType::Const0, "const0", /*reuse_free=*/false);
+  new_node(GateType::Const1, "const1", /*reuse_free=*/false);
+}
+
+void Network::reserve(std::size_t nodes, std::size_t edges) {
+  packed_.reserve(nodes);
+  fanin_off_.reserve(nodes);
+  fanin_cnt_.reserve(nodes);
+  first_out_.reserve(nodes);
+  ref_count_.reserve(nodes);
+  po_refs_.reserve(nodes);
+  pi_pos_.reserve(nodes);
+  names_.reserve(nodes);
+  arena_.reserve(edges);
+  edge_owner_.reserve(edges);
+  next_out_.reserve(edges);
+  prev_out_.reserve(edges);
+}
+
+NodeId Network::new_node(GateType t, std::string name, bool reuse_free) {
+  if (reuse_free && !free_.empty()) {
+    const NodeId id = free_.back();
+    free_.pop_back();
+    packed_[id] = static_cast<uint32_t>(t); // clears dead flag and level
+    fanin_off_[id] = 0;
+    fanin_cnt_[id] = 0;
+    first_out_[id] = kNoNode;
+    ref_count_[id] = 0;
+    po_refs_[id] = 0;
+    pi_pos_[id] = kNoNode;
+    names_[id] = std::move(name);
+    return id;
+  }
+  const NodeId id = static_cast<NodeId>(packed_.size());
+  packed_.push_back(static_cast<uint32_t>(t));
+  fanin_off_.push_back(0);
+  fanin_cnt_.push_back(0);
+  first_out_.push_back(kNoNode);
+  ref_count_.push_back(0);
+  po_refs_.push_back(0);
+  pi_pos_.push_back(kNoNode);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void Network::link_edge(uint32_t e) {
+  const NodeId t = arena_[e];
+  next_out_[e] = first_out_[t];
+  prev_out_[e] = kNoNode;
+  if (first_out_[t] != kNoNode) prev_out_[first_out_[t]] = e;
+  first_out_[t] = e;
+  ++ref_count_[t];
+}
+
+void Network::unlink_edge(uint32_t e) {
+  const NodeId t = arena_[e];
+  const uint32_t prev = prev_out_[e];
+  const uint32_t next = next_out_[e];
+  if (prev != kNoNode) next_out_[prev] = next;
+  else first_out_[t] = next;
+  if (next != kNoNode) prev_out_[next] = prev;
+  assert(ref_count_[t] > 0);
+  --ref_count_[t];
 }
 
 NodeId Network::add_pi(std::string name) {
-  const NodeId id = static_cast<NodeId>(types_.size());
-  types_.push_back(GateType::Pi);
-  fanins_.emplace_back();
   if (name.empty()) name = "x" + std::to_string(pis_.size());
-  names_.push_back(std::move(name));
+  const NodeId id = new_node(GateType::Pi, std::move(name), /*reuse_free=*/false);
+  pi_pos_[id] = static_cast<uint32_t>(pis_.size());
   pis_.push_back(id);
   return id;
 }
 
-NodeId Network::add_gate(GateType type, std::vector<NodeId> fanins) {
+void Network::validate_gate(GateType type,
+                            const std::vector<NodeId>& fanins) const {
   if (type == GateType::Not || type == GateType::Buf) {
     if (fanins.size() != 1)
       throw std::invalid_argument("Network: NOT/BUF take one fanin");
@@ -49,40 +108,134 @@ NodeId Network::add_gate(GateType type, std::vector<NodeId> fanins) {
     throw std::invalid_argument("Network: gate needs fanins");
   }
   for (const NodeId f : fanins)
-    if (f >= types_.size())
+    if (f >= packed_.size() || is_dead(f))
       throw std::invalid_argument("Network: fanin does not exist");
-  const NodeId id = static_cast<NodeId>(types_.size());
-  types_.push_back(type);
-  fanins_.push_back(std::move(fanins));
-  names_.emplace_back();
+}
+
+NodeId Network::add_gate(GateType type, const std::vector<NodeId>& fanins) {
+  validate_gate(type, fanins);
+  const NodeId id = new_node(type, {}, /*reuse_free=*/true);
+  const uint32_t off = static_cast<uint32_t>(arena_.size());
+  fanin_off_[id] = off;
+  fanin_cnt_[id] = static_cast<uint32_t>(fanins.size());
+  for (std::size_t k = 0; k < fanins.size(); ++k) {
+    arena_.push_back(fanins[k]);
+    edge_owner_.push_back(id);
+    next_out_.push_back(kNoNode);
+    prev_out_.push_back(kNoNode);
+    link_edge(off + static_cast<uint32_t>(k));
+  }
+  set_level(id, compute_level(id));
   return id;
 }
 
 void Network::add_po(NodeId node, std::string name) {
-  assert(node < types_.size());
+  assert(node < packed_.size() && !is_dead(node));
   if (name.empty()) name = "z" + std::to_string(pos_.size());
   pos_.push_back(node);
   po_names_.push_back(std::move(name));
+  ++po_refs_[node];
+}
+
+void Network::retarget_po(std::size_t i, NodeId node) {
+  assert(node < packed_.size() && !is_dead(node));
+  --po_refs_[pos_[i]];
+  pos_[i] = node;
+  ++po_refs_[node];
 }
 
 std::size_t Network::pi_index(NodeId n) const {
-  for (std::size_t i = 0; i < pis_.size(); ++i)
-    if (pis_[i] == n) return i;
-  throw std::invalid_argument("Network::pi_index: not a PI");
+  if (n >= packed_.size() || type(n) != GateType::Pi)
+    throw std::invalid_argument("Network::pi_index: not a PI");
+  return pi_pos_[n];
 }
 
-void Network::rewrite_gate(NodeId n, GateType type, std::vector<NodeId> fanins) {
-  assert(n >= 2 && n < types_.size());
-  assert(types_[n] != GateType::Pi);
-  types_[n] = type;
-  fanins_[n] = std::move(fanins);
+uint32_t Network::compute_level(NodeId n) const {
+  uint32_t lv = 0;
+  const uint32_t off = fanin_off_[n];
+  for (uint32_t k = 0; k < fanin_cnt_[n]; ++k)
+    lv = std::max(lv, level(arena_[off + k]) + 1);
+  return lv;
+}
+
+void Network::repair_levels_from(NodeId n) {
+  std::vector<NodeId> wl{n};
+  while (!wl.empty()) {
+    const NodeId m = wl.back();
+    wl.pop_back();
+    const uint32_t lv = compute_level(m);
+    if (lv == level(m)) continue;
+    set_level(m, lv);
+    for (uint32_t e = first_out_[m]; e != kNoNode; e = next_out_[e])
+      wl.push_back(edge_owner_[e]);
+  }
+}
+
+void Network::rewrite_gate(NodeId n, GateType type,
+                           const std::vector<NodeId>& fanins) {
+  assert(n >= 2 && n < packed_.size());
+  assert(this->type(n) != GateType::Pi);
+  validate_gate(type, fanins);
+
+  const uint32_t old_off = fanin_off_[n];
+  const uint32_t old_cnt = fanin_cnt_[n];
+  for (uint32_t k = 0; k < old_cnt; ++k) unlink_edge(old_off + k);
+
+  uint32_t off;
+  if (fanins.size() <= old_cnt) {
+    // Shrinking (or equal) rewrite reuses the block in place; the stale
+    // tail entries are unlinked and never traversed again.
+    off = old_off;
+    for (std::size_t k = 0; k < fanins.size(); ++k)
+      arena_[off + k] = fanins[k];
+  } else {
+    // Growing rewrite allocates a fresh block at the arena tail; the old
+    // block becomes garbage until compact().
+    off = static_cast<uint32_t>(arena_.size());
+    for (std::size_t k = 0; k < fanins.size(); ++k) {
+      arena_.push_back(fanins[k]);
+      edge_owner_.push_back(n);
+      next_out_.push_back(kNoNode);
+      prev_out_.push_back(kNoNode);
+    }
+  }
+  fanin_off_[n] = off;
+  fanin_cnt_[n] = static_cast<uint32_t>(fanins.size());
+  for (uint32_t k = 0; k < fanin_cnt_[n]; ++k) link_edge(off + k);
+
+  set_type(n, type);
+  repair_levels_from(n);
+}
+
+void Network::recycle(NodeId n) {
+  assert(n >= 2 && n < packed_.size());
+  if (type(n) == GateType::Pi)
+    throw std::invalid_argument("Network::recycle: cannot recycle a PI");
+  if (ref_count_[n] != 0 || po_refs_[n] != 0)
+    throw std::invalid_argument("Network::recycle: node still referenced");
+  if (is_dead(n)) return;
+  const uint32_t off = fanin_off_[n];
+  for (uint32_t k = 0; k < fanin_cnt_[n]; ++k) unlink_edge(off + k);
+  fanin_cnt_[n] = 0;
+  set_dead(n, true);
+  free_.push_back(n);
+}
+
+std::vector<NodeId> Network::fanout_list(NodeId n) const {
+  std::vector<NodeId> out;
+  for (uint32_t e = first_out_[n]; e != kNoNode; e = next_out_[e])
+    out.push_back(edge_owner_[e]);
+  return out;
 }
 
 std::vector<NodeId> Network::topo_order() const {
-  std::vector<uint8_t> state(types_.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<uint8_t> state(packed_.size(), 0); // 0 new, 1 open, 2 done
   std::vector<NodeId> order;
-  order.reserve(types_.size());
-  // Iterative DFS to avoid stack overflow on deep chains.
+  order.reserve(packed_.size());
+  // Iterative DFS to avoid stack overflow on deep chains. The visit order
+  // (constants, PIs, then POs, fanins first-to-last) is load-bearing: it
+  // keeps the emitted order byte-identical to the pre-SoA implementation,
+  // which downstream passes' golden results depend on.
   std::vector<std::pair<NodeId, std::size_t>> stack;
   const auto visit = [&](NodeId root) {
     if (state[root] == 2) return;
@@ -91,8 +244,8 @@ std::vector<NodeId> Network::topo_order() const {
       auto& [n, idx] = stack.back();
       if (state[n] == 2) { stack.pop_back(); continue; }
       state[n] = 1;
-      if (idx < fanins_[n].size()) {
-        const NodeId f = fanins_[n][idx++];
+      if (idx < fanin_cnt_[n]) {
+        const NodeId f = arena_[fanin_off_[n] + idx++];
         if (state[f] == 0) stack.emplace_back(f, 0);
         else if (state[f] == 1)
           throw std::logic_error("Network: cycle detected");
@@ -111,14 +264,15 @@ std::vector<NodeId> Network::topo_order() const {
 }
 
 std::vector<bool> Network::live_mask() const {
-  std::vector<bool> live(types_.size(), false);
+  std::vector<bool> live(packed_.size(), false);
   std::vector<NodeId> stack(pos_.begin(), pos_.end());
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
     if (live[n]) continue;
     live[n] = true;
-    for (const NodeId f : fanins_[n]) stack.push_back(f);
+    const uint32_t off = fanin_off_[n];
+    for (uint32_t k = 0; k < fanin_cnt_[n]; ++k) stack.push_back(arena_[off + k]);
   }
   for (const NodeId pi : pis_) live[pi] = true;
   live[kConst0] = live[kConst1] = true;
@@ -126,24 +280,57 @@ std::vector<bool> Network::live_mask() const {
 }
 
 std::vector<uint32_t> Network::fanout_counts() const {
-  std::vector<uint32_t> counts(types_.size(), 0);
+  // Served from the maintained fanout lists; only live (PO-reachable)
+  // readers count, exactly as the historical full-scan implementation.
+  std::vector<uint32_t> counts(packed_.size(), 0);
   const auto live = live_mask();
-  for (NodeId n = 0; n < types_.size(); ++n) {
-    if (!live[n]) continue;
-    for (const NodeId f : fanins_[n]) ++counts[f];
+  for (NodeId n = 0; n < packed_.size(); ++n) {
+    for (uint32_t e = first_out_[n]; e != kNoNode; e = next_out_[e])
+      if (live[edge_owner_[e]]) ++counts[n];
   }
   for (const NodeId po : pos_) ++counts[po];
   return counts;
 }
 
+std::vector<NodeId> Network::compact() {
+  const auto live = live_mask();
+  const auto order = topo_order();
+
+  Network out;
+  out.reserve(packed_.size(), arena_.size());
+  std::vector<NodeId> remap(packed_.size(), kNoNode);
+  remap[kConst0] = kConst0;
+  remap[kConst1] = kConst1;
+  out.names_[kConst0] = names_[kConst0];
+  out.names_[kConst1] = names_[kConst1];
+  for (const NodeId pi : pis_) remap[pi] = out.add_pi(names_[pi]);
+  std::vector<NodeId> fi;
+  for (const NodeId n : order) {
+    if (!live[n]) continue;
+    const GateType t = type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    fi.clear();
+    const uint32_t off = fanin_off_[n];
+    for (uint32_t k = 0; k < fanin_cnt_[n]; ++k)
+      fi.push_back(remap[arena_[off + k]]);
+    remap[n] = out.add_gate(t, fi);
+    if (!names_[n].empty()) out.names_[remap[n]] = names_[n];
+  }
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    out.add_po(remap[pos_[i]], po_names_[i]);
+  *this = std::move(out);
+  return remap;
+}
+
 std::vector<bool> Network::eval(const std::vector<bool>& pi_values) const {
   assert(pi_values.size() == pis_.size());
-  std::vector<bool> value(types_.size(), false);
+  std::vector<bool> value(packed_.size(), false);
   value[kConst1] = true;
   for (std::size_t i = 0; i < pis_.size(); ++i) value[pis_[i]] = pi_values[i];
   for (const NodeId n : topo_order()) {
-    const auto& fi = fanins_[n];
-    switch (types_[n]) {
+    const FaninSpan fi = fanins(n);
+    switch (type(n)) {
       case GateType::Const0: case GateType::Const1: case GateType::Pi:
         break;
       case GateType::Buf: value[n] = value[fi[0]]; break;

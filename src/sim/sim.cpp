@@ -56,9 +56,6 @@ SimState::SimState(const Network& net, PatternSet patterns)
 
   const std::size_t count = net_.node_count();
   values_.assign(count, zeros_);
-  fanins_.assign(count, {});
-  fanouts_.assign(count, {});
-  levels_.assign(count, 0);
   active_.assign(count, 0);
   is_po_.assign(count, 0);
   queued_.assign(count, 0);
@@ -72,15 +69,10 @@ SimState::SimState(const Network& net, PatternSet patterns)
   }
   for (std::size_t i = 0; i < net_.po_count(); ++i) is_po_[net_.po(i)] = 1;
 
+  // Fanout lists and structural levels are maintained by the network
+  // itself since the SoA refactor; the state only evaluates values.
   for (const NodeId n : net_.topo_order()) {
     if (is_source(net_.type(n))) continue;
-    fanins_[n] = net_.fanins(n);
-    uint32_t lv = 0;
-    for (const NodeId f : fanins_[n]) {
-      fanouts_[f].push_back(n);
-      lv = std::max(lv, levels_[f] + 1);
-    }
-    levels_[n] = lv;
     eval_node(n, scratch_);
     std::swap(values_[n], scratch_);
     active_[n] = 1;
@@ -114,6 +106,8 @@ void SimState::resimulate(NodeId dirty) {
 void SimState::resimulate(const std::vector<NodeId>& dirty) {
   ++stats_.incr_resims;
   grow();
+  // All dirty cones are activated before any value moves, so
+  // interdependent rewrites settle in one wave.
   for (const NodeId n : dirty) sync_node(n);
   for (const NodeId n : dirty) push_event(n);
   propagate();
@@ -129,12 +123,22 @@ void SimState::grow() {
   const std::size_t count = net_.node_count();
   if (values_.size() >= count) return;
   values_.resize(count, zeros_);
-  fanins_.resize(count);
-  fanouts_.resize(count);
-  levels_.resize(count, 0);
   active_.resize(count, 0);
   is_po_.resize(count, 0);
   queued_.resize(count, 0);
+}
+
+void SimState::sync_node(NodeId n) {
+  // The network maintains fanin/fanout/level structure itself, so the only
+  // per-edit work left is activating nodes the state has never evaluated:
+  // a rewrite may hand an active gate brand-new fanins (fresh inverters),
+  // whose cones must carry real values before the dirty event fires.
+  if (!active_[n]) {
+    ensure_active(n);
+    return;
+  }
+  if (is_source(net_.type(n))) return;
+  for (const NodeId f : net_.fanins(n)) ensure_active(f);
 }
 
 void SimState::ensure_active(NodeId n) {
@@ -158,62 +162,16 @@ void SimState::ensure_active(NodeId n) {
     stack.pop_back();
     active_[m] = 1;
     if (is_source(net_.type(m))) continue; // PI added post-construction: stays 0
-    fanins_[m] = net_.fanins(m);
-    uint32_t lv = 0;
-    for (const NodeId f : fanins_[m]) {
-      fanouts_[f].push_back(m);
-      lv = std::max(lv, levels_[f] + 1);
-    }
-    levels_[m] = lv;
     eval_node(m, scratch_);
     std::swap(values_[m], scratch_);
     ++stats_.events;
   }
 }
 
-void SimState::sync_node(NodeId n) {
-  if (!active_[n]) {
-    ensure_active(n);
-    return;
-  }
-  if (is_source(net_.type(n))) return;
-  const auto& now = net_.fanins(n);
-  auto& mirror = fanins_[n];
-  if (mirror != now) {
-    for (const NodeId f : mirror) {
-      auto& fo = fanouts_[f];
-      const auto it = std::find(fo.begin(), fo.end(), n);
-      if (it != fo.end()) {
-        *it = fo.back();
-        fo.pop_back();
-      }
-    }
-    for (const NodeId f : now) {
-      ensure_active(f);
-      fanouts_[f].push_back(n);
-    }
-    mirror = now;
-  }
-  repair_levels_from(n);
-}
-
-void SimState::repair_levels_from(NodeId n) {
-  std::vector<NodeId> wl{n};
-  while (!wl.empty()) {
-    const NodeId m = wl.back();
-    wl.pop_back();
-    uint32_t lv = 0;
-    for (const NodeId f : fanins_[m]) lv = std::max(lv, levels_[f] + 1);
-    if (lv == levels_[m]) continue;
-    levels_[m] = lv;
-    for (const NodeId fo : fanouts_[m]) wl.push_back(fo);
-  }
-}
-
 void SimState::push_event(NodeId n) {
   if (!active_[n] || queued_[n] || is_source(net_.type(n))) return;
   queued_[n] = 1;
-  const uint32_t lv = levels_[n];
+  const uint32_t lv = net_.level(n);
   if (buckets_.size() <= lv) buckets_.resize(lv + 1);
   buckets_[lv].push_back(n);
   ++pending_;
@@ -234,14 +192,16 @@ void SimState::propagate() {
         continue;
       }
       std::swap(values_[n], scratch_);
-      for (const NodeId fo : fanouts_[n]) push_event(fo);
+      // Maintained fanout lists; push_event filters inactive readers
+      // (nodes outside the PO cone that were never evaluated).
+      for (const NodeId fo : net_.fanouts(n)) push_event(fo);
     }
     buckets_[lv].clear();
   }
 }
 
 void SimState::eval_node(NodeId n, BitVec& out) const {
-  const auto& fi = fanins_[n];
+  const FaninSpan fi = net_.fanins(n);
   eval_gate_into(
       net_.type(n), fi.size(),
       [&](std::size_t k) -> const BitVec& { return values_[fi[k]]; }, out);
@@ -261,9 +221,12 @@ void FaultProber::grow(const SimState& s) {
 }
 
 void FaultProber::push(const SimState& s, NodeId n) {
-  if (queued_[n]) return;
+  // Inactive readers (outside the state's evaluated cone) cannot reach a
+  // PO through evaluated logic; skipping them mirrors the mirror-based
+  // pre-SoA engine, which never linked them in.
+  if (queued_[n] || !s.active_[n]) return;
   queued_[n] = 1;
-  const uint32_t lv = s.levels_[n];
+  const uint32_t lv = s.net().level(n);
   if (buckets_.size() <= lv) buckets_.resize(lv + 1);
   buckets_[lv].push_back(n);
   ++pending_;
@@ -274,15 +237,16 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
   ++stats_.fault_probes;
   grow(s);
   ++epoch_;
+  const Network& net = s.net();
   const BitVec& forced = stuck_value ? s.ones_ : s.zeros_;
 
   // Seed: the faulty value at the fault site itself.
   if (pin < 0) {
     scratch_ = forced;
   } else {
-    const auto& fi = s.fanins_[node];
+    const FaninSpan fi = net.fanins(node);
     eval_gate_into(
-        s.net_.type(node), fi.size(),
+        net.type(node), fi.size(),
         [&](std::size_t k) -> const BitVec& {
           return k == static_cast<std::size_t>(pin) ? forced : s.values_[fi[k]];
         },
@@ -297,7 +261,7 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
   stamp_[node] = epoch_;
   bool detected = s.is_po_[node] != 0;
   if (!detected)
-    for (const NodeId fo : s.fanouts_[node]) push(s, fo);
+    for (const NodeId fo : net.fanouts(node)) push(s, fo);
 
   for (std::size_t lv = 0; lv < buckets_.size() && pending_ > 0; ++lv) {
     for (std::size_t i = 0; i < buckets_[lv].size(); ++i) {
@@ -305,9 +269,9 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
       queued_[m] = 0;
       --pending_;
       if (detected) continue; // drain remaining queue flags only
-      const auto& fi = s.fanins_[m];
+      const FaninSpan fi = net.fanins(m);
       eval_gate_into(
-          s.net_.type(m), fi.size(),
+          net.type(m), fi.size(),
           [&](std::size_t k) -> const BitVec& {
             const NodeId f = fi[k];
             return stamp_[f] == epoch_ ? faulty_[f] : s.values_[f];
@@ -324,7 +288,7 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
         detected = true;
         continue;
       }
-      for (const NodeId fo : s.fanouts_[m]) push(s, fo);
+      for (const NodeId fo : net.fanouts(m)) push(s, fo);
     }
     buckets_[lv].clear();
   }

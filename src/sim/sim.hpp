@@ -29,8 +29,11 @@
 //    chunks bit-identical to serial.
 //
 // Determinism: values depend only on (network, patterns); event/statistic
-// counts depend only on the dirty sets and faults probed, never on thread
-// schedule or fanout-list order.
+// counts depend only on the dirty sets, the faults probed, and the
+// network's (deterministic) fanout-list order — never on thread schedule.
+// cone_nodes in particular counts evaluations up to the early exit at the
+// first differing PO, so it shifts when fanout traversal order changes
+// (it did once, when the SoA core replaced the state's private mirrors).
 #pragma once
 
 #include <cstddef>
@@ -84,6 +87,13 @@ struct SimStats {
 /// node is passed to resimulate() before values are read again; new nodes
 /// reachable from a dirty node are discovered and folded in automatically.
 /// Retargeting POs after construction is not supported.
+///
+/// Since the SoA refactor the network maintains its own fanout lists and
+/// structural levels, so the state no longer mirrors fanin/fanout/level
+/// structure — it reads the network's maintained data directly and keeps
+/// only the per-node value cache plus the active (evaluated-at-least-once)
+/// set. This halves the per-node bookkeeping and removes every per-node
+/// vector allocation from the engine.
 class SimState {
 public:
   SimState(const Network& net, PatternSet patterns);
@@ -117,9 +127,8 @@ private:
   friend class FaultProber;
 
   void grow();
-  void ensure_active(NodeId n);
   void sync_node(NodeId n);
-  void repair_levels_from(NodeId n);
+  void ensure_active(NodeId n);
   void push_event(NodeId n);
   void propagate();
   void eval_node(NodeId n, BitVec& out) const;
@@ -129,9 +138,6 @@ private:
   BitVec ones_, zeros_;
 
   std::vector<BitVec> values_;
-  std::vector<std::vector<NodeId>> fanins_;  ///< synced mirror of net fanins
-  std::vector<std::vector<NodeId>> fanouts_; ///< edges to active consumers
-  std::vector<uint32_t> levels_;
   std::vector<uint8_t> active_; ///< evaluated at least once (≈ topo set)
   std::vector<uint8_t> is_po_;
 

@@ -123,7 +123,7 @@ TEST(SimState, RevertRestoresValuesWithDyingEvents) {
   for (NodeId n = 2; n < net.node_count(); ++n) {
     if (net.type(n) == GateType::Pi || net.fanins(n).size() != 2) continue;
     const GateType t = net.type(n);
-    const auto saved = net.fanins(n);
+    const std::vector<NodeId> saved = net.fanins(n);
     net.rewrite_gate(n, GateType::Buf, {saved[0]});
     sim.resimulate(n);
     net.rewrite_gate(n, t, saved);

@@ -96,9 +96,15 @@ Network load_input(const std::string& spec) {
     const PlaFile pla = read_pla(in);
     return network_from_covers(pla.outputs, pla.num_inputs);
   }
+  if (ends_with(spec, ".aag") || ends_with(spec, ".aig")) {
+    std::ifstream in(spec, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + spec);
+    return read_aiger(in);
+  }
   if (has_benchmark(spec)) return make_benchmark(spec).spec;
   throw std::runtime_error("unknown input '" + spec +
-                           "' (not a .blif/.pla file or benchmark name)");
+                           "' (not a .blif/.pla/.aag/.aig file or benchmark "
+                           "name)");
 }
 
 double parse_seconds(const std::string& flag, const std::string& v) {
