@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 #include "baseline/extract.hpp"
 #include "baseline/factor.hpp"
 #include "core/redundancy.hpp"
@@ -135,13 +137,15 @@ Network baseline_synthesize(const Network& spec, const BaselineOptions& opt,
     obs::ScopedStage stage(gov, sb, "baseline-verify");
     const auto check = check_equivalence(spec, net, 0xC0FFEE, gov);
     if (check.decided && !check.equivalent)
-      throw std::logic_error("baseline_synthesize: result not equivalent: " +
-                             check.reason);
+      throw RmsynError(ErrorCode::VerifyMismatch,
+                       "baseline_synthesize: result not equivalent: " +
+                           check.reason);
   }
 
   rep.status = (gov != nullptr && gov->trip_kind() != TripKind::None)
                    ? FlowStatus::degraded(gov->trip_stage(),
-                                          to_string(gov->trip_kind()))
+                                          to_string(gov->trip_kind()),
+                                          error_code_for(gov->trip_kind()))
                    : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(net);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "bdd/bdd.hpp"
+#include "util/errors.hpp"
 #include "equiv/equiv.hpp"
 #include "network/simulate.hpp"
 #include "network/transform.hpp"
@@ -140,6 +141,8 @@ Network resub_merge(const Network& net, const ResubOptions& opt) {
     for (std::size_t i = 0; i < hashed.po_count(); ++i)
       out.add_po(map[hashed.po(i)], hashed.po_name(i));
     return strash(out);
+  } catch (const RmsynError&) {
+    throw; // injected faults / invariant violations must not be swallowed
   } catch (const std::runtime_error&) {
     // BDD node limit inside the manager: fall back to structural hashing.
     return hashed;

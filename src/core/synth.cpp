@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 #include "core/factor_cubes.hpp"
 #include "core/factor_ofdd.hpp"
 #include "core/resub.hpp"
@@ -302,7 +304,8 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
         tripped ? gov->trip_stage() : "synthesis",
         tripped ? std::string(to_string(gov->trip_kind())) + ": " +
                       gov->trip_reason()
-                : "no candidate completed");
+                : "no candidate completed",
+        tripped ? error_code_for(gov->trip_kind()) : ErrorCode::Internal);
     rep.seconds = sw.seconds();
     rep.stats = network_stats(out);
     rep.governor_polls = gov != nullptr ? gov->steps() : 0;
@@ -379,13 +382,15 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
     obs::ScopedStage stage(gov, sb, "verify");
     const auto check = check_equivalence(spec, out, 0xC0FFEE, gov);
     if (check.decided && !check.equivalent)
-      throw std::logic_error("synthesize: result not equivalent to spec: " +
-                             check.reason);
+      throw RmsynError(ErrorCode::VerifyMismatch,
+                       "synthesize: result not equivalent to spec: " +
+                           check.reason);
   }
 
   rep.status = (gov != nullptr && gov->trip_kind() != TripKind::None)
                    ? FlowStatus::degraded(gov->trip_stage(),
-                                          to_string(gov->trip_kind()))
+                                          to_string(gov->trip_kind()),
+                                          error_code_for(gov->trip_kind()))
                    : FlowStatus::ok();
   rep.seconds = sw.seconds();
   rep.stats = network_stats(out);

@@ -6,6 +6,7 @@
 #include "network/stats.hpp"
 #include "network/transform.hpp"
 #include "obs/trace.hpp"
+#include "util/errors.hpp"
 #include "util/progress.hpp"
 
 namespace rmsyn {
@@ -58,7 +59,8 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.ladder_descents = rep.ladder_descents;
       if (!rep.status.is_failed()) ours = std::move(n);
     } catch (const std::exception& e) {
-      row.ours_status = FlowStatus::failed("verify", e.what());
+      row.ours_status =
+          FlowStatus::failed("verify", e.what(), classify_exception(e));
       row.ours_lits = 0;
       row.ours_seconds = 0.0;
     }
@@ -82,7 +84,8 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.base_polls = rep.governor_polls;
       base = std::move(n);
     } catch (const std::exception& e) {
-      row.base_status = FlowStatus::failed("baseline-verify", e.what());
+      row.base_status = FlowStatus::failed("baseline-verify", e.what(),
+                                           classify_exception(e));
       row.base_lits = 0;
       row.base_seconds = 0.0;
     }
@@ -241,6 +244,7 @@ obs::Json status_json(const FlowStatus& st) {
                                 : (st.is_degraded() ? "degraded" : "ok");
   j["stage"] = st.stage;
   j["reason"] = st.reason;
+  j["code"] = to_string(st.code);
   return j;
 }
 
@@ -275,6 +279,7 @@ obs::Json flow_row_json(const FlowRow& row) {
   j["status"] = std::move(status);
   j["governor_polls"] = row.ours_polls + row.base_polls;
   j["ladder_descents"] = row.ladder_descents;
+  j["attempts"] = row.attempts;
   obs::Json stages = obs::Json::array();
   for (const StageBreakdown::Entry& e : row.stages.entries) {
     obs::Json st = obs::Json::object();
@@ -285,6 +290,87 @@ obs::Json flow_row_json(const FlowRow& row) {
   }
   j["stages"] = std::move(stages);
   return j;
+}
+
+namespace {
+
+FlowStatus status_from_json(const obs::Json& j, const char* what) {
+  if (!j.is_object())
+    throw RmsynError(ErrorCode::ParseError,
+                     std::string("flow_row_from_json: ") + what +
+                         " is not an object");
+  FlowStatus st;
+  const std::string outcome =
+      j.contains("outcome") ? j.get("outcome").as_string() : "ok";
+  if (outcome == "ok") st.outcome = FlowOutcome::Ok;
+  else if (outcome == "degraded") st.outcome = FlowOutcome::Degraded;
+  else if (outcome == "failed") st.outcome = FlowOutcome::Failed;
+  else
+    throw RmsynError(ErrorCode::ParseError,
+                     "flow_row_from_json: bad outcome '" + outcome + "'");
+  if (j.contains("stage")) st.stage = j.get("stage").as_string();
+  if (j.contains("reason")) st.reason = j.get("reason").as_string();
+  if (j.contains("code"))
+    st.code = error_code_from_string(j.get("code").as_string());
+  return st;
+}
+
+} // namespace
+
+FlowRow flow_row_from_json(const obs::Json& j) {
+  if (!j.is_object())
+    throw RmsynError(ErrorCode::ParseError,
+                     "flow_row_from_json: row is not an object");
+  FlowRow row;
+  const auto num = [&](const char* key) -> double {
+    return j.contains(key) && j.get(key).is_number() ? j.get(key).as_number()
+                                                     : 0.0;
+  };
+  const auto count = [&](const char* key) -> std::size_t {
+    const double v = num(key);
+    return v <= 0.0 ? 0 : static_cast<std::size_t>(v);
+  };
+  if (j.contains("circuit")) row.circuit = j.get("circuit").as_string();
+  row.num_inputs = static_cast<int>(num("inputs"));
+  row.num_outputs = static_cast<int>(num("outputs"));
+  row.arithmetic = j.contains("arithmetic") && j.get("arithmetic").as_bool();
+  row.exact_benchmark =
+      j.contains("exact_benchmark") && j.get("exact_benchmark").as_bool();
+  row.base_lits = count("base_lits");
+  row.base_seconds = num("base_seconds");
+  row.ours_lits = count("ours_lits");
+  row.ours_seconds = num("ours_seconds");
+  row.base_gates = count("base_gates");
+  row.base_map_lits = count("base_map_lits");
+  row.ours_gates = count("ours_gates");
+  row.ours_map_lits = count("ours_map_lits");
+  row.base_power = num("base_power");
+  row.ours_power = num("ours_power");
+  if (j.contains("status")) {
+    const obs::Json& st = j.get("status");
+    if (st.contains("ours"))
+      row.ours_status = status_from_json(st.get("ours"), "status.ours");
+    if (st.contains("base"))
+      row.base_status = status_from_json(st.get("base"), "status.base");
+  }
+  row.ours_polls = static_cast<uint64_t>(num("governor_polls"));
+  row.ladder_descents = count("ladder_descents");
+  row.attempts = j.contains("attempts")
+                     ? static_cast<int>(num("attempts"))
+                     : 1;
+  if (row.attempts < 1) row.attempts = 1;
+  if (j.contains("stages") && j.get("stages").is_array()) {
+    const obs::Json& stages = j.get("stages");
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const obs::Json& e = stages.at(i);
+      if (!e.is_object() || !e.contains("name")) continue;
+      const double calls = e.contains("calls") ? e.get("calls").as_number() : 1.0;
+      row.stages.add(e.get("name").as_string(),
+                     e.contains("seconds") ? e.get("seconds").as_number() : 0.0,
+                     calls < 1.0 ? 1 : static_cast<uint64_t>(calls));
+    }
+  }
+  return row;
 }
 
 } // namespace rmsyn

@@ -58,6 +58,9 @@ struct FlowRow {
   uint64_t base_polls = 0;
   // Degradation-ladder descents the FPRM flow consumed (0 = full flow).
   std::size_t ladder_descents = 0;
+  // Attempts the batch runner spent on this row (1 = first try succeeded;
+  // >1 = transient-retryable failures were retried with escalated budgets).
+  int attempts = 1;
 
   // Per-flow outcome. A failed flow keeps its columns at zero (or, for the
   // FPRM flow, mirrors the baseline columns when the baseline survived —
@@ -120,6 +123,13 @@ std::string format_dd_kernel_summary(const std::vector<FlowRow>& rows);
 /// poll counts, and the per-stage breakdown. Key order is schema-stable —
 /// data/report_schema.json is the contract.
 obs::Json flow_row_json(const FlowRow& row);
+
+/// Inverse of flow_row_json for the checkpoint journal (sched/journal.hpp):
+/// rebuilds a FlowRow from a journal record so `batch --resume` can splice
+/// completed rows into the report without re-running them. Telemetry that
+/// the row JSON does not carry (BddStats/SimStats counters) stays
+/// default-initialized. Throws RmsynError(ParseError) on a malformed value.
+FlowRow flow_row_from_json(const obs::Json& j);
 
 /// Aggregates a run's rows into a metrics registry: dd.* from the
 /// accumulated BddStats, flow.* outcome/poll/descent counters, stage.*

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/errors.hpp"
+
 namespace rmsyn {
 
 namespace {
@@ -118,8 +120,9 @@ struct BlifNames {
 };
 
 [[noreturn]] void blif_error(int lineno, const std::string& what) {
-  throw std::runtime_error("read_blif: line " + std::to_string(lineno) + ": " +
-                           what);
+  throw RmsynError(ErrorCode::ParseError, "read_blif: line " +
+                                              std::to_string(lineno) + ": " +
+                                              what);
 }
 
 } // namespace
@@ -310,21 +313,32 @@ Network read_blif_string(const std::string& text) {
 namespace {
 
 [[noreturn]] void aiger_error(const std::string& what) {
-  throw std::runtime_error("read_aiger: " + what);
+  throw RmsynError(ErrorCode::ParseError, "read_aiger: " + what);
 }
+
+/// Upper bound on header counts (M, I, O, A). A hostile or corrupted header
+/// must not translate into multi-gigabyte up-front allocations: the reader
+/// sizes var_node/neg_node/out_lits directly from these fields, so cap them
+/// long before std::bad_alloc (which the taxonomy would misread as a
+/// transient budget trip) can happen.
+constexpr uint64_t kMaxAigerCount = 1ull << 28;
 
 uint64_t aiger_u64(const std::string& tok, const std::string& what) {
   uint64_t v = 0;
   if (tok.empty()) aiger_error(what + ": empty field");
   for (const char c : tok) {
     if (c < '0' || c > '9') aiger_error(what + ": not a number: " + tok);
-    v = v * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (~0ull - d) / 10)
+      aiger_error(what + ": number overflows 64 bits: " + tok);
+    v = v * 10 + d;
   }
   return v;
 }
 
 /// LEB128-style delta used by the binary and-gate section: 7 payload bits
-/// per byte, MSB set on all but the last byte.
+/// per byte, MSB set on all but the last byte. The 10th byte may only carry
+/// the single bit 63 — any higher payload bit would be silently shifted out.
 uint64_t aiger_varint(std::istream& in) {
   uint64_t x = 0;
   int shift = 0;
@@ -332,6 +346,8 @@ uint64_t aiger_varint(std::istream& in) {
     const int c = in.get();
     if (c == std::char_traits<char>::eof())
       aiger_error("truncated binary and-gate section");
+    if (shift == 63 && (c & 0x7E) != 0)
+      aiger_error("varint overflow in and-gate section");
     x |= static_cast<uint64_t>(c & 0x7F) << shift;
     if ((c & 0x80) == 0) return x;
     shift += 7;
@@ -354,9 +370,14 @@ Network read_aiger(std::istream& in) {
   const uint64_t O = aiger_u64(htoks[4], "O");
   const uint64_t A = aiger_u64(htoks[5], "A");
   if (L != 0) aiger_error("latches not supported (combinational only)");
-  if (binary && M != I + A)
+  if (M > kMaxAigerCount || O > kMaxAigerCount)
+    aiger_error("header count exceeds supported maximum (" +
+                std::to_string(kMaxAigerCount) + "): " + header);
+  // Overflow-safe form of "I + A > M": both operands may individually be
+  // anywhere in the 64-bit range, so never compute the sum directly.
+  if (I > M || A > M - I) aiger_error("header claims more variables than M");
+  if (binary && (I > M || M - I != A))
     aiger_error("binary header requires M = I + A");
-  if (I + A > M) aiger_error("header claims more variables than M");
 
   const auto next_line = [&](const std::string& what) {
     std::string line;

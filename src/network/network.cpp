@@ -1,7 +1,11 @@
 #include "network/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "util/errors.hpp"
+#include "util/faultplan.hpp"
 
 namespace rmsyn {
 
@@ -43,6 +47,7 @@ void Network::reserve(std::size_t nodes, std::size_t edges) {
 }
 
 NodeId Network::new_node(GateType t, std::string name, bool reuse_free) {
+  fault_count_node(); // FaultPlan arena hook: may throw RmsynError
   if (reuse_free && !free_.empty()) {
     const NodeId id = free_.back();
     free_.pop_back();
@@ -321,6 +326,284 @@ std::vector<NodeId> Network::compact() {
     out.add_po(remap[pos_[i]], po_names_[i]);
   *this = std::move(out);
   return remap;
+}
+
+// --- deep invariant checker --------------------------------------------------
+
+namespace {
+std::atomic<bool> g_paranoid{false};
+} // namespace
+
+void set_paranoid_checks(bool on) {
+  g_paranoid.store(on, std::memory_order_relaxed);
+}
+
+bool paranoid_checks_enabled() {
+  return g_paranoid.load(std::memory_order_relaxed);
+}
+
+void maybe_check_invariants(const Network& net, const char* where) {
+  if (paranoid_checks_enabled()) net.assert_invariants(where);
+}
+
+std::string InvariantViolation::to_string() const {
+  std::string s = invariant;
+  if (node != Network::kNoNode) s += " at node " + std::to_string(node);
+  if (!detail.empty()) s += ": " + detail;
+  return s;
+}
+
+std::vector<InvariantViolation> Network::check_invariants(
+    std::size_t max_violations) const {
+  std::vector<InvariantViolation> out;
+  const std::size_t n_nodes = packed_.size();
+  const std::size_t n_edges = arena_.size();
+  const auto report = [&](const char* invariant, NodeId node,
+                          std::string detail) {
+    if (out.size() < max_violations)
+      out.push_back({invariant, node, std::move(detail)});
+  };
+  const auto full = [&] { return out.size() >= max_violations; };
+
+  // Constant slots are part of every network's identity.
+  if (n_nodes < 2 || type(kConst0) != GateType::Const0 ||
+      type(kConst1) != GateType::Const1)
+    report("arena-span", kNoNode, "constant slots 0/1 missing or retyped");
+
+  // arena-span: every fanin block inside the arena, owned by its node,
+  // pointing at existing live nodes; dead nodes fully cleared.
+  for (NodeId n = 0; n < n_nodes && !full(); ++n) {
+    if (is_dead(n)) {
+      if (fanin_cnt_[n] != 0)
+        report("free-list", n, "dead node keeps " +
+                                   std::to_string(fanin_cnt_[n]) + " fanins");
+      continue;
+    }
+    const uint64_t off = fanin_off_[n];
+    const uint64_t cnt = fanin_cnt_[n];
+    if (off + cnt > n_edges) {
+      report("arena-span", n,
+             "fanin block [" + std::to_string(off) + ", " +
+                 std::to_string(off + cnt) + ") exceeds arena size " +
+                 std::to_string(n_edges));
+      continue;
+    }
+    const GateType t = type(n);
+    const bool leaf = t == GateType::Pi || t == GateType::Const0 ||
+                      t == GateType::Const1;
+    if (leaf && cnt != 0)
+      report("arena-span", n, "PI/constant with fanins");
+    if ((t == GateType::Not || t == GateType::Buf) && cnt != 1)
+      report("arena-span", n, "NOT/BUF arity " + std::to_string(cnt));
+    if (!leaf && t != GateType::Not && t != GateType::Buf && cnt == 0)
+      report("arena-span", n, "gate with no fanins");
+    for (uint64_t k = 0; k < cnt && !full(); ++k) {
+      const uint32_t e = static_cast<uint32_t>(off + k);
+      if (edge_owner_[e] != n)
+        report("arena-span", n,
+               "edge " + std::to_string(e) + " owned by node " +
+                   std::to_string(edge_owner_[e]));
+      const NodeId f = arena_[e];
+      if (f >= n_nodes)
+        report("arena-span", n, "fanin " + std::to_string(f) + " out of range");
+      else if (is_dead(f))
+        report("arena-span", n, "fanin " + std::to_string(f) + " is dead");
+    }
+  }
+
+  // fanout-chain: walk each maintained chain, checking link symmetry,
+  // target identity, liveness of member edges, and length == ref_count.
+  std::vector<uint8_t> edge_seen(n_edges, 0);
+  for (NodeId n = 0; n < n_nodes && !full(); ++n) {
+    uint64_t len = 0;
+    uint32_t prev = kNoNode;
+    uint32_t e = first_out_[n];
+    bool broken = false;
+    while (e != kNoNode) {
+      if (e >= n_edges) {
+        report("fanout-chain", n, "edge " + std::to_string(e) + " out of range");
+        broken = true;
+        break;
+      }
+      if (edge_seen[e]) {
+        report("fanout-chain", n,
+               "edge " + std::to_string(e) + " linked twice (chain cycle "
+               "or shared edge)");
+        broken = true;
+        break;
+      }
+      edge_seen[e] = 1;
+      if (arena_[e] != n) {
+        report("fanout-chain", n,
+               "chain edge " + std::to_string(e) + " targets node " +
+                   std::to_string(arena_[e]));
+        broken = true;
+        break;
+      }
+      if (prev_out_[e] != prev) {
+        report("fanout-chain", n,
+               "edge " + std::to_string(e) + " prev link " +
+                   (prev_out_[e] == kNoNode ? std::string("none")
+                                            : std::to_string(prev_out_[e])) +
+                   " != expected " +
+                   (prev == kNoNode ? std::string("none")
+                                    : std::to_string(prev)));
+        broken = true;
+        break;
+      }
+      const NodeId owner = edge_owner_[e];
+      if (owner >= n_nodes || is_dead(owner) ||
+          e < fanin_off_[owner] ||
+          e >= static_cast<uint64_t>(fanin_off_[owner]) + fanin_cnt_[owner]) {
+        report("fanout-chain", n,
+               "chain edge " + std::to_string(e) +
+                   " is stale (outside its owner's live fanin block)");
+        broken = true;
+        break;
+      }
+      ++len;
+      prev = e;
+      e = next_out_[e];
+    }
+    if (!broken && len != ref_count_[n])
+      report("ref-count", n,
+             "fanout chain has " + std::to_string(len) +
+                 " edges, ref_count says " + std::to_string(ref_count_[n]));
+  }
+
+  // ref-count / po-ref: maintained counters vs a full recount.
+  std::vector<uint32_t> ref(n_nodes, 0), po_ref(n_nodes, 0);
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    if (is_dead(n)) continue;
+    const uint64_t off = fanin_off_[n];
+    const uint64_t cnt = fanin_cnt_[n];
+    if (off + cnt > n_edges) continue; // already reported above
+    for (uint64_t k = 0; k < cnt; ++k)
+      if (arena_[off + k] < n_nodes) ++ref[arena_[off + k]];
+  }
+  for (const NodeId po : pos_)
+    if (po < n_nodes) ++po_ref[po];
+    else report("po-ref", po, "primary output out of range");
+  for (NodeId n = 0; n < n_nodes && !full(); ++n) {
+    if (ref_count_[n] != ref[n])
+      report("ref-count", n,
+             "maintained " + std::to_string(ref_count_[n]) + ", recomputed " +
+                 std::to_string(ref[n]));
+    if (po_refs_[n] != po_ref[n])
+      report("po-ref", n,
+             "maintained " + std::to_string(po_refs_[n]) + ", recomputed " +
+                 std::to_string(po_ref[n]));
+    if (po_ref[n] != 0 && is_dead(n))
+      report("po-ref", n, "primary output points at a dead node");
+  }
+
+  // level: packed level vs recomputation (0 for PIs/constants).
+  for (NodeId n = 0; n < n_nodes && !full(); ++n) {
+    if (is_dead(n)) continue;
+    if (static_cast<uint64_t>(fanin_off_[n]) + fanin_cnt_[n] > n_edges)
+      continue;
+    bool fanins_ok = true;
+    for (uint64_t k = 0; k < fanin_cnt_[n]; ++k)
+      fanins_ok &= arena_[fanin_off_[n] + k] < n_nodes;
+    if (!fanins_ok) continue;
+    const uint32_t lv = compute_level(n);
+    if (level(n) != lv)
+      report("level", n,
+             "maintained " + std::to_string(level(n)) + ", recomputed " +
+                 std::to_string(lv));
+  }
+
+  // acyclic: DFS over live fanins (a cycle would also wedge topo_order()).
+  {
+    std::vector<uint8_t> state(n_nodes, 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<NodeId, uint64_t>> stack;
+    for (NodeId root = 0; root < n_nodes && !full(); ++root) {
+      if (is_dead(root) || state[root] != 0) continue;
+      stack.emplace_back(root, 0);
+      while (!stack.empty() && !full()) {
+        auto& [n, idx] = stack.back();
+        state[n] = 1;
+        const uint64_t off = fanin_off_[n];
+        const uint64_t cnt =
+            off + fanin_cnt_[n] <= n_edges ? fanin_cnt_[n] : 0;
+        if (idx < cnt) {
+          const NodeId f = arena_[off + idx++];
+          if (f >= n_nodes || is_dead(f)) continue; // reported above
+          if (state[f] == 1)
+            report("acyclic", n,
+                   "fanin cycle through node " + std::to_string(f));
+          else if (state[f] == 0)
+            stack.emplace_back(f, 0);
+        } else {
+          state[n] = 2;
+          stack.pop_back();
+        }
+      }
+      stack.clear();
+    }
+  }
+
+  // free-list: the free list and the dead flags must agree exactly.
+  {
+    std::vector<uint8_t> listed(n_nodes, 0);
+    for (const NodeId f : free_) {
+      if (f >= n_nodes) {
+        report("free-list", f, "free-list id out of range");
+        continue;
+      }
+      if (listed[f])
+        report("free-list", f, "listed twice in the free list");
+      listed[f] = 1;
+      if (!is_dead(f))
+        report("free-list", f, "free-list node is not flagged dead");
+      if (f < 2 || type(f) == GateType::Pi)
+        report("free-list", f, "PI/constant on the free list");
+      if (ref_count_[f] != 0 || po_refs_[f] != 0)
+        report("free-list", f, "dead node still referenced");
+      if (first_out_[f] != kNoNode)
+        report("free-list", f, "dead node keeps a fanout chain");
+    }
+    for (NodeId n = 0; n < n_nodes && !full(); ++n)
+      if (is_dead(n) && !listed[n])
+        report("free-list", n, "dead node missing from the free list");
+  }
+
+  // pi-index: pis_ and the pi_pos_ column are inverse bijections.
+  for (std::size_t i = 0; i < pis_.size() && !full(); ++i) {
+    const NodeId pi = pis_[i];
+    if (pi >= n_nodes) {
+      report("pi-index", pi, "PI id out of range");
+      continue;
+    }
+    if (type(pi) != GateType::Pi)
+      report("pi-index", pi, "pis_[" + std::to_string(i) + "] is not a PI");
+    if (is_dead(pi)) report("pi-index", pi, "PI flagged dead");
+    if (pi_pos_[pi] != i)
+      report("pi-index", pi,
+             "pi_pos says " + std::to_string(pi_pos_[pi]) + ", pi order says " +
+                 std::to_string(i));
+  }
+  for (NodeId n = 0; n < n_nodes && !full(); ++n) {
+    if (is_dead(n)) continue;
+    if (type(n) == GateType::Pi) {
+      if (pi_pos_[n] >= pis_.size() || pis_[pi_pos_[n]] != n)
+        report("pi-index", n, "PI not listed at its pi_pos");
+    } else if (pi_pos_[n] != kNoNode) {
+      report("pi-index", n, "non-PI carries a pi_pos");
+    }
+  }
+
+  return out;
+}
+
+void Network::assert_invariants(const char* where) const {
+  const auto violations = check_invariants();
+  if (violations.empty()) return;
+  std::string msg = std::string(where) + ": network invariant violated: " +
+                    violations.front().to_string();
+  if (violations.size() > 1)
+    msg += " (+" + std::to_string(violations.size() - 1) + " more)";
+  throw RmsynError(ErrorCode::InvariantViolation, msg);
 }
 
 std::vector<bool> Network::eval(const std::vector<bool>& pi_values) const {

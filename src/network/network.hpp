@@ -54,6 +54,24 @@ inline bool is_xor_like(GateType t) { return t == GateType::Xor || t == GateType
 
 using NodeId = uint32_t;
 
+/// One failed deep-consistency check (see Network::check_invariants):
+/// which invariant broke, at which node, and a human-readable detail.
+struct InvariantViolation {
+  std::string invariant; ///< "fanout-chain", "ref-count", "po-ref", "level",
+                         ///< "acyclic", "free-list", "arena-span", "pi-index"
+  NodeId node;           ///< offending node (kNoNode for global checks)
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// Process-wide paranoid mode (--paranoid): when enabled, every structural
+/// transform re-runs the deep invariant checker on its result and throws
+/// RmsynError(InvariantViolation) on the first inconsistency, turning
+/// silent SoA corruption into an immediate, named failure.
+void set_paranoid_checks(bool on);
+bool paranoid_checks_enabled();
+
 /// Non-owning view of one node's fanins inside the flat arena. Converts
 /// implicitly to std::vector<NodeId> so pre-SoA call sites that copied the
 /// fanin vector keep compiling; invalidated by any mutating Network call.
@@ -249,7 +267,36 @@ public:
   /// Evaluates the network on one input assignment (bit i = PI i).
   std::vector<bool> eval(const std::vector<bool>& pi_values) const;
 
+  // ---- deep invariant checker (DESIGN.md §12) ----
+
+  /// Re-derives every piece of maintained structure from scratch and
+  /// reports where the SoA columns disagree:
+  ///   * fanout-chain: doubly-linked chain consistency (prev/next mirror
+  ///     each other, every edge's target is the chain owner, every live
+  ///     fanin edge appears in exactly one chain) and chain length ==
+  ///     ref_count;
+  ///   * ref-count / po-ref: maintained counters vs a full recount;
+  ///   * level: packed level == 1 + max fanin level (0 for PI/const);
+  ///   * acyclic: no fanin cycle through live nodes;
+  ///   * free-list: free list and dead flags agree (every dead node listed
+  ///     exactly once, no live node listed, dead nodes fully unlinked);
+  ///   * arena-span: every fanin block lies inside the arena and its edges
+  ///     are owned by the node; live fanins point at live nodes;
+  ///   * pi-index: pi_pos_ column and pis_ vector are inverse bijections.
+  /// Stops after `max_violations` findings (corruption tends to cascade).
+  std::vector<InvariantViolation> check_invariants(
+      std::size_t max_violations = 16) const;
+
+  /// Throws RmsynError(ErrorCode::InvariantViolation) naming `where`, the
+  /// broken invariant and the node id when check_invariants() finds
+  /// anything. No-op on a consistent network.
+  void assert_invariants(const char* where) const;
+
 private:
+  /// Test-only backdoor: the invariant-checker tests corrupt individual
+  /// SoA columns through this accessor to prove every check fires. Not
+  /// part of the public API.
+  friend struct NetworkTestAccess;
   static constexpr uint32_t kTypeMask = 0xF;
   static constexpr uint32_t kDeadFlag = 0x10;
   static constexpr uint32_t kLevelShift = 8;
@@ -295,5 +342,10 @@ private:
   std::vector<std::string> po_names_;
   std::vector<NodeId> free_; ///< recycled ids available to add_gate
 };
+
+/// Paranoid-mode hook every structural transform calls on its result: runs
+/// the deep checker (and throws) only when --paranoid armed it, so the
+/// disabled cost is one relaxed atomic load per transform.
+void maybe_check_invariants(const Network& net, const char* where);
 
 } // namespace rmsyn

@@ -143,7 +143,9 @@ Network strash(const Network& net) {
   }
   for (std::size_t i = 0; i < net.po_count(); ++i)
     b.net().add_po(b.mapped(net.po(i)), net.po_name(i));
-  return sweep(b.take());
+  Network out = sweep(b.take());
+  maybe_check_invariants(out, "strash");
+  return out;
 }
 
 namespace {
@@ -199,6 +201,7 @@ Network decompose2(const Network& net) {
   }
   for (std::size_t i = 0; i < net.po_count(); ++i)
     out.add_po(map[net.po(i)], net.po_name(i));
+  maybe_check_invariants(out, "decompose2");
   return out;
 }
 
@@ -230,6 +233,7 @@ Network expand_xor(const Network& net) {
   }
   for (std::size_t i = 0; i < net.po_count(); ++i)
     out.add_po(map[net.po(i)], net.po_name(i));
+  maybe_check_invariants(out, "expand_xor");
   return out;
 }
 
@@ -252,6 +256,7 @@ Network permute_pis(const Network& net, const std::vector<std::size_t>& perm) {
   }
   for (std::size_t i = 0; i < net.po_count(); ++i)
     out.add_po(map[net.po(i)], net.po_name(i));
+  maybe_check_invariants(out, "permute_pis");
   return out;
 }
 
@@ -297,6 +302,7 @@ Network sweep(const Network& net) {
   }
   for (std::size_t i = 0; i < net.po_count(); ++i)
     out.add_po(map[net.po(i)], net.po_name(i));
+  maybe_check_invariants(out, "sweep");
   return out;
 }
 

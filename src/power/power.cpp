@@ -1,5 +1,7 @@
 #include "power/power.hpp"
 
+#include "util/errors.hpp"
+
 #include <stdexcept>
 
 #include "bdd/bdd.hpp"
@@ -28,6 +30,8 @@ PowerReport estimate_power(const Network& net, const PowerOptions& opt) {
           if (live[n]) prob[n] = mgr.density(f[n]);
         exact_ok = true;
       }
+    } catch (const RmsynError&) {
+      throw; // injected faults / invariant violations must not be swallowed
     } catch (const std::runtime_error&) {
       exact_ok = false; // node limit inside the manager
     }

@@ -49,6 +49,22 @@ struct BatchOptions {
   /// DD-node allocation budget for the WHOLE batch (0 = off); workers
   /// carve SharedBudget::kAllocationGrain-sized slices from it.
   uint64_t batch_allocation_budget = 0;
+  /// Extra attempts for rows that fail with a transient-retryable code
+  /// (util/errors.hpp). Each retry re-runs the flow with the per-flow
+  /// budget limits escalated x2 per attempt (deterministic exponential
+  /// backoff in budget space, not wall-clock sleeping) and one-shot
+  /// injected governor faults cleared. Rows whose first attempt succeeds
+  /// are bit-identical to a --retries 0 run.
+  int retries = 0;
+  /// Append one fsync'd JSONL checkpoint record per settled row (see
+  /// sched/journal.hpp). Empty = journaling off. Journal write failures
+  /// never abort the batch: journaling is disabled and counted.
+  std::string journal_path;
+  /// Read journal_path before running and splice every matching completed
+  /// (ok/degraded) record into the result without re-running it; failed,
+  /// cancelled, digest-mismatched and missing rows are re-run (and
+  /// re-journaled). A missing journal file is a fresh run, not an error.
+  bool resume = false;
 };
 
 struct BatchResult {
@@ -56,6 +72,10 @@ struct BatchResult {
   SchedStats sched;          ///< empty (workers=0) when jobs <= 1
   FlowStatus worst;          ///< most severe worst_status() over the rows
   double seconds = 0.0;      ///< wall clock for the whole batch
+  std::size_t rows_replayed = 0;  ///< rows spliced from the resume journal
+  std::size_t retries_used = 0;   ///< total extra attempts across all rows
+  std::size_t journal_errors = 0; ///< failed journal appends (then disabled)
+  std::size_t journal_skipped_lines = 0; ///< torn/corrupt lines on resume
 };
 
 class BatchRunner {
@@ -76,7 +96,8 @@ public:
   std::function<void(const FlowRow&, std::size_t)> on_row;
 
 private:
-  FlowRow run_one(const Benchmark& bench, const FlowOptions& fopt);
+  FlowRow run_one(const Benchmark& bench, const FlowOptions& fopt,
+                  std::size_t* retries_used);
   FlowRow cancelled_row(const Benchmark& bench) const;
 
   BatchOptions opt_;

@@ -1,0 +1,100 @@
+// Checkpoint/resume journal for crash-safe batch execution (DESIGN.md §12).
+//
+// `batch --journal FILE` appends one fsync'd JSONL record per settled row:
+//
+//   {"v":1,"circuit":"rd53","input_digest":"<16 hex>",
+//    "options_digest":"<16 hex>","status":"ok","row":{...flow_row_json...}}
+//
+// The append is atomic at the line level on POSIX (single write of a line
+// <= PIPE_BUF would be, but we do not rely on that — a torn trailing line
+// is simply skipped by the reader), and each record is flushed + fsync'd
+// before append() returns, so a SIGKILL at any instant loses at most the
+// row that was being written.
+//
+// `batch --resume FILE` reads the journal back and replays every record
+// whose (circuit, input_digest, options_digest) triple matches the current
+// manifest AND whose status is not failed — matching completed rows are
+// spliced into the report without re-running the flow; failed/cancelled
+// rows and rows the journal never saw are re-run. Duplicate records for
+// one circuit resolve last-wins (a resumed run re-appends the rows it
+// re-ran).
+//
+// Journal I/O failures are transient by taxonomy (ErrorCode::IoTransient)
+// and never abort the batch: the runner counts them, disables further
+// journaling for the run, and carries on computing rows.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace rmsyn {
+
+struct Benchmark;
+struct FlowOptions;
+
+/// FNV-1a 64-bit over a byte string — the journal's digest primitive.
+uint64_t fnv1a64(const std::string& bytes);
+
+/// Digest of a benchmark's specification network (its BLIF dump): detects
+/// a changed input file or generator between the journaled run and the
+/// resume, so stale rows are re-run instead of replayed.
+uint64_t journal_input_digest(const Benchmark& bench);
+
+/// Digest of every FlowOptions field that can change a row's result
+/// columns (synthesis/baseline/power knobs and per-flow budget limits).
+/// Wall-clock-only settings (jobs, batch deadline) are deliberately
+/// excluded: they never change row content under the determinism contract.
+uint64_t journal_options_digest(const FlowOptions& opt);
+
+/// One parsed journal record.
+struct JournalRecord {
+  std::string circuit;
+  uint64_t input_digest = 0;
+  uint64_t options_digest = 0;
+  std::string status; ///< "ok" | "degraded" | "failed"
+  FlowRow row;        ///< reconstructed via flow_row_from_json
+};
+
+/// Journal file contents, in file order. Malformed or torn lines (the
+/// SIGKILL tail) are counted, not fatal.
+struct JournalContents {
+  std::vector<JournalRecord> records;
+  std::size_t skipped_lines = 0;
+};
+
+/// Reads a journal written by BatchJournal. Throws RmsynError(ParseError)
+/// only when the file cannot be opened at all; any malformed line inside
+/// is skipped and counted.
+JournalContents read_journal(const std::string& path);
+
+/// Append-side handle. Not thread-safe by itself — the batch runner calls
+/// append() under its settle mutex.
+class BatchJournal {
+public:
+  BatchJournal() = default;
+  ~BatchJournal();
+  BatchJournal(const BatchJournal&) = delete;
+  BatchJournal& operator=(const BatchJournal&) = delete;
+
+  /// Opens (creating or appending). Returns false on failure.
+  bool open(const std::string& path);
+
+  /// Serializes and durably appends one record (fflush + fsync). Returns
+  /// false on any write/sync failure — including the FaultPlan's
+  /// journal-write injection point — after which the journal closes itself
+  /// and every further append() fails fast.
+  bool append(const std::string& circuit, uint64_t input_digest,
+              uint64_t options_digest, const FlowRow& row);
+
+  bool is_open() const { return f_ != nullptr; }
+  void close();
+
+private:
+  std::FILE* f_ = nullptr;
+};
+
+} // namespace rmsyn

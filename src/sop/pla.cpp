@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace rmsyn {
 
 namespace {
@@ -18,8 +20,9 @@ std::vector<std::string> split_ws(const std::string& line) {
 }
 
 [[noreturn]] void pla_error(int lineno, const std::string& what) {
-  throw std::runtime_error("read_pla: line " + std::to_string(lineno) + ": " +
-                           what);
+  throw RmsynError(ErrorCode::ParseError, "read_pla: line " +
+                                              std::to_string(lineno) + ": " +
+                                              what);
 }
 
 /// Width cap for .i/.o — far above any PLA this code meets, low enough
@@ -119,7 +122,7 @@ PlaFile read_pla(std::istream& in) {
   }
   if (!sized) {
     if (pla.num_inputs <= 0 || pla.num_outputs <= 0)
-      throw std::runtime_error("read_pla: missing .i/.o");
+      throw RmsynError(ErrorCode::ParseError, "read_pla: missing .i/.o");
     pla.outputs.assign(static_cast<std::size_t>(pla.num_outputs),
                        Cover(pla.num_inputs));
   }

@@ -1,0 +1,90 @@
+#include "util/errors.hpp"
+
+#include <new>
+
+namespace rmsyn {
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::BudgetDeadline: return "budget-deadline";
+    case ErrorCode::BudgetNodes: return "budget-nodes";
+    case ErrorCode::BudgetSteps: return "budget-steps";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::InjectedFault: return "injected-fault";
+    case ErrorCode::IoTransient: return "io-transient";
+    case ErrorCode::ParseError: return "parse-error";
+    case ErrorCode::InvariantViolation: return "invariant-violation";
+    case ErrorCode::VerifyMismatch: return "verify-mismatch";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::None: return "none";
+    case ErrorClass::TransientRetryable: return "transient-retryable";
+    case ErrorClass::DeterministicFatal: return "deterministic-fatal";
+  }
+  return "?";
+}
+
+ErrorClass error_class(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::None:
+      return ErrorClass::None;
+    case ErrorCode::BudgetDeadline:
+    case ErrorCode::BudgetNodes:
+    case ErrorCode::BudgetSteps:
+    case ErrorCode::Cancelled:
+    case ErrorCode::InjectedFault:
+    case ErrorCode::IoTransient:
+      return ErrorClass::TransientRetryable;
+    case ErrorCode::ParseError:
+    case ErrorCode::InvariantViolation:
+    case ErrorCode::VerifyMismatch:
+    case ErrorCode::Internal:
+      return ErrorClass::DeterministicFatal;
+  }
+  return ErrorClass::DeterministicFatal;
+}
+
+ErrorCode error_code_from_string(const std::string& name) {
+  for (const ErrorCode c :
+       {ErrorCode::None, ErrorCode::BudgetDeadline, ErrorCode::BudgetNodes,
+        ErrorCode::BudgetSteps, ErrorCode::Cancelled, ErrorCode::InjectedFault,
+        ErrorCode::IoTransient, ErrorCode::ParseError,
+        ErrorCode::InvariantViolation, ErrorCode::VerifyMismatch,
+        ErrorCode::Internal}) {
+    if (name == to_string(c)) return c;
+  }
+  return ErrorCode::Internal;
+}
+
+int exit_code_for_error(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::None:
+      return ExitCode::Ok;
+    case ErrorCode::ParseError:
+      return ExitCode::FatalInput;
+    case ErrorCode::InvariantViolation:
+    case ErrorCode::VerifyMismatch:
+      return ExitCode::InvariantOrVerify;
+    case ErrorCode::Internal:
+      return ExitCode::Usage;
+    default:
+      return ExitCode::TransientFailure;
+  }
+}
+
+ErrorCode classify_exception(const std::exception& e) {
+  if (const auto* re = dynamic_cast<const RmsynError*>(&e)) return re->code();
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr)
+    return ErrorCode::BudgetNodes;
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr)
+    return ErrorCode::VerifyMismatch;
+  return ErrorCode::Internal;
+}
+
+} // namespace rmsyn

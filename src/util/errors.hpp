@@ -1,0 +1,108 @@
+// Structured error taxonomy for the whole flow (DESIGN.md §12).
+//
+// Every failure that can surface from parse/synthesize/map/sim/batch is
+// classified along one axis that the batch runner, the retry machinery and
+// the CLI exit codes all agree on:
+//
+//   * transient-retryable — a re-run can succeed: the budget tripped
+//     (deadline/node/step), the batch was cancelled, a deterministic fault
+//     injection fired, or a journal/report write failed. `batch --retries N`
+//     re-runs these rows with escalating budget slices.
+//   * deterministic-fatal — a re-run with the same input must fail again:
+//     malformed PLA/BLIF/AIGER input, a network invariant violation, an
+//     internal verification mismatch. Retrying is never attempted.
+//
+// The code travels on FlowStatus (util/governor.hpp) next to the
+// human-readable stage/reason strings, so machine consumers (the journal,
+// the retry loop, CI scripts reading exit codes) never have to parse
+// English.
+//
+// Stable process exit codes (tools/rmsyn_cli.cpp, asserted by CI):
+//   0  ok
+//   1  usage / unclassified CLI error
+//   2  budget-degraded (every row completed, at least one degraded)
+//   3  transient failure (a failed row whose code is transient-retryable)
+//   4  deterministic-fatal input (parse error in a file or manifest)
+//   5  invariant violation or internal verification mismatch
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rmsyn {
+
+enum class ErrorCode : uint8_t {
+  None = 0,
+  // --- transient-retryable --------------------------------------------------
+  BudgetDeadline,  ///< wall-clock budget slice tripped
+  BudgetNodes,     ///< live-node limit / shared allocation pool / OOM watermark
+  BudgetSteps,     ///< deterministic step budget tripped
+  Cancelled,       ///< external or batch-wide cancellation
+  InjectedFault,   ///< a deterministic fault-injection point fired
+  IoTransient,     ///< journal/report/artifact write failure (fsync, disk)
+  // --- deterministic-fatal --------------------------------------------------
+  ParseError,         ///< malformed PLA/BLIF/AIGER/genlib/manifest input
+  InvariantViolation, ///< Network::check_invariants() found corruption
+  VerifyMismatch,     ///< internal equivalence check failed
+  Internal,           ///< unclassified exception escaping a flow
+};
+
+enum class ErrorClass : uint8_t {
+  None = 0,
+  TransientRetryable,
+  DeterministicFatal,
+};
+
+const char* to_string(ErrorCode c);
+const char* to_string(ErrorClass c);
+
+ErrorClass error_class(ErrorCode c);
+
+/// True when `batch --retries` may re-run a row that failed with this code.
+inline bool is_retryable(ErrorCode c) {
+  return error_class(c) == ErrorClass::TransientRetryable;
+}
+
+/// Inverse of to_string(ErrorCode); ErrorCode::Internal for unknown names
+/// (forward compatibility when replaying a journal written by a newer build).
+ErrorCode error_code_from_string(const std::string& name);
+
+/// Stable CLI exit codes (see the table in the header comment). Keep in
+/// sync with README "Exit codes" and the CI assertions.
+struct ExitCode {
+  enum : int {
+    Ok = 0,
+    Usage = 1,
+    BudgetDegraded = 2,
+    TransientFailure = 3,
+    FatalInput = 4,
+    InvariantOrVerify = 5,
+  };
+};
+
+/// Exit code for a *failed* terminal error of the given code (used by the
+/// CLI catch block; per-row exit codes go through status_exit_code in the
+/// CLI, which also handles ok/degraded).
+int exit_code_for_error(ErrorCode c);
+
+/// Exception carrying a taxonomy code across module boundaries. Parsers
+/// throw it for malformed input, the invariant checker for corruption, the
+/// fault plan for injected failures.
+class RmsynError : public std::runtime_error {
+public:
+  RmsynError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+private:
+  ErrorCode code_;
+};
+
+/// Maps a caught exception to a taxonomy code: RmsynError's own code,
+/// std::bad_alloc → BudgetNodes (OOM watermark, transient-retryable),
+/// std::logic_error → VerifyMismatch (the verifier's historical throw
+/// type), anything else → Internal.
+ErrorCode classify_exception(const std::exception& e);
+
+} // namespace rmsyn

@@ -1,0 +1,130 @@
+#include "util/faultplan.hpp"
+
+#include <mutex>
+
+#include "util/errors.hpp"
+
+namespace rmsyn {
+
+namespace faultdetail {
+
+std::atomic<bool> g_active{false};
+
+namespace {
+std::mutex g_mu; // guards g_plan installation (hooks read atomics only)
+FaultPlan g_plan;
+std::atomic<uint64_t> g_nodes{0};
+std::atomic<uint64_t> g_journal{0};
+std::atomic<uint64_t> g_arena_at{0};
+std::atomic<uint64_t> g_journal_at{0};
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+} // namespace
+
+void count_node_slow() {
+  const uint64_t at = g_arena_at.load(std::memory_order_relaxed);
+  if (at == 0) return;
+  const uint64_t n = g_nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == at)
+    throw RmsynError(ErrorCode::InjectedFault,
+                     "fault-plan: arena allocation failed at node " +
+                         std::to_string(n));
+}
+
+bool journal_append_slow() {
+  const uint64_t at = g_journal_at.load(std::memory_order_relaxed);
+  if (at == 0) return false;
+  const uint64_t n = g_journal.fetch_add(1, std::memory_order_relaxed) + 1;
+  return n == at;
+}
+
+} // namespace faultdetail
+
+void install_fault_plan(const FaultPlan& p) {
+  std::lock_guard<std::mutex> lk(faultdetail::g_mu);
+  faultdetail::g_plan = p;
+  faultdetail::g_nodes.store(0, std::memory_order_relaxed);
+  faultdetail::g_journal.store(0, std::memory_order_relaxed);
+  faultdetail::g_arena_at.store(p.arena_fail_at_node,
+                                std::memory_order_relaxed);
+  faultdetail::g_journal_at.store(p.journal_fail_at_record,
+                                  std::memory_order_relaxed);
+  faultdetail::g_active.store(true, std::memory_order_release);
+}
+
+void clear_fault_plan() {
+  std::lock_guard<std::mutex> lk(faultdetail::g_mu);
+  faultdetail::g_active.store(false, std::memory_order_release);
+  faultdetail::g_plan = FaultPlan{};
+  faultdetail::g_arena_at.store(0, std::memory_order_relaxed);
+  faultdetail::g_journal_at.store(0, std::memory_order_relaxed);
+}
+
+FaultPlan active_fault_plan() {
+  std::lock_guard<std::mutex> lk(faultdetail::g_mu);
+  return fault_plan_active() ? faultdetail::g_plan : FaultPlan{};
+}
+
+std::string apply_io_faults(std::string bytes) {
+  if (!fault_plan_active()) return bytes;
+  const FaultPlan p = active_fault_plan();
+  if (p.io_corrupt_at != 0 && p.io_corrupt_at <= bytes.size()) {
+    // Never XOR with 0 (that would be a no-op "corruption").
+    const uint8_t x = static_cast<uint8_t>(
+        faultdetail::splitmix64(p.seed ^ p.io_corrupt_at) | 1u);
+    bytes[p.io_corrupt_at - 1] = static_cast<char>(
+        static_cast<uint8_t>(bytes[p.io_corrupt_at - 1]) ^ x);
+  }
+  if (p.io_truncate_at != 0 && p.io_truncate_at < bytes.size())
+    bytes.resize(p.io_truncate_at);
+  return bytes;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan p;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw RmsynError(ErrorCode::ParseError,
+                       "fault-plan: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    uint64_t v = 0;
+    if (val.empty())
+      throw RmsynError(ErrorCode::ParseError,
+                       "fault-plan: empty value for '" + key + "'");
+    for (const char c : val) {
+      if (c < '0' || c > '9')
+        throw RmsynError(ErrorCode::ParseError,
+                         "fault-plan: bad number '" + val + "' for '" + key +
+                             "'");
+      if (v > (~0ull - static_cast<uint64_t>(c - '0')) / 10)
+        throw RmsynError(ErrorCode::ParseError,
+                         "fault-plan: value overflow for '" + key + "'");
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (key == "seed") p.seed = v;
+    else if (key == "truncate") p.io_truncate_at = v;
+    else if (key == "corrupt") p.io_corrupt_at = v;
+    else if (key == "arena") p.arena_fail_at_node = v;
+    else if (key == "journal") p.journal_fail_at_record = v;
+    else
+      throw RmsynError(ErrorCode::ParseError,
+                       "fault-plan: unknown key '" + key +
+                           "' (want seed/truncate/corrupt/arena/journal)");
+  }
+  return p;
+}
+
+} // namespace rmsyn

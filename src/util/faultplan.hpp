@@ -1,0 +1,98 @@
+// Deterministic fault-injection plan (DESIGN.md §12).
+//
+// PR 2's GovernorFaults cover the *budget* edges (allocation trips, forced
+// stage deadlines, computed-table overflow). This plan covers the rest of
+// the failure surface the resilience layer must survive, all driven from
+// one seeded struct so CI can sweep them reproducibly:
+//
+//   * IO faults — truncate a loaded input file at byte N and/or XOR one
+//     byte, before parsing. Exercises the PLA/BLIF/AIGER hardening: a
+//     damaged file must yield ErrorCode::ParseError (or, if the damage
+//     happens to keep the file well-formed, a verified parse), never a
+//     crash, hang, or out-of-bounds read.
+//   * Arena fault — the Nth Network node creation throws
+//     RmsynError(InjectedFault), modelling an allocation failure inside a
+//     transform. Classified transient-retryable: `batch --retries` re-runs
+//     the row (the plan is one-shot per install).
+//   * Journal fault — the Nth journal append reports failure, modelling a
+//     full disk / fsync error mid-batch. The batch must keep running and
+//     surface the count, never abort.
+//
+// Installation is process-wide (the CLI's --fault-plan flag; tests install
+// and clear around each case). Counters are atomic: parallel batches hit
+// the arena/journal points from several workers. When no plan is
+// installed, every hook is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rmsyn {
+
+struct FaultPlan {
+  /// Seed: documents the sweep point and derives the corruption byte
+  /// (splitmix64), so two sweeps with different seeds damage differently.
+  uint64_t seed = 0;
+  /// Keep only the first N bytes of every loaded input (1-based count;
+  /// 0 = off). N larger than the file is a no-op.
+  uint64_t io_truncate_at = 0;
+  /// XOR byte N (1-based) of every loaded input with a seed-derived value
+  /// (0 = off). N past the end is a no-op.
+  uint64_t io_corrupt_at = 0;
+  /// Throw RmsynError(InjectedFault) at the Nth Network node creation
+  /// (1-based, counted process-wide from install; 0 = off). One-shot.
+  uint64_t arena_fail_at_node = 0;
+  /// Fail the Nth journal append (1-based, from install; 0 = off). One-shot.
+  uint64_t journal_fail_at_record = 0;
+
+  bool any_io() const { return io_truncate_at != 0 || io_corrupt_at != 0; }
+
+  /// Parses "key=value[,key=value...]" with keys seed, truncate, corrupt,
+  /// arena, journal. Throws RmsynError(ParseError) on unknown keys or
+  /// malformed numbers (this is CLI input).
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Installs `p` process-wide and resets the arena/journal counters.
+void install_fault_plan(const FaultPlan& p);
+/// Removes any installed plan (hooks become no-ops again).
+void clear_fault_plan();
+/// Snapshot of the installed plan (a default plan when none is installed).
+FaultPlan active_fault_plan();
+
+namespace faultdetail {
+extern std::atomic<bool> g_active;
+void count_node_slow();
+bool journal_append_slow();
+} // namespace faultdetail
+
+inline bool fault_plan_active() {
+  return faultdetail::g_active.load(std::memory_order_relaxed);
+}
+
+/// Applies the installed plan's IO faults to a loaded input buffer
+/// (identity when no plan / no IO faults are armed).
+std::string apply_io_faults(std::string bytes);
+
+/// Arena hook, called by Network node creation. Throws
+/// RmsynError(InjectedFault) when the armed count is reached.
+inline void fault_count_node() {
+  if (fault_plan_active()) faultdetail::count_node_slow();
+}
+
+/// Journal hook: true when this append must fail.
+inline bool fault_journal_append() {
+  return fault_plan_active() && faultdetail::journal_append_slow();
+}
+
+/// RAII installer for tests: installs on construction, clears on scope exit.
+class ScopedFaultPlan {
+public:
+  explicit ScopedFaultPlan(const FaultPlan& p) { install_fault_plan(p); }
+  ~ScopedFaultPlan() { clear_fault_plan(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+} // namespace rmsyn

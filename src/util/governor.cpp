@@ -18,6 +18,18 @@ const char* to_string(TripKind k) {
   return "?";
 }
 
+ErrorCode error_code_for(TripKind k) {
+  switch (k) {
+    case TripKind::None: return ErrorCode::None;
+    case TripKind::Deadline: return ErrorCode::BudgetDeadline;
+    case TripKind::NodeLimit: return ErrorCode::BudgetNodes;
+    case TripKind::StepLimit: return ErrorCode::BudgetSteps;
+    case TripKind::Cancelled: return ErrorCode::Cancelled;
+    case TripKind::FaultInjected: return ErrorCode::InjectedFault;
+  }
+  return ErrorCode::Internal;
+}
+
 ResourceGovernor::ResourceGovernor(ResourceLimits limits)
     : limits_(std::move(limits)), slice_start_(Clock::now()) {}
 
@@ -157,19 +169,23 @@ void ResourceGovernor::trip(TripKind kind, std::string reason) {
 
 // --- FlowStatus -------------------------------------------------------------
 
-FlowStatus FlowStatus::degraded(std::string stage, std::string reason) {
+FlowStatus FlowStatus::degraded(std::string stage, std::string reason,
+                                ErrorCode code) {
   FlowStatus s;
   s.outcome = FlowOutcome::Degraded;
   s.stage = std::move(stage);
   s.reason = std::move(reason);
+  s.code = code;
   return s;
 }
 
-FlowStatus FlowStatus::failed(std::string stage, std::string reason) {
+FlowStatus FlowStatus::failed(std::string stage, std::string reason,
+                              ErrorCode code) {
   FlowStatus s;
   s.outcome = FlowOutcome::Failed;
   s.stage = std::move(stage);
   s.reason = std::move(reason);
+  s.code = code;
   return s;
 }
 

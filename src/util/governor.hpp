@@ -50,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "util/errors.hpp"
+
 namespace rmsyn {
 
 /// Deterministic fault-injection hooks; all off by default.
@@ -152,6 +154,11 @@ enum class TripKind : uint8_t {
 };
 
 const char* to_string(TripKind k);
+
+/// Taxonomy classification of a trip (util/errors.hpp): every TripKind is
+/// transient-retryable — a bigger budget slice or a fault-free re-run can
+/// succeed.
+ErrorCode error_code_for(TripKind k);
 
 class ResourceGovernor {
 public:
@@ -273,15 +280,20 @@ private:
 enum class FlowOutcome : uint8_t { Ok = 0, Degraded = 1, Failed = 2 };
 
 /// Outcome classification carried by SynthReport/BaselineReport/FlowRow.
-/// Renders as "ok", "degraded:<stage>", or "failed:<reason>".
+/// Renders as "ok", "degraded:<stage>", or "failed:<reason>". `code` is the
+/// machine-readable taxonomy entry (util/errors.hpp) the retry machinery
+/// and the CLI exit codes key on.
 struct FlowStatus {
   FlowOutcome outcome = FlowOutcome::Ok;
   std::string stage;  ///< where the budget died (empty when ok)
   std::string reason; ///< trip/error detail (empty when ok)
+  ErrorCode code = ErrorCode::None; ///< taxonomy classification
 
   static FlowStatus ok() { return {}; }
-  static FlowStatus degraded(std::string stage, std::string reason = "");
-  static FlowStatus failed(std::string stage, std::string reason);
+  static FlowStatus degraded(std::string stage, std::string reason = "",
+                             ErrorCode code = ErrorCode::None);
+  static FlowStatus failed(std::string stage, std::string reason,
+                           ErrorCode code = ErrorCode::Internal);
 
   bool is_ok() const { return outcome == FlowOutcome::Ok; }
   bool is_degraded() const { return outcome == FlowOutcome::Degraded; }

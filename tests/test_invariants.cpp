@@ -1,0 +1,228 @@
+// Deep invariant checker (Network::check_invariants, DESIGN.md §12): a
+// clean network reports nothing, and corrupting each SoA column through the
+// test-only backdoor makes the checker name the right invariant at the
+// right node. Also covers assert_invariants' throw contract and the
+// process-wide paranoid mode.
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchgen/spec.hpp"
+#include "network/transform.hpp"
+#include "util/errors.hpp"
+
+namespace rmsyn {
+
+/// Test-only backdoor declared as a friend in network.hpp: hands out
+/// mutable references to individual SoA columns so each corruption test
+/// can break exactly one invariant.
+struct NetworkTestAccess {
+  static std::vector<uint32_t>& packed(Network& n) { return n.packed_; }
+  static std::vector<uint32_t>& fanin_off(Network& n) { return n.fanin_off_; }
+  static std::vector<uint32_t>& fanin_cnt(Network& n) { return n.fanin_cnt_; }
+  static std::vector<uint32_t>& first_out(Network& n) { return n.first_out_; }
+  static std::vector<uint32_t>& ref_count(Network& n) { return n.ref_count_; }
+  static std::vector<uint32_t>& po_refs(Network& n) { return n.po_refs_; }
+  static std::vector<uint32_t>& pi_pos(Network& n) { return n.pi_pos_; }
+  static std::vector<NodeId>& arena(Network& n) { return n.arena_; }
+  static std::vector<NodeId>& edge_owner(Network& n) { return n.edge_owner_; }
+  static std::vector<uint32_t>& next_out(Network& n) { return n.next_out_; }
+  static std::vector<uint32_t>& prev_out(Network& n) { return n.prev_out_; }
+  static std::vector<NodeId>& pis(Network& n) { return n.pis_; }
+  static std::vector<NodeId>& free_list(Network& n) { return n.free_; }
+  static constexpr uint32_t level_shift() { return Network::kLevelShift; }
+  static constexpr uint32_t dead_flag() { return Network::kDeadFlag; }
+};
+
+namespace {
+
+using A = NetworkTestAccess;
+
+/// Two PIs, three gates, one PO: small enough that every corrupted column
+/// index is easy to reason about.
+Network small_net() {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId g1 = net.add_and(a, b);
+  const NodeId g2 = net.add_xor(g1, b);
+  const NodeId g3 = net.add_or(g1, g2);
+  net.add_po(g3, "f");
+  return net;
+}
+
+/// True when some violation names `invariant` (optionally at `node`).
+bool names(const std::vector<InvariantViolation>& vs, const char* invariant,
+           NodeId node = Network::kNoNode) {
+  return std::any_of(vs.begin(), vs.end(), [&](const InvariantViolation& v) {
+    return v.invariant == invariant &&
+           (node == Network::kNoNode || v.node == node);
+  });
+}
+
+TEST(Invariants, CleanNetworksReportNothing) {
+  EXPECT_TRUE(small_net().check_invariants().empty());
+  for (const char* name : {"rd53", "z4ml", "t481"}) {
+    const Benchmark bench = make_benchmark(name);
+    EXPECT_TRUE(bench.spec.check_invariants().empty()) << name;
+  }
+}
+
+TEST(Invariants, CleanAfterMutationAndCompaction) {
+  Network net = small_net();
+  const NodeId g1 = 4; // AND(a, b) in small_net
+  net.rewrite_gate(g1, GateType::Or, {2, 3});
+  EXPECT_TRUE(net.check_invariants().empty());
+  // Recycle an unreferenced node and check the free list stays coherent.
+  const NodeId dead = net.add_and(2, 3); // never referenced
+  net.recycle(dead);
+  EXPECT_TRUE(net.check_invariants().empty());
+  net.compact();
+  EXPECT_TRUE(net.check_invariants().empty());
+  EXPECT_NO_THROW(net.assert_invariants("test"));
+}
+
+TEST(Invariants, CorruptLevelIsNamed) {
+  Network net = small_net();
+  const NodeId g3 = 6;
+  A::packed(net)[g3] += 1u << A::level_shift(); // level off by one
+  const auto vs = net.check_invariants();
+  ASSERT_FALSE(vs.empty());
+  EXPECT_TRUE(names(vs, "level", g3));
+}
+
+TEST(Invariants, CorruptRefCountIsNamed) {
+  Network net = small_net();
+  const NodeId g1 = 4; // read by g2 and g3: ref_count 2
+  ++A::ref_count(net)[g1];
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "ref-count", g1));
+}
+
+TEST(Invariants, CorruptPoRefIsNamed) {
+  Network net = small_net();
+  const NodeId g3 = 6;
+  ++A::po_refs(net)[g3];
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "po-ref", g3));
+}
+
+TEST(Invariants, BrokenFanoutChainLinkIsNamed) {
+  Network net = small_net();
+  // g1 = AND(a, b) has two readers; its chain has two edges. Break the
+  // prev link of the second one.
+  const NodeId g1 = 4;
+  uint32_t e = A::first_out(net)[g1];
+  ASSERT_NE(e, Network::kNoNode);
+  const uint32_t second = A::next_out(net)[e];
+  ASSERT_NE(second, Network::kNoNode);
+  A::prev_out(net)[second] = second; // self-referential prev: asymmetric
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "fanout-chain", g1));
+}
+
+TEST(Invariants, RetargetedArenaEdgeIsNamed) {
+  Network net = small_net();
+  // Point g3's first fanin at an out-of-range id without updating any of
+  // the maintained structure.
+  const NodeId g3 = 6;
+  A::arena(net)[A::fanin_off(net)[g3]] = 1000;
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "arena-span", g3));
+}
+
+TEST(Invariants, FaninCycleIsNamed) {
+  Network net = small_net();
+  // Rewire g1's first fanin from PI a to g3, closing g1 -> g2/g3 -> g1.
+  const NodeId g1 = 4, g3 = 6;
+  A::arena(net)[A::fanin_off(net)[g1]] = g3;
+  const auto vs = net.check_invariants(64);
+  EXPECT_TRUE(names(vs, "acyclic"));
+}
+
+TEST(Invariants, LiveNodeOnFreeListIsNamed) {
+  Network net = small_net();
+  const NodeId g2 = 5;
+  A::free_list(net).push_back(g2); // live node listed as free
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "free-list", g2));
+}
+
+TEST(Invariants, DeadNodeMissingFromFreeListIsNamed) {
+  Network net = small_net();
+  const NodeId dead = net.add_and(2, 3);
+  net.recycle(dead);
+  ASSERT_TRUE(net.check_invariants().empty());
+  A::free_list(net).clear(); // lose the free list, keep the dead flag
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "free-list", dead));
+}
+
+TEST(Invariants, CorruptPiIndexIsNamed) {
+  Network net = small_net();
+  // Swap the two PI ordinals in the column only; pis_ keeps its order.
+  std::swap(A::pi_pos(net)[2], A::pi_pos(net)[3]);
+  const auto vs = net.check_invariants();
+  EXPECT_TRUE(names(vs, "pi-index"));
+}
+
+TEST(Invariants, ViolationLimitStopsTheCascade) {
+  Network net = small_net();
+  for (NodeId n = 2; n <= 6; ++n) ++A::ref_count(net)[n];
+  const auto vs = net.check_invariants(2);
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(Invariants, AssertThrowsRmsynErrorNamingTheSite) {
+  Network net = small_net();
+  ++A::ref_count(net)[4];
+  try {
+    net.assert_invariants("after-rewrite");
+    FAIL() << "expected RmsynError";
+  } catch (const RmsynError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::InvariantViolation);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("after-rewrite"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ref-count"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node 4"), std::string::npos) << msg;
+  }
+}
+
+TEST(Invariants, ViolationToStringNamesInvariantAndNode) {
+  const InvariantViolation v{"level", 7, "maintained 3, recomputed 2"};
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("level"), std::string::npos);
+  EXPECT_NE(s.find("node 7"), std::string::npos);
+  EXPECT_NE(s.find("recomputed 2"), std::string::npos);
+  // Global findings carry no node id.
+  const InvariantViolation g{"arena-span", Network::kNoNode, "detail"};
+  EXPECT_EQ(g.to_string().find("node"), std::string::npos);
+}
+
+TEST(Invariants, ParanoidModeArmsTransformChecks) {
+  EXPECT_FALSE(paranoid_checks_enabled());
+  set_paranoid_checks(true);
+  EXPECT_TRUE(paranoid_checks_enabled());
+  // maybe_check_invariants throws only when armed AND the net is broken.
+  Network ok = small_net();
+  EXPECT_NO_THROW(maybe_check_invariants(ok, "test"));
+  Network bad = small_net();
+  ++A::ref_count(bad)[4];
+  EXPECT_THROW(maybe_check_invariants(bad, "test"), RmsynError);
+  set_paranoid_checks(false);
+  EXPECT_NO_THROW(maybe_check_invariants(bad, "test"));
+  // A full transform pipeline under paranoid mode stays clean.
+  set_paranoid_checks(true);
+  Network net = make_benchmark("rd53").spec;
+  EXPECT_NO_THROW({
+    Network s = strash(net);
+    Network d = decompose2(s);
+    (void)d;
+  });
+  set_paranoid_checks(false);
+}
+
+} // namespace
+} // namespace rmsyn

@@ -10,11 +10,12 @@
 //   rmsyn_cli power    <input>
 //   rmsyn_cli atpg     <input> [--jobs N] [--no-drop]
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
-//   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N]
+//   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N] [--retries N]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--trace out.json] [--report out.json]
 //                      [--heartbeat sec]
-//   rmsyn_cli batch    <manifest> [--jobs N] [--keep-going]
+//   rmsyn_cli batch    <manifest> [--jobs N] [--keep-going] [--retries N]
+//                      [--journal out.jsonl | --resume journal.jsonl]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--batch-timeout sec] [--batch-node-limit n]
 //                      [--no-mapping] [--no-power]
@@ -30,8 +31,17 @@
 // Resource budgets (--timeout wall-clock seconds per budget slice,
 // --node-limit peak live DD nodes, --step-limit cooperative polls) put the
 // flow on the degradation ladder instead of running unbounded; the status
-// is printed and reflected in the exit code (0 = ok, 2 = degraded under
-// table2 --keep-going, 3 = failed). --jobs N runs N circuits concurrently
+// is printed and reflected in the exit code. Exit codes are stable (see
+// util/errors.hpp and README "Exit codes"): 0 ok, 1 usage, 2 degraded,
+// 3 transient failure, 4 fatal input (parse error), 5 invariant/verify.
+//
+// Resilience (DESIGN.md §12): --retries N re-runs transient-retryable
+// failed rows with x2-escalated budget slices; batch --journal FILE
+// appends one fsync'd JSONL checkpoint per settled row; batch --resume
+// FILE replays completed journal rows and re-runs the rest; --paranoid
+// (any command) runs the deep network invariant checker after every
+// structural transform; --fault-plan seed=S,truncate=N,corrupt=N,arena=N,
+// journal=N arms deterministic fault injection for testing. --jobs N runs N circuits concurrently
 // on the work-stealing scheduler (sched/batch.hpp); every result column is
 // bit-identical to --jobs 1. --batch-timeout/--batch-node-limit are budgets
 // for the whole batch, shared by all workers.
@@ -71,6 +81,8 @@
 #include "power/power.hpp"
 #include "sched/batch.hpp"
 #include "sched/pool.hpp"
+#include "util/errors.hpp"
+#include "util/faultplan.hpp"
 #include "util/stopwatch.hpp"
 #include "sop/pla.hpp"
 #include "testability/faults.hpp"
@@ -84,23 +96,24 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Reads a whole file, routing the bytes through the FaultPlan's IO
+/// corruption/truncation points (a no-op unless --fault-plan armed them).
+std::string load_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return apply_io_faults(ss.str());
+}
+
 Network load_input(const std::string& spec) {
-  if (ends_with(spec, ".blif")) {
-    std::ifstream in(spec);
-    if (!in) throw std::runtime_error("cannot open " + spec);
-    return read_blif(in);
-  }
+  if (ends_with(spec, ".blif")) return read_blif_string(load_file_bytes(spec));
   if (ends_with(spec, ".pla")) {
-    std::ifstream in(spec);
-    if (!in) throw std::runtime_error("cannot open " + spec);
-    const PlaFile pla = read_pla(in);
+    const PlaFile pla = read_pla_string(load_file_bytes(spec));
     return network_from_covers(pla.outputs, pla.num_inputs);
   }
-  if (ends_with(spec, ".aag") || ends_with(spec, ".aig")) {
-    std::ifstream in(spec, std::ios::binary);
-    if (!in) throw std::runtime_error("cannot open " + spec);
-    return read_aiger(in);
-  }
+  if (ends_with(spec, ".aag") || ends_with(spec, ".aig"))
+    return read_aiger_string(load_file_bytes(spec));
   if (has_benchmark(spec)) return make_benchmark(spec).spec;
   throw std::runtime_error("unknown input '" + spec +
                            "' (not a .blif/.pla/.aag/.aig file or benchmark "
@@ -150,6 +163,8 @@ bool parse_limit_flag(const std::vector<std::string>& args, std::size_t& i,
   }
   return false;
 }
+
+int status_exit_code(const FlowStatus& st);
 
 void write_output(const Network& net, const std::string& path,
                   const std::string& model) {
@@ -222,7 +237,7 @@ int cmd_synth(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(rep.bdd.reorder_runs));
   if (!rep.stages.empty()) std::printf("%s", rep.stages.to_string().c_str());
   write_output(result, out_path, "rmsyn_synth");
-  return rep.status.is_failed() ? 3 : 0;
+  return status_exit_code(rep.status);
 }
 
 int cmd_baseline(const std::vector<std::string>& args) {
@@ -252,7 +267,7 @@ int cmd_baseline(const std::vector<std::string>& args) {
               rep.sop_lits_initial, rep.sop_lits_final, rep.nodes_extracted,
               rep.status.to_string().c_str());
   write_output(result, out_path, "rmsyn_baseline");
-  return rep.status.is_failed() ? 3 : 0;
+  return status_exit_code(rep.status);
 }
 
 int cmd_map(const std::vector<std::string>& args) {
@@ -289,7 +304,7 @@ int cmd_verify(const std::vector<std::string>& args) {
   const Network b = load_input(args[1]);
   const auto r = check_equivalence(a, b);
   std::printf("%s\n", r.equivalent ? "EQUIVALENT" : ("NOT EQUIVALENT: " + r.reason).c_str());
-  return r.equivalent ? 0 : 1;
+  return r.equivalent ? ExitCode::Ok : ExitCode::InvariantOrVerify;
 }
 
 int cmd_power(const std::vector<std::string>& args) {
@@ -426,9 +441,14 @@ bool row_was_cancelled(const FlowRow& r) {
   return r.ours_status.is_failed() && r.ours_status.stage == "batch";
 }
 
-/// Exit code from the worst status: ok = 0, degraded = 2, failed = 3.
+/// Exit code from the worst status (stable contract, see util/errors.hpp):
+/// ok = 0, degraded = 2, failed = the taxonomy mapping of its error code
+/// (3 transient, 4 fatal input, 5 invariant/verify).
 int status_exit_code(const FlowStatus& st) {
-  return st.severity() == 0 ? 0 : (st.severity() == 1 ? 2 : 3);
+  if (st.severity() == 0) return ExitCode::Ok;
+  if (st.severity() == 1) return ExitCode::BudgetDegraded;
+  return st.code == ErrorCode::None ? ExitCode::TransientFailure
+                                    : exit_code_for_error(st.code);
 }
 
 int cmd_table2(const std::vector<std::string>& args) {
@@ -441,6 +461,9 @@ int cmd_table2(const std::vector<std::string>& args) {
     else if (args[i] == "--jobs" && i + 1 < args.size()) {
       ++i;
       bopt.jobs = parse_jobs("--jobs", args[i]);
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      ++i;
+      bopt.retries = static_cast<int>(parse_count("--retries", args[i]));
     } else if (parse_limit_flag(args, i, bopt.flow.limits)) {
       // consumed
     } else if (parse_obs_flag(args, i, obs_opt)) {
@@ -515,6 +538,16 @@ int cmd_batch(const std::vector<std::string>& args) {
       ++i;
       bopt.batch_allocation_budget =
           static_cast<uint64_t>(parse_count("--batch-node-limit", args[i]));
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      ++i;
+      bopt.retries = static_cast<int>(parse_count("--retries", args[i]));
+    } else if (args[i] == "--journal" && i + 1 < args.size()) {
+      ++i;
+      bopt.journal_path = args[i];
+    } else if (args[i] == "--resume" && i + 1 < args.size()) {
+      ++i;
+      bopt.journal_path = args[i];
+      bopt.resume = true;
     } else if (args[i] == "--no-mapping") bopt.flow.run_mapping = false;
     else if (args[i] == "--no-power") bopt.flow.run_power = false;
     else if (parse_limit_flag(args, i, bopt.flow.limits)) {
@@ -592,6 +625,11 @@ int cmd_batch(const std::vector<std::string>& args) {
               "%zu ok, %zu degraded, %zu failed, %zu cancelled\n",
               result.rows.size(), result.seconds, bopt.jobs, ok, degraded,
               failed, cancelled);
+  if (bopt.resume || !bopt.journal_path.empty() || bopt.retries > 0)
+    std::printf("resilience: %zu rows replayed from journal, %zu retries "
+                "used, %zu journal errors, %zu journal lines skipped\n",
+                result.rows_replayed, result.retries_used,
+                result.journal_errors, result.journal_skipped_lines);
   if (bopt.jobs > 1) {
     std::printf("%s", format_dd_kernel_summary(result.rows).c_str());
     std::printf("%s", format_sched_summary(result.sched).c_str());
@@ -636,12 +674,25 @@ int main(int argc, char** argv) {
                  "usage: %s synth|baseline|map|verify|power|atpg|table2|"
                  "batch|validate-report|list ...\n",
                  argv[0]);
-    return 2;
+    return ExitCode::Usage;
   }
   const std::string cmd = argv[1];
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
   try {
+    // Global resilience switches, valid for every subcommand.
+    for (std::size_t i = 0; i < args.size();) {
+      if (args[i] == "--paranoid") {
+        set_paranoid_checks(true);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (args[i] == "--fault-plan" && i + 1 < args.size()) {
+        install_fault_plan(FaultPlan::parse(args[i + 1]));
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      } else {
+        ++i;
+      }
+    }
     if (cmd == "synth") return cmd_synth(args);
     if (cmd == "baseline") return cmd_baseline(args);
     if (cmd == "map") return cmd_map(args);
@@ -654,9 +705,12 @@ int main(int argc, char** argv) {
     if (cmd == "validate-report") return cmd_validate_report(args);
     if (cmd == "list") return cmd_list();
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
-    return 2;
+    return ExitCode::Usage;
+  } catch (const RmsynError& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", to_string(e.code()), e.what());
+    return exit_code_for_error(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return exit_code_for_error(classify_exception(e));
   }
 }
