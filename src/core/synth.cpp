@@ -373,6 +373,32 @@ Network synthesize(const Network& spec, const SynthOptions& opt,
   }
   rep.forms = std::move(chosen.forms);
 
+  // Optional post-pass: DAG-aware cut rewriting against the NPN database
+  // (DESIGN.md §13). Runs after the PI order is restored so the pass sees
+  // the final network. Best-of pick: every replacement is individually
+  // verified inside the pass, but we still only keep the rewritten network
+  // when it strictly improves the paper cost, so the option can never
+  // worsen a circuit. Skipped when the ladder allowance is spent.
+  if (opt.run_rewrite && regain()) {
+    obs::ScopedStage stage(gov, sb, "rewrite");
+    rw::RewriteOptions rwo = opt.rewrite;
+    if (rwo.pool == nullptr) rwo.pool = opt.polarity.pool;
+    if (rwo.governor == nullptr) rwo.governor = gov;
+    Network trial = out;
+    rw::RewriteStats rst = rw::rewrite_network(trial, rwo, &rep.sim);
+    const NetworkStats before = network_stats(out);
+    const NetworkStats after = network_stats(trial);
+    if (after.lits < before.lits ||
+        (after.lits == before.lits && after.num_nodes < before.num_nodes)) {
+      out = std::move(trial);
+    } else {
+      // Original kept: report the attempt with zero realized gain.
+      rst.lits_after = rst.lits_before;
+      rst.gain_lits = 0;
+    }
+    rep.rewrite = rst;
+  }
+
   if (opt.verify) {
     // Give the verifier a fresh slice when the budget already died: an
     // undecided internal check on a degraded result is acceptable, but we

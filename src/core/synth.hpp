@@ -19,6 +19,7 @@
 #include "network/network.hpp"
 #include "network/stats.hpp"
 #include "obs/stage.hpp"
+#include "rewrite/rewrite.hpp"
 #include "util/governor.hpp"
 
 namespace rmsyn {
@@ -46,6 +47,12 @@ struct SynthOptions {
   /// addition to the spec's natural order; off = natural order only
   /// (used by the ordering ablation).
   bool try_reach_order = true;
+  /// Post-pass: DAG-aware cut rewriting against the NPN database
+  /// (rewrite/rewrite.hpp, DESIGN.md §13). Best-of: the rewritten network
+  /// is kept only when it strictly improves the paper cost, so enabling
+  /// this can never worsen a circuit.
+  bool run_rewrite = false;
+  rw::RewriteOptions rewrite;
   /// Resource budget. On exhaustion the flow walks a degradation ladder
   /// instead of aborting: full polarity search → heuristic fixed polarity
   /// (PPRM, natural order) → Method 2 only → spec passthrough (failed).
@@ -68,6 +75,8 @@ struct SynthReport {
   /// Incremental-simulation counters accumulated over the flow's resub
   /// prefilters and the redundancy pass (sim/sim.hpp).
   SimStats sim;
+  /// Cut-rewriting post-pass counters (all-zero unless opt.run_rewrite).
+  rw::RewriteStats rewrite;
   /// ok, degraded:<stage-of-first-trip>, or failed:<reason>. Always `ok`
   /// when no governor is attached.
   FlowStatus status;

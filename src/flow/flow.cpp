@@ -53,6 +53,7 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.ours_seconds = rep.seconds;
       row.bdd = rep.bdd;
       row.sim = rep.sim;
+      row.rewrite = rep.rewrite;
       row.ours_status = rep.status;
       row.stages.accumulate(rep.stages);
       row.ours_polls = rep.governor_polls;
@@ -228,6 +229,7 @@ obs::MetricsRegistry collect_flow_metrics(const std::vector<FlowRow>& rows) {
   for (const FlowRow& r : rows) {
     m.absorb_bdd(r.bdd);
     m.absorb_sim(r.sim);
+    m.absorb_rewrite(r.rewrite);
     m.absorb_status(r.worst_status());
     m.absorb_stages(r.stages);
     m.add("flow.governor_polls", r.ours_polls + r.base_polls);
@@ -280,6 +282,22 @@ obs::Json flow_row_json(const FlowRow& row) {
   j["governor_polls"] = row.ours_polls + row.base_polls;
   j["ladder_descents"] = row.ladder_descents;
   j["attempts"] = row.attempts;
+  if (!row.rewrite.empty()) {
+    obs::Json rw = obs::Json::object();
+    rw["passes"] = row.rewrite.passes;
+    rw["roots"] = row.rewrite.roots;
+    rw["cuts_enumerated"] = row.rewrite.cuts_enumerated;
+    rw["db_hits"] = row.rewrite.db_hits;
+    rw["candidates"] = row.rewrite.candidates;
+    rw["stale_skips"] = row.rewrite.stale_skips;
+    rw["replacements"] = row.rewrite.replacements;
+    rw["sim_rejects"] = row.rewrite.sim_rejects;
+    rw["bdd_rejects"] = row.rewrite.bdd_rejects;
+    rw["lits_before"] = row.rewrite.lits_before;
+    rw["lits_after"] = row.rewrite.lits_after;
+    rw["gain_lits"] = row.rewrite.gain_lits;
+    j["rewrite"] = std::move(rw);
+  }
   obs::Json stages = obs::Json::array();
   for (const StageBreakdown::Entry& e : row.stages.entries) {
     obs::Json st = obs::Json::object();
@@ -352,6 +370,26 @@ FlowRow flow_row_from_json(const obs::Json& j) {
       row.ours_status = status_from_json(st.get("ours"), "status.ours");
     if (st.contains("base"))
       row.base_status = status_from_json(st.get("base"), "status.base");
+  }
+  if (j.contains("rewrite") && j.get("rewrite").is_object()) {
+    const obs::Json& rw = j.get("rewrite");
+    const auto rcount = [&](const char* key) -> uint64_t {
+      if (!rw.contains(key) || !rw.get(key).is_number()) return 0;
+      const double v = rw.get(key).as_number();
+      return v <= 0.0 ? 0 : static_cast<uint64_t>(v);
+    };
+    row.rewrite.passes = rcount("passes");
+    row.rewrite.roots = rcount("roots");
+    row.rewrite.cuts_enumerated = rcount("cuts_enumerated");
+    row.rewrite.db_hits = rcount("db_hits");
+    row.rewrite.candidates = rcount("candidates");
+    row.rewrite.stale_skips = rcount("stale_skips");
+    row.rewrite.replacements = rcount("replacements");
+    row.rewrite.sim_rejects = rcount("sim_rejects");
+    row.rewrite.bdd_rejects = rcount("bdd_rejects");
+    row.rewrite.lits_before = rcount("lits_before");
+    row.rewrite.lits_after = rcount("lits_after");
+    row.rewrite.gain_lits = rcount("gain_lits");
   }
   row.ours_polls = static_cast<uint64_t>(num("governor_polls"));
   row.ladder_descents = count("ladder_descents");

@@ -50,6 +50,10 @@ struct FlowRow {
   // fallbacks.
   SimStats sim;
 
+  // Cut-rewriting post-pass counters (all-zero unless the FPRM flow ran
+  // with synth.run_rewrite).
+  rw::RewriteStats rewrite;
+
   // Per-stage wall clock, merged across both flows plus mapping and power
   // (stage names match the trace spans and the governor stage stack).
   StageBreakdown stages;

@@ -7,6 +7,7 @@
 // members), so rmsyn_obs needs no link-time dependency on the bdd/sched
 // libraries — the dependency arrow stays obs <- {bdd, sched, flow}.
 #include "bdd/bdd.hpp"
+#include "rewrite/rewrite.hpp"
 #include "sched/pool.hpp"
 #include "sim/sim.hpp"
 
@@ -202,6 +203,22 @@ void MetricsRegistry::absorb_sim(const SimStats& s) {
   add("sim.value_reuses", s.value_reuses);
 }
 
+void MetricsRegistry::absorb_rewrite(const rw::RewriteStats& s) {
+  if (s.empty()) return;
+  add("rewrite.passes", s.passes);
+  add("rewrite.roots", s.roots);
+  add("rewrite.cuts_enumerated", s.cuts_enumerated);
+  add("rewrite.db_hits", s.db_hits);
+  add("rewrite.candidates", s.candidates);
+  add("rewrite.stale_skips", s.stale_skips);
+  add("rewrite.replacements", s.replacements);
+  add("rewrite.sim_rejects", s.sim_rejects);
+  add("rewrite.bdd_rejects", s.bdd_rejects);
+  add("rewrite.lits_before", s.lits_before);
+  add("rewrite.lits_after", s.lits_after);
+  add("rewrite.gain_lits", s.gain_lits);
+}
+
 void MetricsRegistry::absorb_status(const FlowStatus& st) {
   add("flow.rows");
   switch (st.outcome) {
@@ -347,6 +364,29 @@ void format_sim_block(const std::vector<MetricsRegistry::Entry>& es,
   out += buf;
 }
 
+void format_rewrite_block(const std::vector<MetricsRegistry::Entry>& es,
+                          std::string& out) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "Rewrite: %llu passes over %llu roots, %llu cuts (%llu db hits), "
+      "%llu candidates -> %llu applied (%llu stale, %llu sim rejects, "
+      "%llu bdd rejects), lits %llu -> %llu (saved %llu)\n",
+      static_cast<unsigned long long>(cnt(es, "rewrite.passes")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.roots")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.cuts_enumerated")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.db_hits")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.candidates")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.replacements")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.stale_skips")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.sim_rejects")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.bdd_rejects")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.lits_before")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.lits_after")),
+      static_cast<unsigned long long>(cnt(es, "rewrite.gain_lits")));
+  out += buf;
+}
+
 void format_flow_block(const std::vector<MetricsRegistry::Entry>& es,
                        std::string& out) {
   char buf[256];
@@ -389,18 +429,20 @@ void format_stage_block(const std::vector<MetricsRegistry::Entry>& es,
 std::string format_metrics_summary(const MetricsRegistry& m) {
   const std::vector<MetricsRegistry::Entry> es = m.snapshot();
   std::string out;
-  bool any_dd = false, any_sched = false, any_sim = false, any_flow = false,
-       any_stage = false;
+  bool any_dd = false, any_sched = false, any_sim = false, any_rw = false,
+       any_flow = false, any_stage = false;
   for (const auto& e : es) {
     any_dd |= has_prefix(e.name, "dd.");
     any_sched |= has_prefix(e.name, "sched.");
     any_sim |= has_prefix(e.name, "sim.");
+    any_rw |= has_prefix(e.name, "rewrite.");
     any_flow |= has_prefix(e.name, "flow.");
     any_stage |= has_prefix(e.name, "stage.");
   }
   if (any_dd) format_dd_block(es, out);
   if (any_sched) format_sched_block(es, out);
   if (any_sim) format_sim_block(es, out);
+  if (any_rw) format_rewrite_block(es, out);
   if (any_flow) format_flow_block(es, out);
   if (any_stage) format_stage_block(es, out);
   // Anything outside the well-known groups renders generically, so new
@@ -408,8 +450,8 @@ std::string format_metrics_summary(const MetricsRegistry& m) {
   char buf[192];
   for (const auto& e : es) {
     if (has_prefix(e.name, "dd.") || has_prefix(e.name, "sched.") ||
-        has_prefix(e.name, "sim.") || has_prefix(e.name, "flow.") ||
-        has_prefix(e.name, "stage."))
+        has_prefix(e.name, "sim.") || has_prefix(e.name, "rewrite.") ||
+        has_prefix(e.name, "flow.") || has_prefix(e.name, "stage."))
       continue;
     switch (e.v.kind) {
       case MetricKind::Counter:

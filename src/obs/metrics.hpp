@@ -20,6 +20,7 @@
 //   dd.*     DD-kernel counters absorbed from BddStats
 //   sched.*  pool aggregates + per-worker sched.w<i>.* / sched.ext.*
 //   sim.*    incremental-simulation engine counters absorbed from SimStats
+//   rewrite.* cut-rewriting pass counters absorbed from rw::RewriteStats
 //   flow.*   row outcomes, governor polls/descents, row count
 //   stage.*  per-stage wall-clock histograms (sum = seconds, count = calls)
 #pragma once
@@ -39,6 +40,9 @@ namespace rmsyn {
 struct BddStats;  // bdd/bdd.hpp
 struct SchedStats; // sched/pool.hpp
 struct SimStats;  // sim/sim.hpp
+namespace rw {
+struct RewriteStats; // rewrite/rewrite.hpp
+}
 
 namespace obs {
 
@@ -95,6 +99,8 @@ public:
   /// No-op for an all-zero block, so rows that never simulated anything
   /// do not grow spurious sim.* entries.
   void absorb_sim(const SimStats& s);
+  /// Cut-rewriting counters under rewrite.*; no-op for an all-zero block.
+  void absorb_rewrite(const rw::RewriteStats& s);
   /// Row outcome (`flow.ok/degraded/failed`) under the given flow prefix.
   void absorb_status(const FlowStatus& st);
   /// Per-stage histograms: stage.<name> gets (seconds, calls).

@@ -27,7 +27,9 @@ namespace rmsyn::obs {
 
 /// Bump ONLY when the report layout changes incompatibly; additive fields
 /// keep the version (the schema does not forbid unknown keys).
-inline constexpr int kReportSchemaVersion = 1;
+/// v2: rows grew the optional "rewrite" counters object (cut-rewriting
+/// post-pass) and readers must tolerate its absence.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Serializes a registry snapshot as an object keyed by metric name; each
 /// value carries its kind plus the kind-appropriate fields.

@@ -1,0 +1,271 @@
+#include "rewrite/database.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "rewrite/npn.hpp"
+#include "util/errors.hpp"
+
+namespace rmsyn {
+namespace rw {
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw RmsynError(ErrorCode::ParseError, "rewrite database: " + what);
+}
+
+int entry_dag_cost(const DbEntry& e) {
+  int c = 0;
+  for (const DbNode& n : e.nodes) c += n.is_xor ? 3 : 1;
+  return c;
+}
+
+} // namespace
+
+const DbEntry* RewriteDb::lookup(uint16_t canon) const {
+  const auto it = index_.find(canon);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+uint16_t RewriteDb::eval_entry(const DbEntry& e, const std::array<uint16_t, 4>& inputs) {
+  std::vector<uint16_t> vals(e.nodes.size(), 0);
+  const auto lit_val = [&](DbLit l) -> uint16_t {
+    const unsigned r = db_ref(l);
+    uint16_t v;
+    if (r == 0) v = 0x0000;
+    else if (r <= 4) v = inputs[r - 1];
+    else v = vals[r - 5];
+    return db_neg(l) ? static_cast<uint16_t>(~v) : v;
+  };
+  for (std::size_t i = 0; i < e.nodes.size(); ++i) {
+    const uint16_t a = lit_val(e.nodes[i].a);
+    const uint16_t b = lit_val(e.nodes[i].b);
+    vals[i] = e.nodes[i].is_xor ? static_cast<uint16_t>(a ^ b)
+                                : static_cast<uint16_t>(a & b);
+  }
+  return lit_val(e.root);
+}
+
+RewriteDb RewriteDb::generate() {
+  // How a truth table was first reached. Ops: 0 = constant 0, 1 = input
+  // projection (a = variable), 2 = complement of a, 3 = AND(a,b),
+  // 4 = XOR(a,b).
+  struct How {
+    uint8_t op = 0;
+    uint16_t a = 0, b = 0;
+  };
+  constexpr uint8_t kInf = 0xFF;
+  std::vector<uint8_t> dist(65536, kInf);
+  std::vector<How> how(65536);
+
+  // The targets: one representative per NPN class. Cost is NPN-invariant
+  // under this node basis (permutation relabels inputs, complements are
+  // free), so the representative's optimal cost is the class's.
+  std::vector<bool> is_rep(65536, false);
+  std::size_t reps_left = 0;
+  {
+    NpnCache cache;
+    for (uint32_t f = 0; f < 65536; ++f) is_rep[cache.canonicalize(static_cast<uint16_t>(f)).canon] = true;
+    for (uint32_t f = 0; f < 65536; ++f)
+      if (is_rep[f]) ++reps_left;
+  }
+
+  std::vector<std::vector<uint16_t>> by_cost(1);
+  const auto discover = [&](uint16_t t, How h, int cost, std::vector<uint16_t>& out) {
+    if (dist[t] != kInf) return;
+    dist[t] = static_cast<uint8_t>(cost);
+    how[t] = h;
+    out.push_back(t);
+    if (is_rep[t]) --reps_left;
+    // Complements are free: close every level immediately, which is also
+    // what lets the single AND rule cover OR/NAND/NOR.
+    const uint16_t nt = static_cast<uint16_t>(~t);
+    if (dist[nt] == kInf) {
+      dist[nt] = static_cast<uint8_t>(cost);
+      how[nt] = How{2, t, 0};
+      out.push_back(nt);
+      if (is_rep[nt]) --reps_left;
+    }
+  };
+
+  discover(0x0000, How{0, 0, 0}, 0, by_cost[0]);
+  for (uint16_t v = 0; v < 4; ++v)
+    discover(kProj4[v], How{1, v, 0}, 0, by_cost[0]);
+
+  for (int c = 1; reps_left > 0 && c < 64; ++c) {
+    std::vector<uint16_t> newly;
+    const auto combine = [&](int budget, bool use_xor) {
+      for (int a = 0; a <= budget - a; ++a) {
+        const int b = budget - a;
+        if (b >= static_cast<int>(by_cost.size())) continue;
+        const std::vector<uint16_t>& ga = by_cost[a];
+        const std::vector<uint16_t>& gb = by_cost[b];
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+          const std::size_t j0 = (a == b) ? i : 0;
+          for (std::size_t j = j0; j < gb.size(); ++j) {
+            const uint16_t g = ga[i], h = gb[j];
+            const uint16_t r = use_xor ? static_cast<uint16_t>(g ^ h)
+                                       : static_cast<uint16_t>(g & h);
+            discover(r, How{static_cast<uint8_t>(use_xor ? 4 : 3), g, h}, c, newly);
+          }
+        }
+      }
+    };
+    // XOR first so parity-like classes keep their XOR shape on cost ties.
+    if (c >= 3) combine(c - 3, true);
+    combine(c - 1, false);
+    by_cost.push_back(std::move(newly));
+  }
+  if (reps_left != 0)
+    throw RmsynError(ErrorCode::Internal,
+                     "rewrite database generation did not converge");
+
+  RewriteDb db;
+  for (uint32_t t = 0; t < 65536; ++t) {
+    if (!is_rep[t]) continue;
+    DbEntry e;
+    e.canon = static_cast<uint16_t>(t);
+    std::unordered_map<uint16_t, DbLit> memo;
+    const std::function<DbLit(uint16_t)> build = [&](uint16_t f) -> DbLit {
+      const auto it = memo.find(f);
+      if (it != memo.end()) return it->second;
+      const How& h = how[f];
+      DbLit l = 0;
+      switch (h.op) {
+        case 0: l = db_lit(0, false); break;
+        case 1: l = db_lit(1 + h.a, false); break;
+        case 2: l = static_cast<DbLit>(build(h.a) ^ 1); break;
+        default: {
+          const DbLit la = build(h.a);
+          const DbLit lb = build(h.b);
+          e.nodes.push_back(DbNode{h.op == 4, la, lb});
+          l = db_lit(4 + static_cast<unsigned>(e.nodes.size()), false);
+          break;
+        }
+      }
+      memo.emplace(f, l);
+      return l;
+    };
+    e.root = build(e.canon);
+    e.cost = entry_dag_cost(e); // DAG cost <= Dijkstra tree cost
+    db.entries_.push_back(std::move(e));
+  }
+  db.build_index();
+  db.validate();
+  return db;
+}
+
+void RewriteDb::build_index() {
+  index_.clear();
+  index_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!index_.emplace(entries_[i].canon, static_cast<uint32_t>(i)).second)
+      parse_fail("duplicate class entry");
+  }
+}
+
+void RewriteDb::validate() const {
+  for (const DbEntry& e : entries_) {
+    if (npn_canonicalize(e.canon).canon != e.canon)
+      parse_fail("entry is not a canonical representative");
+    for (std::size_t i = 0; i < e.nodes.size(); ++i) {
+      if (db_ref(e.nodes[i].a) >= 5 + i || db_ref(e.nodes[i].b) >= 5 + i)
+        parse_fail("node operand references a later node");
+    }
+    if (db_ref(e.root) >= 5 + e.nodes.size()) parse_fail("root out of range");
+    if (e.cost != entry_dag_cost(e)) parse_fail("recorded cost mismatch");
+    if (eval_entry(e, {kProj4[0], kProj4[1], kProj4[2], kProj4[3]}) != e.canon)
+      parse_fail("structure does not compute its class function");
+  }
+}
+
+RewriteDb RewriteDb::load(std::istream& in) {
+  RewriteDb db;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& what) {
+      parse_fail("line " + std::to_string(lineno) + ": " + what);
+    };
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    DbEntry e;
+    {
+      std::size_t used = 0;
+      unsigned long v = 0;
+      try {
+        v = std::stoul(tok, &used, 16);
+      } catch (const std::exception&) {
+        fail("bad class id '" + tok + "'");
+      }
+      if (used != tok.size() || v > 0xFFFF) fail("bad class id '" + tok + "'");
+      e.canon = static_cast<uint16_t>(v);
+    }
+    long cost = 0, nnodes = 0;
+    if (!(ls >> cost >> nnodes) || cost < 0 || nnodes < 0 || nnodes > 64)
+      fail("bad cost/node-count");
+    e.cost = static_cast<int>(cost);
+    for (long i = 0; i < nnodes; ++i) {
+      std::string op;
+      long a = 0, b = 0;
+      if (!(ls >> op >> a >> b) || (op != "A" && op != "X") || a < 0 ||
+          b < 0 || a > 0xFFFF || b > 0xFFFF)
+        fail("bad node");
+      e.nodes.push_back(DbNode{op == "X", static_cast<DbLit>(a), static_cast<DbLit>(b)});
+    }
+    long root = 0;
+    if (!(ls >> root) || root < 0 || root > 0xFFFF) fail("bad root literal");
+    e.root = static_cast<DbLit>(root);
+    std::string extra;
+    if (ls >> extra) fail("trailing tokens");
+    db.entries_.push_back(std::move(e));
+  }
+  if (db.entries_.empty()) parse_fail("no entries");
+  db.build_index();
+  db.validate();
+  return db;
+}
+
+RewriteDb RewriteDb::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) parse_fail("cannot open '" + path + "'");
+  return load(in);
+}
+
+void RewriteDb::save(std::ostream& out) const {
+  out << "# rmsyn rewrite database k=4 v1\n";
+  out << "# " << entries_.size()
+      << " NPN classes; literal = (ref<<1)|neg, ref 0 = const0, 1..4 = "
+         "inputs, 5.. = nodes\n";
+  char buf[8];
+  for (const DbEntry& e : entries_) {
+    std::snprintf(buf, sizeof buf, "%04x", e.canon);
+    out << buf << ' ' << e.cost << ' ' << e.nodes.size();
+    for (const DbNode& n : e.nodes)
+      out << ' ' << (n.is_xor ? 'X' : 'A') << ' ' << n.a << ' ' << n.b;
+    out << ' ' << e.root << '\n';
+  }
+}
+
+const RewriteDb& RewriteDb::instance() {
+  static const RewriteDb db = [] {
+    if (const char* env = std::getenv("RMSYN_REWRITE_DB")) return load_file(env);
+#ifdef RMSYN_DATA_DIR
+    {
+      std::ifstream in(std::string(RMSYN_DATA_DIR) + "/rewrite_db_k4.txt");
+      if (in) return load(in);
+    }
+#endif
+    return generate();
+  }();
+  return db;
+}
+
+} // namespace rw
+} // namespace rmsyn

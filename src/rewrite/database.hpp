@@ -1,0 +1,100 @@
+// The rewrite database: one precomputed optimal AND/XOR structure per NPN
+// class of 4-input functions (222 classes).
+//
+// Structures are expression DAGs over 2-input AND and XOR nodes with free
+// complement edges, costed in the paper's units (stats.hpp): a 2-input
+// AND-equivalent costs 1, a 2-input XOR costs 3, inverters are free. OR /
+// NAND / NOR fall out of AND plus complements, so AND+XOR is a complete
+// basis and the stored cost is exactly what the structure adds to a
+// network's `gates2` when nothing is shared.
+//
+// Generation (generate()) is a level-synchronous Dijkstra over all 65536
+// 16-bit truth tables: constants and projections seed cost 0, complements
+// close every level for free, and level c combines finalized pairs with
+// cost a+b+1 by AND and a+b+3 by XOR (XOR first, so parity-like classes
+// keep their XOR shape on cost ties). When every class representative is
+// finalized, one expression DAG per representative is extracted from the
+// `how` links with truth-table-level deduplication — so the recorded cost
+// is the DAG cost, never worse than the Dijkstra tree cost.
+//
+// On-disk format (data/rewrite_db_k4.txt, written by `rmsyn_cli
+// rewrite-dbgen`): '#' comments, then one line per class
+//
+//   <canon-hex4> <cost> <nnodes> { A|X <lit-a> <lit-b> }*nnodes <root-lit>
+//
+// with literal = (ref << 1) | complemented; ref 0 = constant 0, refs 1..4 =
+// canonical inputs y0..y3, refs >= 5 = the listed nodes in order. load()
+// re-evaluates every entry against its class function and throws
+// RmsynError(ParseError) on any mismatch, so a corrupt database can never
+// reach the replacement engine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rmsyn {
+namespace rw {
+
+/// Database literal: (ref << 1) | complemented. Ref 0 is constant 0, refs
+/// 1..4 the canonical inputs y0..y3, refs >= 5 internal nodes in order.
+using DbLit = uint16_t;
+
+inline constexpr DbLit db_lit(unsigned ref, bool neg) {
+  return static_cast<DbLit>((ref << 1) | (neg ? 1 : 0));
+}
+inline constexpr unsigned db_ref(DbLit l) { return l >> 1; }
+inline constexpr bool db_neg(DbLit l) { return (l & 1) != 0; }
+
+struct DbNode {
+  bool is_xor = false;
+  DbLit a = 0;
+  DbLit b = 0;
+};
+
+struct DbEntry {
+  uint16_t canon = 0;
+  int cost = 0; ///< 2-input AND-equivalents of the DAG (XOR = 3, NOT free)
+  std::vector<DbNode> nodes; ///< topologically ordered (operands precede)
+  DbLit root = 0;
+};
+
+class RewriteDb {
+public:
+  /// Entry for a canonical representative, or null when `canon` is not
+  /// canonical (lookups must canonicalize first; every class is covered).
+  const DbEntry* lookup(uint16_t canon) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<DbEntry>& entries() const { return entries_; }
+
+  /// Evaluates an entry's structure over explicit input tables (leaf i =
+  /// the table fed to canonical input y_i). Returns the root's table.
+  static uint16_t eval_entry(const DbEntry& e, const std::array<uint16_t, 4>& inputs);
+
+  /// Builds the database from scratch (seconds of CPU; see header comment).
+  static RewriteDb generate();
+
+  /// Parses the on-disk format; throws RmsynError(ParseError) on malformed
+  /// or functionally wrong entries.
+  static RewriteDb load(std::istream& in);
+  static RewriteDb load_file(const std::string& path);
+  void save(std::ostream& out) const;
+
+  /// Shared instance, resolved once: $RMSYN_REWRITE_DB if set, else
+  /// rewrite_db_k4.txt under the build-time data directory, else generate().
+  static const RewriteDb& instance();
+
+private:
+  void build_index();
+  void validate() const;
+
+  std::vector<DbEntry> entries_; ///< sorted by canon
+  std::unordered_map<uint16_t, uint32_t> index_;
+};
+
+} // namespace rw
+} // namespace rmsyn

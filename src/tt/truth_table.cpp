@@ -87,6 +87,55 @@ std::vector<int> TruthTable::support() const {
   return vars;
 }
 
+TruthTable TruthTable::permute_inputs(const std::vector<int>& perm) const {
+  assert(static_cast<int>(perm.size()) == nvars_);
+  TruthTable r(nvars_);
+  for (uint64_t m = 0; m < size(); ++m) {
+    // Gather this function's input vector x from the result's minterm y = m.
+    uint64_t src = 0;
+    for (int i = 0; i < nvars_; ++i)
+      if ((m >> perm[i]) & 1) src |= uint64_t{1} << i;
+    if (bits_.get(src)) r.bits_.set(m);
+  }
+  return r;
+}
+
+TruthTable TruthTable::negate_input(int var) const {
+  assert(var >= 0 && var < nvars_);
+  return negate_inputs(uint64_t{1} << var);
+}
+
+TruthTable TruthTable::negate_inputs(uint64_t mask) const {
+  assert(nvars_ >= 64 || mask < (uint64_t{1} << nvars_));
+  TruthTable r(nvars_);
+  for (uint64_t m = 0; m < size(); ++m)
+    if (bits_.get(m ^ mask)) r.bits_.set(m);
+  return r;
+}
+
+TruthTable TruthTable::shrink_to_support() const {
+  const std::vector<int> vars = support();
+  TruthTable r(static_cast<int>(vars.size()));
+  for (uint64_t m = 0; m < r.size(); ++m) {
+    // Scatter the compact minterm onto the support positions; irrelevant
+    // variables read as 0 (any value gives the same function bit).
+    uint64_t src = 0;
+    for (std::size_t j = 0; j < vars.size(); ++j)
+      if ((m >> j) & 1) src |= uint64_t{1} << vars[j];
+    if (bits_.get(src)) r.bits_.set(m);
+  }
+  return r;
+}
+
+TruthTable TruthTable::extend(int nvars) const {
+  assert(nvars >= nvars_);
+  TruthTable r(nvars);
+  const uint64_t lo_mask = size() - 1;
+  for (uint64_t m = 0; m < r.size(); ++m)
+    if (bits_.get(m & lo_mask)) r.bits_.set(m);
+  return r;
+}
+
 void TruthTable::reed_muller_transform() {
   // Butterfly: for each variable, XOR the cofactor-0 half into the
   // cofactor-1 half. Word-level for stride >= 64, bit-level below.

@@ -53,6 +53,20 @@ public:
   /// Indices of all variables the function depends on.
   std::vector<int> support() const;
 
+  /// g(y) = f(x) with x_i = y_{perm[i]}: input i of this function is fed
+  /// from input perm[i] of the result. `perm` must be a permutation of
+  /// 0..nvars-1.
+  TruthTable permute_inputs(const std::vector<int>& perm) const;
+  /// g(y) = f(y with x_var complemented).
+  TruthTable negate_input(int var) const;
+  /// Complement every input whose bit is set in `mask` (bit i = x_i).
+  TruthTable negate_inputs(uint64_t mask) const;
+  /// Projects onto the support: result ranges over support().size()
+  /// variables, with new variable j fed from old variable support()[j].
+  TruthTable shrink_to_support() const;
+  /// Pads to `nvars` >= nvars() inputs; the new variables are irrelevant.
+  TruthTable extend(int nvars) const;
+
   /// In-place Reed-Muller (positive-polarity) butterfly transform. Applying
   /// it to a function yields its PPRM spectrum (coefficient table); applying
   /// it twice is the identity — it is an involution over GF(2).

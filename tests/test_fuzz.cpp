@@ -15,6 +15,7 @@
 #include "network/io.hpp"
 #include "network/transform.hpp"
 #include "power/power.hpp"
+#include "rewrite/rewrite.hpp"
 #include "testability/faults.hpp"
 #include "util/rng.hpp"
 
@@ -156,6 +157,31 @@ TEST_P(Fuzz, GovernedFlowsAreSoundUnderRandomBudgets) {
       EXPECT_TRUE(check_equivalence(spec, out).equivalent)
           << "status " << rep.status.to_string();
     }
+  }
+}
+
+TEST_P(Fuzz, GovernedRewriteIsSoundUnderRandomBudgets) {
+  // Cut-rewriting under starved budgets: wherever the governor trips —
+  // mid-enumeration, mid-evaluation, between phase-C commits — the pass
+  // must unwind to a structurally valid network equivalent to its input
+  // (replacements are atomic: verified-then-committed or fully reverted).
+  const Network spec = random_spec(GetParam() + 11000);
+  Rng rng(GetParam() + 12000);
+  for (int round = 0; round < 4; ++round) {
+    ResourceLimits lim;
+    lim.step_limit = uint64_t{1} << (1 + rng.below(12));
+    ResourceGovernor gov(lim);
+    rw::RewriteOptions opt;
+    opt.governor = &gov;
+    Network net = strash(spec);
+    const rw::RewriteStats st = rw::rewrite_network(net, opt);
+    const auto problems = net.check_invariants();
+    EXPECT_TRUE(problems.empty())
+        << "steps=" << lim.step_limit << ": " << problems.front().to_string();
+    const auto check = check_equivalence(spec, net);
+    EXPECT_TRUE(check.equivalent)
+        << "steps=" << lim.step_limit << " replacements=" << st.replacements
+        << ": " << check.reason;
   }
 }
 

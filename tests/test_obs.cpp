@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <vector>
@@ -384,6 +386,18 @@ obs::Json golden_report() {
   a.ours_power = 1.0;
   a.ours_polls = 1000;
   a.base_polls = 500;
+  a.rewrite.passes = 2;
+  a.rewrite.roots = 30;
+  a.rewrite.cuts_enumerated = 120;
+  a.rewrite.db_hits = 90;
+  a.rewrite.candidates = 6;
+  a.rewrite.stale_skips = 1;
+  a.rewrite.replacements = 4;
+  a.rewrite.sim_rejects = 0;
+  a.rewrite.bdd_rejects = 0;
+  a.rewrite.lits_before = 70;
+  a.rewrite.lits_after = 62;
+  a.rewrite.gain_lits = 8;
   a.stages.add("spec-bdd", 0.125, 2);
   a.stages.add("factor", 0.25, 8);
 
@@ -429,9 +443,16 @@ TEST(Report, GoldenFilePinsTheSerialization) {
   // Byte-for-byte stability of the serialized report is the schema
   // contract: if this fails, either fix the regression or consciously
   // regenerate the golden (and bump kReportSchemaVersion on incompatible
-  // changes).
-  const std::string golden = obs::read_file(
-      std::string(RMSYN_SOURCE_DIR) + "/tests/golden/report_golden.json");
+  // changes). Regenerate with RMSYN_REGEN_GOLDEN=1 in the environment.
+  const std::string path =
+      std::string(RMSYN_SOURCE_DIR) + "/tests/golden/report_golden.json";
+  if (std::getenv("RMSYN_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << golden_report().dump(2);
+    return;
+  }
+  const std::string golden = obs::read_file(path);
   EXPECT_EQ(golden_report().dump(2), golden);
 }
 

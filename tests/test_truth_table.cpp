@@ -1,5 +1,6 @@
 #include "tt/truth_table.hpp"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
@@ -97,6 +98,94 @@ TEST_P(TTRandom, SpectrumEvaluatesBackToFunction) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, TTRandom, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TruthTable table_from_bits(int nvars, uint64_t bits) {
+  TruthTable f(nvars);
+  for (uint64_t m = 0; m < f.size(); ++m)
+    if ((bits >> m) & 1) f.set(m);
+  return f;
+}
+
+TEST(TruthTable, PermuteInputsExhaustive3) {
+  // g = f.permute_inputs(perm) must satisfy g(y) = f(x), x_i = y_{perm[i]},
+  // for ALL 256 3-variable functions and all 6 permutations.
+  std::vector<int> perm = {0, 1, 2};
+  do {
+    for (unsigned bits = 0; bits < 256; ++bits) {
+      const TruthTable f = table_from_bits(3, bits);
+      const TruthTable g = f.permute_inputs(perm);
+      for (uint64_t y = 0; y < 8; ++y) {
+        uint64_t x = 0;
+        for (int i = 0; i < 3; ++i)
+          if ((y >> perm[i]) & 1) x |= uint64_t{1} << i;
+        EXPECT_EQ(g.get(y), f.get(x));
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(TruthTable, PermuteInverseRoundTrips) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    TruthTable f(4);
+    for (uint64_t m = 0; m < f.size(); ++m)
+      if (rng.flip()) f.set(m);
+    std::vector<int> perm = {0, 1, 2, 3};
+    for (int i = 3; i > 0; --i)
+      std::swap(perm[i], perm[rng.below(static_cast<uint64_t>(i) + 1)]);
+    std::vector<int> inv(4);
+    for (int i = 0; i < 4; ++i) inv[perm[i]] = i;
+    EXPECT_EQ(f.permute_inputs(perm).permute_inputs(inv), f);
+  }
+}
+
+TEST(TruthTable, NegateInputsExhaustive3) {
+  // g = f.negate_inputs(mask) must satisfy g(y) = f(y ^ mask), for all 256
+  // functions and all 8 masks; negate_input(v) is the single-bit case.
+  for (unsigned bits = 0; bits < 256; ++bits) {
+    const TruthTable f = table_from_bits(3, bits);
+    for (uint64_t mask = 0; mask < 8; ++mask) {
+      const TruthTable g = f.negate_inputs(mask);
+      for (uint64_t y = 0; y < 8; ++y) EXPECT_EQ(g.get(y), f.get(y ^ mask));
+    }
+    for (int v = 0; v < 3; ++v)
+      EXPECT_EQ(f.negate_input(v), f.negate_inputs(uint64_t{1} << v));
+  }
+}
+
+TEST(TruthTable, ShrinkToSupportExhaustive3) {
+  // Shrinking projects onto the true support: new variable j is fed from
+  // old variable support()[j], checked by re-evaluating every minterm.
+  for (unsigned bits = 0; bits < 256; ++bits) {
+    const TruthTable f = table_from_bits(3, bits);
+    const std::vector<int> sup = f.support();
+    const TruthTable h = f.shrink_to_support();
+    EXPECT_EQ(h.nvars(), static_cast<int>(sup.size()));
+    for (uint64_t m = 0; m < 8; ++m) {
+      uint64_t packed = 0;
+      for (std::size_t j = 0; j < sup.size(); ++j)
+        if ((m >> sup[j]) & 1) packed |= uint64_t{1} << j;
+      EXPECT_EQ(f.get(m), h.get(packed)) << "bits=" << bits << " m=" << m;
+    }
+  }
+}
+
+TEST(TruthTable, ExtendAddsIrrelevantVariables) {
+  for (unsigned bits = 0; bits < 16; ++bits) {
+    const TruthTable f = table_from_bits(2, bits);
+    const TruthTable g = f.extend(4);
+    EXPECT_EQ(g.nvars(), 4);
+    for (uint64_t m = 0; m < 16; ++m) EXPECT_EQ(g.get(m), f.get(m & 3));
+    EXPECT_FALSE(g.depends_on(2));
+    EXPECT_FALSE(g.depends_on(3));
+    // Shrinking away the padding vars and re-extending restores g — but
+    // only when the support is a variable prefix, because shrink compacts
+    // support vars down to the low positions (f = x1 shrinks to x0).
+    const TruthTable h = g.shrink_to_support();
+    EXPECT_LE(h.nvars(), 2);
+    if (f.depends_on(0) || !f.depends_on(1)) EXPECT_EQ(h.extend(4), g);
+  }
+}
 
 } // namespace
 } // namespace rmsyn

@@ -1,8 +1,13 @@
 // rmsyn command-line driver.
 //
 //   rmsyn_cli synth    <input> [-o out.blif] [--method cubes|ofdd|best]
-//                      [--no-redundancy] [--no-resub] [--trace out.json]
+//                      [--no-redundancy] [--no-resub] [--rewrite]
+//                      [--trace out.json]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
+//   rmsyn_cli rewrite  <input> [-o out.blif] [--jobs N] [--passes N]
+//                      [--cut-limit N] [--db file]
+//                      [--timeout sec] [--node-limit n] [--step-limit n]
+//   rmsyn_cli rewrite-dbgen [-o out.txt]
 //   rmsyn_cli baseline <input> [-o out.blif]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //   rmsyn_cli map      <input> [--lib file.genlib]
@@ -11,6 +16,7 @@
 //   rmsyn_cli atpg     <input> [--jobs N] [--no-drop]
 //   rmsyn_cli dump     <input> [-o out.blif]   (spec as BLIF, unsynthesized)
 //   rmsyn_cli table2   [circuit ...] [--keep-going] [--jobs N] [--retries N]
+//                      [--rewrite]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--trace out.json] [--report out.json]
 //                      [--heartbeat sec]
@@ -79,6 +85,8 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "power/power.hpp"
+#include "rewrite/database.hpp"
+#include "rewrite/rewrite.hpp"
 #include "sched/batch.hpp"
 #include "sched/pool.hpp"
 #include "util/errors.hpp"
@@ -194,6 +202,8 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.run_redundancy_removal = false;
     } else if (args[i] == "--no-resub") {
       opt.run_resub = false;
+    } else if (args[i] == "--rewrite") {
+      opt.run_rewrite = true;
     } else if (parse_limit_flag(args, i, limits)) {
       // consumed
     } else {
@@ -235,6 +245,11 @@ int cmd_synth(const std::vector<std::string>& args) {
               100.0 * rep.bdd.cache_hit_rate(), rep.bdd.peak_live_nodes,
               static_cast<unsigned long long>(rep.bdd.gc_runs),
               static_cast<unsigned long long>(rep.bdd.reorder_runs));
+  if (!rep.rewrite.empty()) {
+    obs::MetricsRegistry m;
+    m.absorb_rewrite(rep.rewrite);
+    std::printf("%s", obs::format_metrics_summary(m).c_str());
+  }
   if (!rep.stages.empty()) std::printf("%s", rep.stages.to_string().c_str());
   write_output(result, out_path, "rmsyn_synth");
   return status_exit_code(rep.status);
@@ -377,6 +392,90 @@ int cmd_dump(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_rewrite(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("rewrite: missing input");
+  rw::RewriteOptions opt;
+  ResourceLimits limits;
+  std::string out_path;
+  int jobs = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--jobs" && i + 1 < args.size())
+      jobs = parse_jobs("--jobs", args[++i]);
+    else if (args[i] == "--passes" && i + 1 < args.size())
+      opt.max_passes = static_cast<int>(parse_count("--passes", args[++i]));
+    else if (args[i] == "--cut-limit" && i + 1 < args.size())
+      opt.cut_limit = static_cast<int>(parse_count("--cut-limit", args[++i]));
+    else if (args[i] == "--db" && i + 1 < args.size())
+      opt.db_path = args[++i];
+    else if (parse_limit_flag(args, i, limits)) {
+      // consumed
+    } else {
+      throw std::runtime_error("rewrite: unknown option " + args[i]);
+    }
+  }
+  const Network spec = load_input(args[0]);
+  std::optional<ResourceGovernor> gov;
+  if (!limits.unlimited()) {
+    gov.emplace(limits);
+    opt.governor = &*gov;
+  }
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) {
+    pool.emplace(jobs);
+    opt.pool = &*pool;
+  }
+  Network net = spec;
+  Stopwatch sw;
+  const rw::RewriteStats st = rw::rewrite_network(net, opt);
+  const double seconds = sw.seconds();
+  // Every replacement was verified in-pass; this is the belt-and-braces
+  // whole-network check the paper's flow runs (SIS `verify`). It shares
+  // the run's budget: on exhaustion the BDD phase comes back undecided
+  // (the simulation miter still runs) instead of hanging on BDD-hostile
+  // functions like wide multipliers.
+  const auto check =
+      check_equivalence(spec, net, 0xC0FFEE, gov ? &*gov : nullptr);
+  if (check.decided && !check.equivalent)
+    throw RmsynError(ErrorCode::VerifyMismatch,
+                     "rewrite: result not equivalent to input: " +
+                         check.reason);
+  obs::MetricsRegistry m;
+  m.absorb_rewrite(st);
+  std::printf("%s", obs::format_metrics_summary(m).c_str());
+  std::printf("rewrite %s: %s in %.3fs (equivalence %s)\n", args[0].c_str(),
+              to_string(network_stats(net)).c_str(), seconds,
+              check.decided ? "verified" : "undecided");
+  write_output(net, out_path, "rmsyn_rewrite");
+  const bool tripped =
+      gov.has_value() && gov->trip_kind() != TripKind::None;
+  return tripped ? ExitCode::BudgetDegraded : ExitCode::Ok;
+}
+
+int cmd_rewrite_dbgen(const std::vector<std::string>& args) {
+  std::string out_path = "data/rewrite_db_k4.txt";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    else throw std::runtime_error("rewrite-dbgen: unknown option " + args[i]);
+  }
+  Stopwatch sw;
+  const rw::RewriteDb db = rw::RewriteDb::generate();
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  db.save(out);
+  int max_cost = 0;
+  long total_cost = 0;
+  for (const auto& e : db.entries()) {
+    max_cost = std::max(max_cost, e.cost);
+    total_cost += e.cost;
+  }
+  std::printf("rewrite-dbgen: %zu NPN classes in %.2fs (max cost %d, "
+              "total %ld) -> %s\n",
+              db.size(), sw.seconds(), max_cost, total_cost,
+              out_path.c_str());
+  return 0;
+}
+
 /// Observability switches shared by table2 and batch.
 struct RunObs {
   std::string trace_path;  ///< --trace: Chrome trace-event JSON
@@ -464,6 +563,8 @@ int cmd_table2(const std::vector<std::string>& args) {
     } else if (args[i] == "--retries" && i + 1 < args.size()) {
       ++i;
       bopt.retries = static_cast<int>(parse_count("--retries", args[i]));
+    } else if (args[i] == "--rewrite") {
+      bopt.flow.synth.run_rewrite = true;
     } else if (parse_limit_flag(args, i, bopt.flow.limits)) {
       // consumed
     } else if (parse_obs_flag(args, i, obs_opt)) {
@@ -550,6 +651,7 @@ int cmd_batch(const std::vector<std::string>& args) {
       bopt.resume = true;
     } else if (args[i] == "--no-mapping") bopt.flow.run_mapping = false;
     else if (args[i] == "--no-power") bopt.flow.run_power = false;
+    else if (args[i] == "--rewrite") bopt.flow.synth.run_rewrite = true;
     else if (parse_limit_flag(args, i, bopt.flow.limits)) {
       // consumed
     } else if (parse_obs_flag(args, i, obs_opt)) {
@@ -671,8 +773,8 @@ int cmd_list() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s synth|baseline|map|verify|power|atpg|table2|"
-                 "batch|validate-report|list ...\n",
+                 "usage: %s synth|baseline|map|verify|power|atpg|rewrite|"
+                 "rewrite-dbgen|table2|batch|validate-report|list ...\n",
                  argv[0]);
     return ExitCode::Usage;
   }
@@ -700,6 +802,8 @@ int main(int argc, char** argv) {
     if (cmd == "power") return cmd_power(args);
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "dump") return cmd_dump(args);
+    if (cmd == "rewrite") return cmd_rewrite(args);
+    if (cmd == "rewrite-dbgen") return cmd_rewrite_dbgen(args);
     if (cmd == "table2") return cmd_table2(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "validate-report") return cmd_validate_report(args);
