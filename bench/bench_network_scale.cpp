@@ -14,8 +14,6 @@
 //        [--min-nodes X] [--min-nodes-per-sec X] [--max-rss-mb M]
 //        [--patterns N]
 //        (default: BENCH_network_scale.json, mult132, 100000, 1e6, 3000, 256)
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -27,20 +25,16 @@
 #include "network/simulate.hpp"
 #include "network/stats.hpp"
 #include "util/governor.hpp"
+#include "util/osinfo.hpp"
 
 namespace {
+
+using rmsyn::peak_rss_mb;
 
 double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-/// Peak resident set of this process so far, in MB (Linux ru_maxrss is KB).
-double peak_rss_mb() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
 }
 
 struct Stage {

@@ -26,6 +26,7 @@ uint64_t fnv1a64(const std::string& s) {
 
 FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
   obs::Span flow_span("flow:" + bench.name);
+  const uint64_t row_start_ns = obs::now_ns();
   if (ProgressBoard::active())
     ProgressBoard::instance().set_circuit(bench.name);
   FlowRow row;
@@ -137,6 +138,8 @@ FlowRow run_flow(const Benchmark& bench, const FlowOptions& opt) {
       row.sim.accumulate(pr.sim);
     }
   }
+  row.row_seconds =
+      1e-9 * static_cast<double>(obs::now_ns() - row_start_ns);
   return row;
 }
 
@@ -234,6 +237,9 @@ obs::MetricsRegistry collect_flow_metrics(const std::vector<FlowRow>& rows) {
     m.absorb_stages(r.stages);
     m.add("flow.governor_polls", r.ours_polls + r.base_polls);
     m.add("flow.ladder_descents", r.ladder_descents);
+    // Rows spliced from a pre-v3 resume journal carry no latency; skip
+    // them rather than pull the percentiles toward zero.
+    if (r.row_seconds > 0.0) m.observe("flow.row_seconds", r.row_seconds);
   }
   return m;
 }
@@ -282,6 +288,7 @@ obs::Json flow_row_json(const FlowRow& row) {
   j["governor_polls"] = row.ours_polls + row.base_polls;
   j["ladder_descents"] = row.ladder_descents;
   j["attempts"] = row.attempts;
+  j["row_seconds"] = row.row_seconds;
   if (!row.rewrite.empty()) {
     obs::Json rw = obs::Json::object();
     rw["passes"] = row.rewrite.passes;
@@ -397,6 +404,7 @@ FlowRow flow_row_from_json(const obs::Json& j) {
                      ? static_cast<int>(num("attempts"))
                      : 1;
   if (row.attempts < 1) row.attempts = 1;
+  row.row_seconds = num("row_seconds");
   if (j.contains("stages") && j.get("stages").is_array()) {
     const obs::Json& stages = j.get("stages");
     for (std::size_t i = 0; i < stages.size(); ++i) {

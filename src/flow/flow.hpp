@@ -41,6 +41,11 @@ struct FlowRow {
   double base_power = 0.0;
   double ours_power = 0.0;
 
+  // End-to-end wall time of this row (both flows + mapping + power), the
+  // unit of the flow.row_seconds latency histogram batch prints p50/p99
+  // of. 0 for rows spliced from a pre-v3 resume journal.
+  double row_seconds = 0.0;
+
   // DD-kernel observability for the FPRM flow (accumulated over every
   // manager synthesize() created for this circuit).
   BddStats bdd;

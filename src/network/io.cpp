@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 
 namespace rmsyn {
@@ -25,6 +26,7 @@ std::string node_label(const Network& net, NodeId n) {
 
 void write_blif(std::ostream& out, const Network& net,
                 const std::string& model_name) {
+  RMSYN_SPAN("io-write-blif");
   out << ".model " << model_name << "\n.inputs";
   for (const NodeId pi : net.pis()) out << ' ' << net.name(pi);
   out << "\n.outputs";
@@ -304,6 +306,7 @@ Network read_blif(std::istream& in) {
 }
 
 Network read_blif_string(const std::string& text) {
+  RMSYN_SPAN("io-read-blif");
   std::istringstream ss(text);
   return read_blif(ss);
 }
@@ -511,11 +514,13 @@ Network read_aiger(std::istream& in) {
 }
 
 Network read_aiger_string(const std::string& text) {
+  RMSYN_SPAN("io-read-aiger");
   std::istringstream ss(text);
   return read_aiger(ss);
 }
 
 void write_aiger(std::ostream& out, const Network& net, bool binary) {
+  RMSYN_SPAN("io-write-aiger");
   const auto order = net.topo_order();
   const auto live = net.live_mask();
   const std::size_t I = net.pi_count();

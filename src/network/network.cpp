@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/errors.hpp"
 #include "util/faultplan.hpp"
 
@@ -298,6 +299,7 @@ std::vector<uint32_t> Network::fanout_counts() const {
 }
 
 std::vector<NodeId> Network::compact() {
+  RMSYN_SPAN("network-compact");
   const auto live = live_mask();
   const auto order = topo_order();
 

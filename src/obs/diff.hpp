@@ -1,0 +1,96 @@
+// QoR regression diffing — compares two run reports (or two BENCH_*.json
+// documents) metric by metric and renders a verdict per comparison plus a
+// worst-case roll-up, so CI can gate a PR against committed baselines
+// (data/baselines/) instead of catching regressions by eyeball.
+//
+// Threshold model, per metric class:
+//  * QoR columns (literals, gates, power): deterministic by the repo's
+//    determinism contract, so ZERO tolerance — any increase is Regress,
+//    any decrease Improve.
+//  * Timing columns (*_seconds and friends): inherently noisy, so changes
+//    inside a relative band (with an absolute floor for sub-50ms values)
+//    are Noise; only beyond-band slowdowns count as Regress. The CI gate
+//    runs with ignore_timing so shared-runner jitter can never fail a PR.
+//  * Status fields: a worst-status severity increase (ok -> degraded,
+//    degraded -> failed) is Regress regardless of any column.
+//  * Everything else (counters with no inherent better-direction): changes
+//    are reported as Noise, never gating.
+// Structural problems — a circuit present in the baseline but missing
+// from the candidate, a QoR column the candidate lacks, a non-report
+// document — are SchemaMismatch, which outranks Regress (the comparison
+// itself is meaningless, a worse failure than a bad number). Schema
+// *versions* are deliberately not compared: reports evolve additively
+// (v2 vs v3 differ only in extra fields), so cross-version diffs work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rmsyn::obs {
+
+/// Per-comparison outcome, ordered by severity (worst last).
+enum class Verdict : uint8_t { Same, Improve, Noise, Regress, SchemaMismatch };
+
+const char* to_string(Verdict v);
+
+struct DiffOptions {
+  /// Relative noise band for timing metrics, as a fraction (0.25 = ±25%).
+  double seconds_noise_frac = 0.25;
+  /// Absolute floor on the band, in seconds: differences below this never
+  /// gate, however large in relative terms (sub-50ms stages jitter wildly).
+  double seconds_noise_floor = 0.05;
+  /// Skip timing metrics entirely (the CI baseline gate sets this: QoR is
+  /// deterministic across machines, wall time is not).
+  bool ignore_timing = false;
+};
+
+struct DiffEntry {
+  std::string path; ///< "rows[f2].ours_lits", "metrics.dd.cache_hits", ...
+  double base = 0.0;
+  double ours = 0.0;
+  Verdict verdict = Verdict::Same;
+};
+
+struct DiffResult {
+  Verdict worst = Verdict::Same;
+  /// Every non-Same comparison, in document order.
+  std::vector<DiffEntry> entries;
+  /// Human-readable structural problems (set iff worst == SchemaMismatch).
+  std::vector<std::string> errors;
+
+  void note(DiffEntry e);
+  void note_error(std::string msg);
+};
+
+/// Diff two rmsyn run reports (schema v2 or v3): rows are matched by
+/// circuit name, QoR columns get zero tolerance, timing columns the noise
+/// band, statuses severity comparison. Top-level metrics are ignored —
+/// they aggregate the rows and would double-report every row-level change.
+DiffResult diff_reports(const Json& base, const Json& ours,
+                        const DiffOptions& opt);
+
+/// Generic numeric walk for BENCH_*.json (or any JSON document): number
+/// leaves at matching paths are compared with direction inferred from the
+/// key name (seconds-like: lower-better in the noise band; lits/gates:
+/// lower-better zero tolerance; *_per_second rates: higher-better in the
+/// band; unknown: Noise). Boolean flips and missing keys are Regress /
+/// SchemaMismatch respectively.
+DiffResult diff_generic(const Json& base, const Json& ours,
+                        const DiffOptions& opt);
+
+/// Routes to diff_reports when both documents look like run reports
+/// (tool == "rmsyn" with a rows array), diff_generic otherwise;
+/// SchemaMismatch when one is a report and the other is not.
+DiffResult diff_documents(const Json& base, const Json& ours,
+                          const DiffOptions& opt);
+
+/// One line per entry plus a verdict summary, for the CLI.
+std::string format_diff(const DiffResult& r);
+
+/// Stable CLI exit code: 0 (Same/Improve/Noise), 2 (Regress),
+/// 4 (SchemaMismatch) — matching the degraded/fatal-input taxonomy.
+int diff_exit_code(const DiffResult& r);
+
+} // namespace rmsyn::obs

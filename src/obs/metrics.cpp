@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 // Struct definitions only: the absorbers read plain fields (and inline
 // members), so rmsyn_obs needs no link-time dependency on the bdd/sched
@@ -20,6 +22,95 @@ const char* to_string(MetricKind k) {
     case MetricKind::Histogram: return "histogram";
   }
   return "?";
+}
+
+// --- log-spaced histogram buckets --------------------------------------------
+
+int HistogramBuckets::bucket_for(double v) {
+  if (!(v >= kMinBound)) return 0; // negatives, zero, NaN -> underflow
+  const int i =
+      1 + static_cast<int>(std::floor(std::log10(v / kMinBound) *
+                                      static_cast<double>(kPerDecade)));
+  return i < 1 ? 1 : (i >= kCount ? kCount - 1 : i);
+}
+
+double HistogramBuckets::lower(int i) {
+  if (i <= 0) return 0.0;
+  return kMinBound * std::pow(10.0, static_cast<double>(i - 1) /
+                                        static_cast<double>(kPerDecade));
+}
+
+double HistogramBuckets::upper(int i) {
+  if (i >= kCount - 1) return std::numeric_limits<double>::infinity();
+  return lower(i + 1);
+}
+
+void MetricValue::observe_value(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  if (buckets.empty()) buckets.assign(HistogramBuckets::kCount, 0);
+  ++buckets[static_cast<std::size_t>(HistogramBuckets::bucket_for(v))];
+}
+
+void MetricValue::merge_histogram(const MetricValue& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+  count += o.count;
+  sum += o.sum;
+  if (o.buckets.empty()) return;
+  if (buckets.empty()) buckets.assign(HistogramBuckets::kCount, 0);
+  for (std::size_t i = 0; i < buckets.size() && i < o.buckets.size(); ++i)
+    buckets[i] += o.buckets[i];
+}
+
+double MetricValue::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  if (buckets.empty()) {
+    // Legacy shard (absorb_stages' aggregated entries carry no buckets):
+    // interpolate the observed range — exact when min == max.
+    return min + q * (max - min);
+  }
+  // Rank of the requested observation, 1-based (nearest-rank definition).
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const uint64_t want = rank == 0 ? 1 : rank;
+  uint64_t seen = 0;
+  for (int i = 0; i < HistogramBuckets::kCount; ++i) {
+    const uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < want) {
+      seen += in_bucket;
+      continue;
+    }
+    // Log-interpolate inside the bucket by the fraction of its
+    // observations below the requested rank, clamped to [min, max] so a
+    // single-valued histogram answers exactly.
+    double lo = HistogramBuckets::lower(i);
+    double hi = HistogramBuckets::upper(i);
+    if (lo < min) lo = min;
+    if (!(hi < max)) hi = max; // also catches the +inf overflow bound
+    if (!(hi > lo)) return lo;
+    const double frac = static_cast<double>(want - seen) /
+                        static_cast<double>(in_bucket);
+    // Linear fallback when the bucket floor is 0 (underflow bucket).
+    if (!(lo > 0.0)) return lo + frac * (hi - lo);
+    return lo * std::pow(hi / lo, frac);
+  }
+  return max;
 }
 
 void MetricsRegistry::add(std::string_view name, uint64_t delta) {
@@ -61,16 +152,11 @@ void MetricsRegistry::observe(std::string_view name, double v) {
   if (it == metrics_.end()) {
     MetricValue m;
     m.kind = MetricKind::Histogram;
-    m.count = 1;
-    m.sum = m.min = m.max = v;
-    metrics_.emplace(std::string(name), m);
+    m.observe_value(v);
+    metrics_.emplace(std::string(name), std::move(m));
     return;
   }
-  MetricValue& m = it->second;
-  ++m.count;
-  m.sum += v;
-  if (v < m.min) m.min = v;
-  if (v > m.max) m.max = v;
+  it->second.observe_value(v);
 }
 
 void MetricsRegistry::merge_locked(const std::string& name,
@@ -86,16 +172,7 @@ void MetricsRegistry::merge_locked(const std::string& name,
     case MetricKind::Gauge:
       if (v.value > m.value) m.value = v.value; // merge keeps the max
       break;
-    case MetricKind::Histogram:
-      if (m.count == 0) {
-        m = v;
-      } else if (v.count > 0) {
-        m.count += v.count;
-        m.sum += v.sum;
-        if (v.min < m.min) m.min = v.min;
-        if (v.max > m.max) m.max = v.max;
-      }
-      break;
+    case MetricKind::Histogram: m.merge_histogram(v); break;
   }
 }
 
@@ -126,6 +203,12 @@ double MetricsRegistry::hist_sum(std::string_view name) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? 0.0 : it->second.sum;
+}
+
+double MetricsRegistry::percentile(std::string_view name, double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.percentile(q);
 }
 
 bool MetricsRegistry::contains(std::string_view name) const {
@@ -217,6 +300,9 @@ void MetricsRegistry::absorb_rewrite(const rw::RewriteStats& s) {
   add("rewrite.lits_before", s.lits_before);
   add("rewrite.lits_after", s.lits_after);
   add("rewrite.gain_lits", s.gain_lits);
+  if (s.cuts_seconds > 0.0) observe("rewrite.cuts_seconds", s.cuts_seconds);
+  if (s.eval_seconds > 0.0) observe("rewrite.eval_seconds", s.eval_seconds);
+  if (s.apply_seconds > 0.0) observe("rewrite.apply_seconds", s.apply_seconds);
 }
 
 void MetricsRegistry::absorb_status(const FlowStatus& st) {
@@ -385,6 +471,15 @@ void format_rewrite_block(const std::vector<MetricsRegistry::Entry>& es,
       static_cast<unsigned long long>(cnt(es, "rewrite.lits_after")),
       static_cast<unsigned long long>(cnt(es, "rewrite.gain_lits")));
   out += buf;
+  const double cuts_s = hsum(es, "rewrite.cuts_seconds");
+  const double eval_s = hsum(es, "rewrite.eval_seconds");
+  const double apply_s = hsum(es, "rewrite.apply_seconds");
+  if (cuts_s + eval_s + apply_s > 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "  phases: cuts %.3fs, evaluate %.3fs, apply %.3fs\n",
+                  cuts_s, eval_s, apply_s);
+    out += buf;
+  }
 }
 
 void format_flow_block(const std::vector<MetricsRegistry::Entry>& es,
@@ -401,6 +496,14 @@ void format_flow_block(const std::vector<MetricsRegistry::Entry>& es,
       static_cast<unsigned long long>(cnt(es, "flow.governor_polls")),
       static_cast<unsigned long long>(cnt(es, "flow.ladder_descents")));
   out += buf;
+  const MetricValue* lat = find(es, "flow.row_seconds");
+  if (lat != nullptr && lat->count > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "Row latency: p50 %.3fs, p99 %.3fs, max %.3fs (n=%llu)\n",
+                  lat->percentile(0.5), lat->percentile(0.99), lat->max,
+                  static_cast<unsigned long long>(lat->count));
+    out += buf;
+  }
 }
 
 void format_stage_block(const std::vector<MetricsRegistry::Entry>& es,
@@ -463,10 +566,12 @@ std::string format_metrics_summary(const MetricsRegistry& m) {
         break;
       case MetricKind::Histogram:
         std::snprintf(buf, sizeof buf,
-                      "%s: n=%llu sum=%g min=%g mean=%g max=%g\n",
+                      "%s: n=%llu sum=%g min=%g mean=%g max=%g "
+                      "p50=%g p99=%g\n",
                       e.name.c_str(),
                       static_cast<unsigned long long>(e.v.count), e.v.sum,
-                      e.v.min, e.v.mean(), e.v.max);
+                      e.v.min, e.v.mean(), e.v.max, e.v.percentile(0.5),
+                      e.v.percentile(0.99));
         break;
     }
     out += buf;

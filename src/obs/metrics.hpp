@@ -21,8 +21,10 @@
 //   sched.*  pool aggregates + per-worker sched.w<i>.* / sched.ext.*
 //   sim.*    incremental-simulation engine counters absorbed from SimStats
 //   rewrite.* cut-rewriting pass counters absorbed from rw::RewriteStats
-//   flow.*   row outcomes, governor polls/descents, row count
+//   flow.*   row outcomes, governor polls/descents, row count, per-row
+//            latency histogram (flow.row_seconds — p50/p99 in batch output)
 //   stage.*  per-stage wall-clock histograms (sum = seconds, count = calls)
+//   os.*     process-level gauges (os.peak_rss_mb), stamped per run report
 #pragma once
 
 #include <cstdint>
@@ -50,9 +52,35 @@ enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
 
 const char* to_string(MetricKind k);
 
+/// Log-spaced bucket layout shared by every histogram metric. The bounds
+/// are global (not per-metric) so per-worker shards merge by plain
+/// element-wise addition — merge is associative and commutative, which is
+/// what the batch runner's "merge shards in any settle order" path needs.
+///
+/// Bucket i covers [lower(i), lower(i+1)) with kPerDecade buckets per
+/// decade from kMinBound up; values below kMinBound land in bucket 0,
+/// values past the top land in the overflow bucket (the last one). The
+/// range 1e-7 .. 1e5 covers 100ns-granularity latencies up to day-long
+/// runs, the unit every current histogram uses (seconds).
+struct HistogramBuckets {
+  static constexpr int kPerDecade = 8;
+  static constexpr double kMinBound = 1e-7;
+  static constexpr int kDecades = 12;
+  /// underflow bucket + kPerDecade*kDecades log buckets + overflow bucket
+  static constexpr int kCount = kPerDecade * kDecades + 2;
+
+  /// Bucket index for a value (clamped to [0, kCount-1]).
+  static int bucket_for(double v);
+  /// Inclusive lower bound of bucket i (0.0 for bucket 0).
+  static double lower(int i);
+  /// Exclusive upper bound of bucket i (+inf for the overflow bucket).
+  static double upper(int i);
+};
+
 /// One metric. Counters use `count`; gauges use `value`; histograms use
-/// count/sum/min/max (quantiles are out of scope — min/mean/max is what the
-/// summary blocks and the report need).
+/// count/sum/min/max plus log-spaced bucket counts that answer percentile
+/// queries (p50/p99 row latency, stage-time tails) and merge exactly
+/// across per-worker shards.
 struct MetricValue {
   MetricKind kind = MetricKind::Counter;
   uint64_t count = 0;
@@ -60,10 +88,25 @@ struct MetricValue {
   double sum = 0.0;   ///< histogram sum
   double min = 0.0;
   double max = 0.0;
+  /// Histogram bucket counts (HistogramBuckets layout); empty until the
+  /// first observe() so counters and gauges stay small.
+  std::vector<uint64_t> buckets;
 
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Quantile estimate from the buckets, q in [0, 1]: finds the bucket
+  /// holding the ceil(q * count)-th observation and log-interpolates
+  /// inside it, clamped to the observed [min, max] so single-valued and
+  /// extreme quantiles are exact. Returns 0.0 for an empty histogram.
+  double percentile(double q) const;
+
+  /// Records one histogram observation (count/sum/min/max + bucket).
+  void observe_value(double v);
+  /// Merges another histogram shard into this one (element-wise bucket
+  /// addition; associative).
+  void merge_histogram(const MetricValue& o);
 };
 
 class MetricsRegistry {
@@ -84,6 +127,9 @@ public:
   uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
   double hist_sum(std::string_view name) const;
+  /// Bucket-interpolated quantile of a histogram metric, q in [0, 1];
+  /// 0.0 for a missing or empty histogram.
+  double percentile(std::string_view name, double q) const;
   bool contains(std::string_view name) const;
 
   struct Entry {

@@ -18,6 +18,9 @@ Json metrics_json(const MetricsRegistry& m) {
         v["min"] = e.v.min;
         v["mean"] = e.v.mean();
         v["max"] = e.v.max;
+        v["p50"] = e.v.percentile(0.5);
+        v["p90"] = e.v.percentile(0.9);
+        v["p99"] = e.v.percentile(0.99);
         break;
     }
     out[e.name] = std::move(v);
@@ -53,6 +56,35 @@ void ReportBuilder::set_trace(const Tracer::Summary& s,
   trace_ = std::move(t);
 }
 
+namespace {
+
+Json profile_node_json(const Profiler::Node& n) {
+  Json j = Json::object();
+  j["name"] = n.name;
+  j["calls"] = n.calls;
+  j["incl_ms"] = 1e-6 * static_cast<double>(n.incl_ns);
+  j["excl_ms"] = 1e-6 * static_cast<double>(n.excl_ns);
+  if (n.peak_rss_mb > 0.0) j["peak_rss_mb"] = n.peak_rss_mb;
+  if (n.dd_live_nodes > 0.0) j["dd_live_nodes"] = n.dd_live_nodes;
+  if (!n.children.empty()) {
+    Json kids = Json::array();
+    for (const Profiler::Node& c : n.children)
+      kids.push_back(profile_node_json(c));
+    j["children"] = std::move(kids);
+  }
+  return j;
+}
+
+} // namespace
+
+void ReportBuilder::set_profile(const Profiler::Node& root,
+                                const std::string& folded_path) {
+  Json p = Json::object();
+  p["folded_path"] = folded_path;
+  p["root"] = profile_node_json(root);
+  profile_ = std::move(p);
+}
+
 Json ReportBuilder::finish(double wall_seconds) const {
   Json doc = Json::object();
   doc["tool"] = "rmsyn";
@@ -76,6 +108,7 @@ Json ReportBuilder::finish(double wall_seconds) const {
   doc["rows"] = std::move(rows);
   doc["metrics"] = metrics_.is_null() ? Json::object() : metrics_;
   if (!trace_.is_null()) doc["trace"] = trace_;
+  if (!profile_.is_null()) doc["profile"] = profile_;
   return doc;
 }
 

@@ -21,6 +21,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace rmsyn::obs {
@@ -29,7 +30,11 @@ namespace rmsyn::obs {
 /// keep the version (the schema does not forbid unknown keys).
 /// v2: rows grew the optional "rewrite" counters object (cut-rewriting
 /// post-pass) and readers must tolerate its absence.
-inline constexpr int kReportSchemaVersion = 2;
+/// v3: histogram metrics carry p50/p90/p99, rows carry row_seconds, the
+/// document may carry a "profile" attribution tree and os.* gauges. All
+/// additions are optional keys, so v2 documents still validate;
+/// validate-report accepts both versions.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Serializes a registry snapshot as an object keyed by metric name; each
 /// value carries its kind plus the kind-appropriate fields.
@@ -49,6 +54,10 @@ public:
   /// whole run, used to compute how much of it the trace covers.
   void set_trace(const Tracer::Summary& s, double run_wall_seconds,
                  const std::string& trace_path);
+  /// Records the profiler's merged attribution tree (schema v3 `profile`
+  /// block) plus the folded-stack path the CLI wrote alongside.
+  void set_profile(const Profiler::Node& root,
+                   const std::string& folded_path);
 
   /// Finishes the document: stamps wall_seconds and the worst row status.
   Json finish(double wall_seconds) const;
@@ -59,6 +68,7 @@ private:
   std::vector<Json> rows_;
   Json metrics_ = Json();
   Json trace_ = Json();
+  Json profile_ = Json();
 };
 
 /// Validates `doc` against a subset-JSON-Schema document supporting

@@ -68,13 +68,19 @@ Tracer::ThreadLog* Tracer::log_for_this_thread() {
 void Span::open(const char* name) {
   std::strncpy(name_, name, sizeof name_ - 1);
   name_[sizeof name_ - 1] = '\0';
-  ++Tracer::instance().log_for_this_thread()->depth;
+  trace_ = Tracer::enabled();
+  prof_ = Profiler::enabled();
+  if (trace_) ++Tracer::instance().log_for_this_thread()->depth;
+  if (prof_) Profiler::instance().frame_enter(name_);
   open_ = true;
   start_ns_ = now_ns(); // last: exclude our own bookkeeping from the span
 }
 
 void Span::close() {
   const uint64_t end = now_ns();
+  const uint64_t dur = end > start_ns_ ? end - start_ns_ : 0;
+  if (prof_) Profiler::instance().frame_exit(dur);
+  if (!trace_) return;
   Tracer::ThreadLog* log = Tracer::instance().log_for_this_thread();
   --log->depth;
   const uint32_t n = log->count.load(std::memory_order_relaxed);
@@ -85,7 +91,7 @@ void Span::close() {
   SpanEvent& e = log->events[n];
   std::memcpy(e.name, name_, sizeof e.name);
   e.start_ns = start_ns_;
-  e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  e.dur_ns = dur;
   e.depth = static_cast<uint16_t>(log->depth);
   log->count.store(n + 1, std::memory_order_release);
 }

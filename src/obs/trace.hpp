@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace rmsyn::obs {
 
 /// Monotonic nanoseconds (steady clock), shared by tracer and stage timers.
@@ -107,13 +109,15 @@ private:
 };
 
 /// RAII span; prefer the RMSYN_SPAN macro, which compiles out under
-/// -DRMSYN_NO_OBS. A span that opened while tracing was enabled records at
-/// close even if tracing was disabled meanwhile (the buffers outlive the
-/// flag flip; reset() is what discards them).
+/// -DRMSYN_NO_OBS. The same site feeds both consumers: the tracer's flat
+/// event log and the profiler's attribution tree, each gated by the flag
+/// state at open time. A span that opened while a consumer was enabled
+/// records at close even if the flag flipped meanwhile (the buffers
+/// outlive the flip; reset() is what discards them).
 class Span {
 public:
   explicit Span(const char* name) {
-    if (Tracer::enabled()) open(name);
+    if (Tracer::enabled() || Profiler::enabled()) open(name);
   }
   explicit Span(const std::string& name) : Span(name.c_str()) {}
   ~Span() {
@@ -128,7 +132,9 @@ private:
 
   char name_[48] = {0};
   uint64_t start_ns_ = 0;
-  bool open_ = false;
+  bool open_ = false;  ///< a consumer captured this span at open
+  bool trace_ = false; ///< tracing was on at open: record a SpanEvent
+  bool prof_ = false;  ///< profiling was on at open: a frame is on the stack
 };
 
 } // namespace rmsyn::obs

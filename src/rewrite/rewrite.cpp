@@ -9,12 +9,14 @@
 #include "network/network.hpp"
 #include "network/simulate.hpp"
 #include "network/stats.hpp"
+#include "obs/trace.hpp"
 #include "rewrite/cuts.hpp"
 #include "rewrite/database.hpp"
 #include "rewrite/npn.hpp"
 #include "sched/pool.hpp"
 #include "sim/sim.hpp"
 #include "util/governor.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rmsyn {
 namespace rw {
@@ -370,6 +372,8 @@ bool bdd_cone_check(BddManager& mgr, const Network& net, NodeId root,
 
 RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
                              SimStats* sim_out) {
+  // No pass-level span here: synthesize() already wraps this call in the
+  // "rewrite" ScopedStage; the per-phase spans below are the new detail.
   RewriteStats st;
   st.lits_before = network_stats(net).lits;
   st.lits_after = st.lits_before;
@@ -395,9 +399,15 @@ RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
     ++st.passes;
 
     // ---- Phase A: serial cut enumeration over the frozen network --------
-    const std::vector<NodeId> order = net.topo_order();
-    const std::vector<std::vector<Cut>> cutsets =
-        enumerate_cuts(net, order, cut_opt, &st.cuts_enumerated, gov);
+    Stopwatch phase_sw;
+    std::vector<NodeId> order;
+    std::vector<std::vector<Cut>> cutsets;
+    {
+      RMSYN_SPAN("rewrite-cuts");
+      order = net.topo_order();
+      cutsets = enumerate_cuts(net, order, cut_opt, &st.cuts_enumerated, gov);
+    }
+    st.cuts_seconds += phase_sw.seconds();
     if (gov && gov->exhausted()) break;
 
     std::vector<NodeId> roots;
@@ -407,30 +417,35 @@ RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
     st.roots += roots.size();
 
     // ---- Phase B: parallel candidate evaluation (network still frozen) --
+    phase_sw.restart();
     std::vector<EvalOut> outs(roots.size());
-    if (pool && roots.size() >= 32) {
-      std::vector<NpnCache> caches(pool->slot_count());
-      constexpr std::size_t kChunk = 64;
-      std::vector<Future<bool>> futs;
-      for (std::size_t begin = 0; begin < roots.size(); begin += kChunk) {
-        const std::size_t end = std::min(begin + kChunk, roots.size());
-        futs.push_back(pool->submit([&, begin, end] {
-          NpnCache& cache = caches[pool->current_slot()];
-          for (std::size_t i = begin; i < end; ++i) {
-            if (gov && !gov->poll()) return false;
-            outs[i] = eval_root(net, roots[i], cutsets, *db, cache);
-          }
-          return true;
-        }));
-      }
-      for (auto& f : futs) pool->wait(f);
-    } else {
-      NpnCache cache;
-      for (std::size_t i = 0; i < roots.size(); ++i) {
-        if (gov && !gov->poll()) break;
-        outs[i] = eval_root(net, roots[i], cutsets, *db, cache);
+    {
+      RMSYN_SPAN("rewrite-evaluate");
+      if (pool && roots.size() >= 32) {
+        std::vector<NpnCache> caches(pool->slot_count());
+        constexpr std::size_t kChunk = 64;
+        std::vector<Future<bool>> futs;
+        for (std::size_t begin = 0; begin < roots.size(); begin += kChunk) {
+          const std::size_t end = std::min(begin + kChunk, roots.size());
+          futs.push_back(pool->submit([&, begin, end] {
+            NpnCache& cache = caches[pool->current_slot()];
+            for (std::size_t i = begin; i < end; ++i) {
+              if (gov && !gov->poll()) return false;
+              outs[i] = eval_root(net, roots[i], cutsets, *db, cache);
+            }
+            return true;
+          }));
+        }
+        for (auto& f : futs) pool->wait(f);
+      } else {
+        NpnCache cache;
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+          if (gov && !gov->poll()) break;
+          outs[i] = eval_root(net, roots[i], cutsets, *db, cache);
+        }
       }
     }
+    st.eval_seconds += phase_sw.seconds();
     if (gov && gov->exhausted()) break; // nothing mutated yet: clean unwind
     for (const EvalOut& o : outs) {
       st.db_hits += o.db_hits;
@@ -438,6 +453,8 @@ RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
     }
 
     // ---- Phase C: serial apply with verify-then-commit ------------------
+    phase_sw.restart();
+    RMSYN_SPAN("rewrite-apply"); // closes at the pass boundary, like phase C
     PatternSet patterns =
         random_patterns(net.pi_count(), static_cast<std::size_t>(opt.sim_patterns),
                         opt.sim_seed);
@@ -511,6 +528,7 @@ RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
       ++applied_this_pass;
     }
     if (sim_out) sim_out->accumulate(sim.take_stats());
+    st.apply_seconds += phase_sw.seconds();
 
     st.lits_after = network_stats(net).lits;
     if (applied_this_pass == 0) break;

@@ -64,6 +64,9 @@ struct RewriteStats {
   uint64_t lits_before = 0;      ///< paper literals entering the first pass
   uint64_t lits_after = 0;       ///< paper literals after the last pass
   uint64_t gain_lits = 0;        ///< lits_before - lits_after (0 if negative)
+  double cuts_seconds = 0.0;     ///< phase A wall time (cut enumeration)
+  double eval_seconds = 0.0;     ///< phase B wall time (parallel evaluation)
+  double apply_seconds = 0.0;    ///< phase C wall time (verify-then-commit)
 
   void accumulate(const RewriteStats& o) {
     passes += o.passes;
@@ -78,6 +81,9 @@ struct RewriteStats {
     lits_before += o.lits_before;
     lits_after += o.lits_after;
     gain_lits += o.gain_lits;
+    cuts_seconds += o.cuts_seconds;
+    eval_seconds += o.eval_seconds;
+    apply_seconds += o.apply_seconds;
   }
   bool empty() const {
     return passes == 0 && roots == 0 && cuts_enumerated == 0 && db_hits == 0 &&

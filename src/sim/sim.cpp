@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace rmsyn {
 
 namespace {
@@ -71,6 +73,7 @@ SimState::SimState(const Network& net, PatternSet patterns)
 
   // Fanout lists and structural levels are maintained by the network
   // itself since the SoA refactor; the state only evaluates values.
+  RMSYN_SPAN("sim-full-pass");
   for (const NodeId n : net_.topo_order()) {
     if (is_source(net_.type(n))) continue;
     eval_node(n, scratch_);
@@ -96,6 +99,7 @@ bool SimState::po_values_match(const std::vector<BitVec>& expect) const {
 }
 
 void SimState::resimulate(NodeId dirty) {
+  RMSYN_SPAN("sim-resim");
   ++stats_.incr_resims;
   grow();
   sync_node(dirty);
@@ -104,6 +108,7 @@ void SimState::resimulate(NodeId dirty) {
 }
 
 void SimState::resimulate(const std::vector<NodeId>& dirty) {
+  RMSYN_SPAN("sim-resim");
   ++stats_.incr_resims;
   grow();
   // All dirty cones are activated before any value moves, so

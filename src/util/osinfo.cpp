@@ -1,0 +1,23 @@
+#include "util/osinfo.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rmsyn {
+
+double peak_rss_mb() {
+#if defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0); // bytes
+#elif defined(__unix__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0; // kilobytes
+#else
+  return 0.0;
+#endif
+}
+
+} // namespace rmsyn

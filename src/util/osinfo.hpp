@@ -1,0 +1,16 @@
+// Process-level OS gauges for observability: peak resident set size.
+//
+// Promoted out of bench/bench_network_scale.cpp so the run-report path,
+// the profiler and every bench can record the same `os.peak_rss_mb`
+// gauge instead of re-rolling getrusage. Values are advisory telemetry —
+// a platform without getrusage reports 0 rather than failing.
+#pragma once
+
+namespace rmsyn {
+
+/// Peak resident set of this process so far, in MB (Linux ru_maxrss is KB,
+/// macOS reports bytes; both are normalized here). Returns 0.0 when the
+/// platform has no getrusage.
+double peak_rss_mb();
+
+} // namespace rmsyn

@@ -17,6 +17,7 @@
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "obs/stage.hpp"
@@ -175,6 +176,122 @@ TEST(ScopedStage, WorksWithoutGovernorOrBreakdown) {
   obs::ScopedStage b(nullptr, &sb, "only-sb");
 }
 
+// --- profiler ---------------------------------------------------------------
+
+class ProfilerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::Tracer::instance().disable();
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().enable();
+  }
+  void TearDown() override {
+    obs::Profiler::instance().disable();
+    obs::Profiler::instance().reset();
+  }
+};
+
+const obs::Profiler::Node* find_child(const obs::Profiler::Node& n,
+                                      const std::string& name) {
+  for (const auto& c : n.children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, BuildsAttributionTreeWithExclusiveTime) {
+  {
+    RMSYN_SPAN("outer");
+    {
+      RMSYN_SPAN("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    { RMSYN_SPAN("inner"); } // same name, same parent -> same node
+    { RMSYN_SPAN("other"); }
+  }
+  const obs::Profiler::Node root = obs::Profiler::instance().merged();
+  EXPECT_EQ(root.name, "root");
+  const obs::Profiler::Node* outer = find_child(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 1u);
+  ASSERT_EQ(outer->children.size(), 2u);
+  const obs::Profiler::Node* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 2u);
+  EXPECT_GE(inner->incl_ns, uint64_t{3'000'000}); // the sleep is inclusive
+  EXPECT_EQ(inner->excl_ns, inner->incl_ns);      // leaf: excl == incl
+  ASSERT_NE(find_child(*outer, "other"), nullptr);
+  // Parent exclusive time = inclusive minus the children's inclusive sum.
+  uint64_t child_incl = 0;
+  for (const auto& c : outer->children) child_incl += c.incl_ns;
+  EXPECT_GE(outer->incl_ns, child_incl);
+  EXPECT_EQ(outer->excl_ns, outer->incl_ns - child_incl);
+}
+
+TEST_F(ProfilerTest, FoldedOutputEmitsSemicolonPaths) {
+  {
+    RMSYN_SPAN("alpha");
+    {
+      RMSYN_SPAN("beta");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const std::string folded = obs::Profiler::instance().folded();
+  // beta's sleep is exclusive time on the "alpha;beta" stack.
+  EXPECT_NE(folded.find("alpha;beta "), std::string::npos) << folded;
+  // Every line is "<path> <integer_us>".
+  std::size_t pos = 0;
+  while (pos < folded.size()) {
+    const std::size_t eol = folded.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = folded.substr(pos, eol - pos);
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string us = line.substr(sp + 1);
+    EXPECT_FALSE(us.empty()) << line;
+    EXPECT_EQ(us.find_first_not_of("0123456789"), std::string::npos) << line;
+    pos = eol + 1;
+  }
+}
+
+TEST_F(ProfilerTest, JsonExportParsesAndMirrorsTheTree) {
+  {
+    RMSYN_SPAN("stage-x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const obs::Json doc = obs::Json::parse(obs::Profiler::instance().json());
+  EXPECT_EQ(doc.get("name").as_string(), "root");
+  ASSERT_TRUE(doc.contains("children"));
+  EXPECT_EQ(doc.get("children").at(0).get("name").as_string(), "stage-x");
+  EXPECT_GT(doc.get("children").at(0).get("incl_ms").as_number(), 0.0);
+}
+
+TEST_F(ProfilerTest, ResetDropsFramesAndDisabledSpansRecordNothing) {
+  { RMSYN_SPAN("gone"); }
+  EXPECT_FALSE(obs::Profiler::instance().merged().children.empty());
+  obs::Profiler::instance().reset();
+  EXPECT_TRUE(obs::Profiler::instance().merged().children.empty());
+
+  obs::Profiler::instance().disable();
+  { RMSYN_SPAN("ghost"); }
+  EXPECT_TRUE(obs::Profiler::instance().merged().children.empty());
+  obs::Profiler::instance().enable();
+}
+
+TEST_F(ProfilerTest, WorkerThreadTreesMergeByName) {
+  auto work = [] {
+    RMSYN_SPAN("shared-stage");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  std::thread t1(work), t2(work);
+  t1.join();
+  t2.join();
+  const obs::Profiler::Node root = obs::Profiler::instance().merged();
+  const obs::Profiler::Node* stage = find_child(root, "shared-stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->calls, 2u); // both threads fold into one node
+  EXPECT_GE(stage->incl_ns, uint64_t{2'000'000});
+}
+
 // --- metrics registry -------------------------------------------------------
 
 TEST(MetricsRegistry, CountersGaugesHistograms) {
@@ -209,6 +326,132 @@ TEST(MetricsRegistry, CountersGaugesHistograms) {
     EXPECT_LT(snap[i - 1].name, snap[i].name); // name-sorted
   m.clear();
   EXPECT_FALSE(m.contains("c"));
+}
+
+// --- histogram percentiles --------------------------------------------------
+
+TEST(HistogramPercentile, KnownDistributionWithinBucketResolution) {
+  obs::MetricValue h;
+  h.kind = obs::MetricKind::Histogram;
+  for (int i = 1; i <= 100; ++i) h.observe_value(0.001 * i); // 1ms..100ms
+  // Extremes clamp to the observed range exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.1);
+  // Interior quantiles land within one log bucket (ratio 10^(1/8) ~ 1.33)
+  // of the true nearest-rank value.
+  EXPECT_NEAR(h.percentile(0.5), 0.050, 0.050 * 0.34);
+  EXPECT_NEAR(h.percentile(0.99), 0.099, 0.099 * 0.34);
+  // Monotone in q.
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.percentile(1.0));
+}
+
+TEST(HistogramPercentile, SingleValueIsExactAtEveryQuantile) {
+  obs::MetricValue h;
+  h.kind = obs::MetricKind::Histogram;
+  h.observe_value(0.007);
+  h.observe_value(0.007);
+  h.observe_value(0.007);
+  // min == max clamps every quantile to the one observed value.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.percentile(q), 0.007) << "q=" << q;
+}
+
+TEST(HistogramPercentile, EmptyAndMissingHistogramsReturnZero) {
+  obs::MetricValue h;
+  h.kind = obs::MetricKind::Histogram;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+
+  obs::MetricsRegistry m;
+  EXPECT_DOUBLE_EQ(m.percentile("missing", 0.5), 0.0);
+  m.add("a.counter"); // wrong kind, not a histogram
+  EXPECT_DOUBLE_EQ(m.percentile("a.counter", 0.5), 0.0);
+}
+
+TEST(HistogramPercentile, LegacyBucketlessFallsBackToLinear) {
+  // A histogram deserialized from a pre-v3 report carries count/sum/min/max
+  // but no buckets; percentile degrades to linear interpolation over the
+  // observed range instead of returning garbage.
+  obs::MetricValue h;
+  h.kind = obs::MetricKind::Histogram;
+  h.count = 10;
+  h.sum = 5.0;
+  h.min = 1.0;
+  h.max = 3.0;
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+}
+
+TEST(HistogramPercentile, UnderflowAndOverflowBucketsClampToObservedRange) {
+  obs::MetricValue h;
+  h.kind = obs::MetricKind::Histogram;
+  h.observe_value(1e-9); // below kMinBound: underflow bucket
+  h.observe_value(1e9);  // past the top decade: overflow bucket
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+  EXPECT_GE(h.percentile(0.5), 1e-9);
+  EXPECT_LE(h.percentile(0.5), 1e9);
+}
+
+TEST(HistogramPercentile, ShardMergeIsAssociativeAndOrderIndependent) {
+  // Three per-worker shards with disjoint value ranges; because every
+  // shard shares the global bucket layout, merge must be exact: any
+  // grouping/order yields identical buckets and identical percentiles.
+  auto make_shard = [](double lo, int n) {
+    obs::MetricValue h;
+    h.kind = obs::MetricKind::Histogram;
+    for (int i = 0; i < n; ++i) h.observe_value(lo * (1.0 + 0.1 * i));
+    return h;
+  };
+  const obs::MetricValue a = make_shard(1e-4, 7);
+  const obs::MetricValue b = make_shard(1e-2, 5);
+  const obs::MetricValue c = make_shard(1.0, 9);
+
+  obs::MetricValue ab_c = a; // (a+b)+c
+  ab_c.merge_histogram(b);
+  ab_c.merge_histogram(c);
+  obs::MetricValue bc = b; // a+(b+c)
+  bc.merge_histogram(c);
+  obs::MetricValue a_bc = a;
+  a_bc.merge_histogram(bc);
+  obs::MetricValue cba = c; // reversed order
+  cba.merge_histogram(b);
+  cba.merge_histogram(a);
+
+  for (const obs::MetricValue* m : {&a_bc, &cba}) {
+    EXPECT_EQ(ab_c.count, m->count);
+    EXPECT_DOUBLE_EQ(ab_c.sum, m->sum);
+    EXPECT_DOUBLE_EQ(ab_c.min, m->min);
+    EXPECT_DOUBLE_EQ(ab_c.max, m->max);
+    ASSERT_EQ(ab_c.buckets.size(), m->buckets.size());
+    for (std::size_t i = 0; i < ab_c.buckets.size(); ++i)
+      EXPECT_EQ(ab_c.buckets[i], m->buckets[i]) << "bucket " << i;
+    for (const double q : {0.1, 0.5, 0.9, 0.99})
+      EXPECT_DOUBLE_EQ(ab_c.percentile(q), m->percentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(ab_c.count, 21u);
+
+  // Merging an empty shard is the identity.
+  obs::MetricValue empty;
+  empty.kind = obs::MetricKind::Histogram;
+  obs::MetricValue with_empty = ab_c;
+  with_empty.merge_histogram(empty);
+  EXPECT_EQ(with_empty.count, ab_c.count);
+  EXPECT_DOUBLE_EQ(with_empty.percentile(0.5), ab_c.percentile(0.5));
+}
+
+TEST(HistogramPercentile, RegistryObserveFeedsBucketsAndSummaryLine) {
+  obs::MetricsRegistry m;
+  for (int i = 0; i < 100; ++i) m.observe("lat", 0.010);
+  m.observe("lat", 1.0); // one outlier: p50 stays ~10ms, p99+ sees it
+  EXPECT_NEAR(m.percentile("lat", 0.5), 0.010, 0.004);
+  EXPECT_GT(m.percentile("lat", 0.995), 0.5);
+  const std::string out = obs::format_metrics_summary(m);
+  EXPECT_NE(out.find("p50="), std::string::npos);
+  EXPECT_NE(out.find("p99="), std::string::npos);
 }
 
 TEST(MetricsRegistry, AbsorbersPopulateWellKnownGroups) {
@@ -400,6 +643,7 @@ obs::Json golden_report() {
   a.rewrite.gain_lits = 8;
   a.stages.add("spec-bdd", 0.125, 2);
   a.stages.add("factor", 0.25, 8);
+  a.row_seconds = 0.75;
 
   FlowRow b;
   b.circuit = "t481";
@@ -407,6 +651,7 @@ obs::Json golden_report() {
   b.num_outputs = 1;
   b.ours_status = FlowStatus::degraded("polarity-search", "Deadline");
   b.ladder_descents = 1;
+  b.row_seconds = 0.125;
 
   obs::ReportBuilder rb("table2", 2);
   rb.add_row(flow_row_json(a));
@@ -423,6 +668,29 @@ obs::Json golden_report() {
   ts.span_seconds = 1.5;
   ts.wall_seconds = 2.0;
   rb.set_trace(ts, 4.0, "t.json");
+  // Hand-built attribution tree: pins the profile block's serialization
+  // (incl/excl ms, optional gauges, nested children) without depending on
+  // real timings.
+  obs::Profiler::Node proot;
+  proot.name = "root";
+  proot.calls = 0;
+  proot.incl_ns = 2'000'000;
+  proot.excl_ns = 0;
+  obs::Profiler::Node stage;
+  stage.name = "flow:rd53";
+  stage.calls = 1;
+  stage.incl_ns = 2'000'000;
+  stage.excl_ns = 500'000;
+  stage.peak_rss_mb = 64.0;
+  stage.dd_live_nodes = 42.0;
+  obs::Profiler::Node leaf;
+  leaf.name = "factor";
+  leaf.calls = 8;
+  leaf.incl_ns = 1'500'000;
+  leaf.excl_ns = 1'500'000;
+  stage.children.push_back(leaf);
+  proot.children.push_back(stage);
+  rb.set_profile(proot, "p.folded");
   return rb.finish(3.25);
 }
 

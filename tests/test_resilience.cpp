@@ -42,6 +42,7 @@ FlowOptions fast_options() {
 std::string canon(FlowRow row) {
   row.base_seconds = 0.0;
   row.ours_seconds = 0.0;
+  row.row_seconds = 0.0;
   row.ours_polls = 0;
   row.base_polls = 0;
   row.stages = StageBreakdown{};

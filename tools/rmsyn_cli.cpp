@@ -19,15 +19,17 @@
 //                      [--rewrite]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--trace out.json] [--report out.json]
-//                      [--heartbeat sec]
+//                      [--profile out.folded] [--heartbeat sec]
 //   rmsyn_cli batch    <manifest> [--jobs N] [--keep-going] [--retries N]
 //                      [--journal out.jsonl | --resume journal.jsonl]
 //                      [--timeout sec] [--node-limit n] [--step-limit n]
 //                      [--batch-timeout sec] [--batch-node-limit n]
 //                      [--no-mapping] [--no-power]
 //                      [--trace out.json] [--report out.json]
-//                      [--heartbeat sec]
+//                      [--profile out.folded] [--heartbeat sec]
 //   rmsyn_cli validate-report <report.json> <schema.json>
+//   rmsyn_cli report-diff <baseline.json> <candidate.json>
+//                      [--ignore-timing] [--noise-pct P] [--noise-floor sec]
 //   rmsyn_cli list
 //
 // <input> is a .blif file, a .pla file, or the name of a built-in Table-2
@@ -55,10 +57,14 @@
 // Observability (src/obs): --trace writes a Chrome trace-event JSON
 // (chrome://tracing / Perfetto) merged from every worker thread's spans;
 // --report writes the machine-readable run report (schema:
-// data/report_schema.json, checked by `validate-report`); --heartbeat N
-// prints a progress line (rows done, current circuit/stage, live DD nodes)
-// every N seconds while the run is in flight. None of the three perturbs
-// the result columns.
+// data/report_schema.json, checked by `validate-report`); --profile writes
+// a folded-stack attribution profile (flamegraph.pl / speedscope input)
+// and embeds the tree in the report; --heartbeat N prints a progress line
+// (rows done, current circuit/stage, live DD nodes) every N seconds while
+// the run is in flight. None of them perturbs the result columns.
+// `report-diff` compares two reports (or BENCH_*.json files) and exits 0
+// on no regression, 2 on a regression, 4 on schema mismatch — the CI
+// baseline gate runs it with --ignore-timing against data/baselines/.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -79,8 +85,10 @@
 #include "network/io.hpp"
 #include "network/stats.hpp"
 #include "network/transform.hpp"
+#include "obs/diff.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -91,6 +99,7 @@
 #include "sched/pool.hpp"
 #include "util/errors.hpp"
 #include "util/faultplan.hpp"
+#include "util/osinfo.hpp"
 #include "util/stopwatch.hpp"
 #include "sop/pla.hpp"
 #include "testability/faults.hpp"
@@ -478,14 +487,16 @@ int cmd_rewrite_dbgen(const std::vector<std::string>& args) {
 
 /// Observability switches shared by table2 and batch.
 struct RunObs {
-  std::string trace_path;  ///< --trace: Chrome trace-event JSON
-  std::string report_path; ///< --report: machine-readable run report
+  std::string trace_path;   ///< --trace: Chrome trace-event JSON
+  std::string report_path;  ///< --report: machine-readable run report
+  std::string profile_path; ///< --profile: folded-stack attribution tree
   double heartbeat_seconds = 0.0; ///< --heartbeat: progress-line period
   bool tracing() const { return !trace_path.empty(); }
+  bool profiling() const { return !profile_path.empty(); }
 };
 
-/// Consumes --trace/--report/--heartbeat at args[i]; returns true (with i
-/// advanced past the value) when it did.
+/// Consumes --trace/--report/--profile/--heartbeat at args[i]; returns
+/// true (with i advanced past the value) when it did.
 bool parse_obs_flag(const std::vector<std::string>& args, std::size_t& i,
                     RunObs& o) {
   const std::string& a = args[i];
@@ -497,6 +508,10 @@ bool parse_obs_flag(const std::vector<std::string>& args, std::size_t& i,
     o.report_path = args[++i];
     return true;
   }
+  if (a == "--profile" && i + 1 < args.size()) {
+    o.profile_path = args[++i];
+    return true;
+  }
   if (a == "--heartbeat" && i + 1 < args.size()) {
     o.heartbeat_seconds = parse_seconds(a, args[++i]);
     return true;
@@ -504,15 +519,21 @@ bool parse_obs_flag(const std::vector<std::string>& args, std::size_t& i,
   return false;
 }
 
-/// Arms the tracer for a run (idempotent reset + enable).
+/// Arms the tracer and/or profiler for a run (idempotent reset + enable).
 void start_tracing(const RunObs& o) {
-  if (!o.tracing()) return;
-  obs::Tracer::instance().reset();
-  obs::Tracer::instance().enable();
+  if (o.tracing()) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().enable();
+  }
+  if (o.profiling()) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().enable();
+  }
 }
 
-/// Writes the --trace and --report artifacts after a run. `command` names
-/// the subcommand for the report; `sched` is null when the run was serial.
+/// Writes the --trace/--profile/--report artifacts after a run. `command`
+/// names the subcommand for the report; `sched` is null when the run was
+/// serial.
 void write_run_artifacts(const RunObs& o, const char* command, int jobs,
                          const std::vector<FlowRow>& rows,
                          const SchedStats* sched, double wall_seconds) {
@@ -521,17 +542,38 @@ void write_run_artifacts(const RunObs& o, const char* command, int jobs,
     obs::Tracer::instance().write_chrome_trace(o.trace_path);
     std::printf("wrote trace %s\n", o.trace_path.c_str());
   }
+  if (o.profiling()) {
+    obs::Profiler::instance().disable();
+    obs::Profiler::instance().write_folded(o.profile_path);
+    std::printf("wrote profile %s\n", o.profile_path.c_str());
+  }
   if (o.report_path.empty()) return;
   obs::ReportBuilder rb(command, jobs);
   for (const FlowRow& r : rows) rb.add_row(flow_row_json(r));
   obs::MetricsRegistry m = collect_flow_metrics(rows);
   if (sched != nullptr) m.absorb_sched(*sched);
+  m.set("os.peak_rss_mb", peak_rss_mb());
   rb.set_metrics(m);
   if (o.tracing())
     rb.set_trace(obs::Tracer::instance().summary(), wall_seconds,
                  o.trace_path);
+  if (o.profiling())
+    rb.set_profile(obs::Profiler::instance().merged(), o.profile_path);
   obs::write_json_file(o.report_path, rb.finish(wall_seconds));
   std::printf("wrote report %s\n", o.report_path.c_str());
+}
+
+/// Prints the p50/p99 row-latency line batch and table2 share (the ROADMAP
+/// service-era SLO numbers, from the flow.row_seconds histogram).
+void print_row_latency(const std::vector<FlowRow>& rows) {
+  obs::MetricValue lat;
+  lat.kind = obs::MetricKind::Histogram;
+  for (const FlowRow& r : rows)
+    if (r.row_seconds > 0.0) lat.observe_value(r.row_seconds);
+  if (lat.count == 0) return;
+  std::printf("row latency: p50 %.3fs, p99 %.3fs, max %.3fs over %llu rows\n",
+              lat.percentile(0.5), lat.percentile(0.99), lat.max,
+              static_cast<unsigned long long>(lat.count));
 }
 
 /// A row the batch runner never started because the budget was cancelled
@@ -616,6 +658,7 @@ int cmd_table2(const std::vector<std::string>& args) {
     return 3;
   }
   std::printf("%s", format_table2(result.rows).c_str());
+  print_row_latency(result.rows);
   if (bopt.jobs > 1) {
     std::printf("%s", format_dd_kernel_summary(result.rows).c_str());
     std::printf("%s", format_sched_summary(result.sched).c_str());
@@ -727,6 +770,7 @@ int cmd_batch(const std::vector<std::string>& args) {
               "%zu ok, %zu degraded, %zu failed, %zu cancelled\n",
               result.rows.size(), result.seconds, bopt.jobs, ok, degraded,
               failed, cancelled);
+  print_row_latency(result.rows);
   if (bopt.resume || !bopt.journal_path.empty() || bopt.retries > 0)
     std::printf("resilience: %zu rows replayed from journal, %zu retries "
                 "used, %zu journal errors, %zu journal lines skipped\n",
@@ -758,6 +802,33 @@ int cmd_validate_report(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_report_diff(const std::vector<std::string>& args) {
+  obs::DiffOptions opt;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--ignore-timing") {
+      opt.ignore_timing = true;
+    } else if (args[i] == "--noise-pct" && i + 1 < args.size()) {
+      opt.seconds_noise_frac =
+          parse_seconds("--noise-pct", args[++i]) / 100.0;
+    } else if (args[i] == "--noise-floor" && i + 1 < args.size()) {
+      opt.seconds_noise_floor = parse_seconds("--noise-floor", args[++i]);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw std::runtime_error("report-diff: unknown option " + args[i]);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2)
+    throw std::runtime_error(
+        "report-diff: need <baseline.json> <candidate.json>");
+  const obs::Json base = obs::Json::parse(obs::read_file(paths[0]));
+  const obs::Json ours = obs::Json::parse(obs::read_file(paths[1]));
+  const obs::DiffResult r = obs::diff_documents(base, ours, opt);
+  std::printf("%s", obs::format_diff(r).c_str());
+  return obs::diff_exit_code(r);
+}
+
 int cmd_list() {
   for (const auto& name : benchmark_names()) {
     const Benchmark b = make_benchmark(name);
@@ -774,7 +845,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s synth|baseline|map|verify|power|atpg|rewrite|"
-                 "rewrite-dbgen|table2|batch|validate-report|list ...\n",
+                 "rewrite-dbgen|table2|batch|validate-report|report-diff|"
+                 "list ...\n",
                  argv[0]);
     return ExitCode::Usage;
   }
@@ -807,6 +879,7 @@ int main(int argc, char** argv) {
     if (cmd == "table2") return cmd_table2(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "validate-report") return cmd_validate_report(args);
+    if (cmd == "report-diff") return cmd_report_diff(args);
     if (cmd == "list") return cmd_list();
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
     return ExitCode::Usage;
