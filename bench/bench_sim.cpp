@@ -5,10 +5,27 @@
 // verified bit-identical before anything is timed — a fast wrong answer
 // fails the run outright.
 //
-// Emits a machine-readable BENCH_sim.json for CI tracking.
+// Two SIMD gates ride along (DESIGN.md §15):
+//  * dispatch bit-identity — every kernel target reachable on the host
+//    (scalar always; avx2/neon when present) must produce identical
+//    simulation values, fault-detection sets and cut truth tables;
+//  * throughput — full-pass patterns-per-second is measured per dispatch
+//    target on a cache-resident large circuit, and the best vectorized
+//    target must beat forced-scalar by --min-throughput-ratio (skipped
+//    when only scalar is reachable). The forced-scalar kernels are built
+//    with auto-vectorization off, so the ratio is honest.
+//
+// Every timed section warms up once untimed, then reports the median of
+// three runs — median (not min) so one lucky run cannot mask CI jitter,
+// and the warmup keeps cold caches out of the gates.
+//
+// Emits a machine-readable BENCH_sim.json for CI tracking; throughput
+// rows are labeled "<circuit>/<dispatch>" so report-diff pairs the same
+// dispatch across runs.
 //
 // Usage: bench_sim [--out file.json] [--min-speedup X] [--patterns N]
-//        (default: BENCH_sim.json, 5.0, 16384)
+//                  [--min-throughput-ratio X] [--tp-patterns N]
+//        (default: BENCH_sim.json, 5.0, 16384, 1.5, 2048)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -17,8 +34,10 @@
 
 #include "benchgen/spec.hpp"
 #include "network/transform.hpp"
+#include "rewrite/cuts.hpp"
 #include "sim/sim.hpp"
 #include "testability/faults.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -28,17 +47,21 @@ double now_seconds() {
       .count();
 }
 
-/// Min-of-3 wall-clock of `fn` — the usual defense against a cold first
-/// iteration and scheduler noise.
+/// One untimed warmup run, then the median of three timed runs. The
+/// warmup takes the cold-cache/first-touch iteration out of the sample;
+/// the median keeps a single noisy CI run from deciding a gate either
+/// way (min-of-3 lets one lucky run mask a real regression).
 template <typename Fn>
-double time_min3(Fn&& fn) {
-  double best = 1e100;
+double time_med3(Fn&& fn) {
+  fn(); // warmup, untimed
+  double t[3];
   for (int rep = 0; rep < 3; ++rep) {
     const double t0 = now_seconds();
     fn();
-    best = std::min(best, now_seconds() - t0);
+    t[rep] = now_seconds() - t0;
   }
-  return best;
+  std::sort(t, t + 3);
+  return t[1];
 }
 
 struct Row {
@@ -50,6 +73,11 @@ struct Row {
   double incr_seconds = 0.0;
   double speedup = 0.0;
   rmsyn::SimStats stats;
+};
+
+struct ThroughputRow {
+  std::string name; ///< "<circuit>/<dispatch>" — report-diff pairing label
+  double patterns_per_second = 0.0;
 };
 
 bool same_result(const rmsyn::FaultSimResult& a,
@@ -66,13 +94,35 @@ bool same_result(const rmsyn::FaultSimResult& a,
   return true;
 }
 
+/// Everything one dispatch target computes for the identity gate.
+struct DispatchFingerprint {
+  std::vector<std::vector<rmsyn::BitVec>> sim_values; // per circuit
+  std::vector<rmsyn::FaultSimResult> fault_results;   // per circuit
+  std::vector<std::vector<std::vector<rmsyn::rw::Cut>>> cutsets; // per circuit
+};
+
+bool same_cuts(const std::vector<std::vector<rmsyn::rw::Cut>>& a,
+               const std::vector<std::vector<rmsyn::rw::Cut>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    if (a[n].size() != b[n].size()) return false;
+    for (std::size_t c = 0; c < a[n].size(); ++c) {
+      if (!a[n][c].same_leaves(b[n][c]) || a[n][c].tt != b[n][c].tt)
+        return false;
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   using namespace rmsyn;
   std::string path = "BENCH_sim.json";
   double min_speedup = 5.0;
+  double min_tp_ratio = 1.5;
   std::size_t num_patterns = 1 << 14;
+  std::size_t tp_patterns = 1 << 11;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) path = argv[++i];
@@ -80,8 +130,117 @@ int main(int argc, char** argv) {
       min_speedup = std::stod(argv[++i]);
     else if (arg == "--patterns" && i + 1 < argc)
       num_patterns = static_cast<std::size_t>(std::stoul(argv[++i]));
+    else if (arg == "--min-throughput-ratio" && i + 1 < argc)
+      min_tp_ratio = std::stod(argv[++i]);
+    else if (arg == "--tp-patterns" && i + 1 < argc)
+      tp_patterns = static_cast<std::size_t>(std::stoul(argv[++i]));
   }
 
+  const std::string default_dispatch = simd::dispatch_name();
+  const std::vector<std::string> dispatches = simd::available_dispatches();
+
+  // --- SIMD dispatch bit-identity gate ---------------------------------------
+  // Scalar is the reference; every other reachable target must reproduce
+  // its simulation values, fault-detection sets and cut truth tables
+  // exactly.
+  const std::vector<std::string> id_names = {"mlp4", "my_adder", "mult16"};
+  std::vector<Network> id_nets;
+  std::vector<PatternSet> id_patterns;
+  for (const auto& name : id_names) {
+    id_nets.push_back(decompose2(strash(make_benchmark(name).spec)));
+    id_patterns.push_back(random_patterns(id_nets.back().pi_count(), 1024,
+                                          0x51D0 + id_nets.back().pi_count()));
+  }
+  const auto fingerprint = [&] {
+    DispatchFingerprint fp;
+    for (std::size_t i = 0; i < id_nets.size(); ++i) {
+      const Network& net = id_nets[i];
+      fp.sim_values.push_back(simulate(net, id_patterns[i]));
+      fp.fault_results.push_back(fault_simulate(net, id_patterns[i]));
+      rw::CutOptions copt;
+      fp.cutsets.push_back(rw::enumerate_cuts(net, net.topo_order(), copt));
+    }
+    return fp;
+  };
+  bool dispatch_identity = true;
+  simd::force_dispatch("scalar");
+  const DispatchFingerprint ref_fp = fingerprint();
+  for (const auto& target : dispatches) {
+    if (target == "scalar") continue;
+    simd::force_dispatch(target);
+    const DispatchFingerprint fp = fingerprint();
+    for (std::size_t i = 0; i < id_nets.size(); ++i) {
+      if (fp.sim_values[i] != ref_fp.sim_values[i] ||
+          !same_result(fp.fault_results[i], ref_fp.fault_results[i]) ||
+          !same_cuts(fp.cutsets[i], ref_fp.cutsets[i])) {
+        dispatch_identity = false;
+        std::printf("DISPATCH MISMATCH: %s differs from scalar on %s\n",
+                    target.c_str(), id_names[i].c_str());
+      }
+    }
+  }
+  std::printf("dispatch identity (%zu targets): %s\n", dispatches.size(),
+              dispatch_identity ? "ok" : "FAILED");
+
+  // --- patterns-per-second per dispatch target -------------------------------
+  // Full-pass throughput on a cache-resident large circuit: mult16 at
+  // tp_patterns keeps the value rows around a megabyte, so the gate
+  // measures kernel speed, not DRAM bandwidth. The timed quantity is the
+  // eval pass itself (SimStats::full_pass_seconds, the denominator of
+  // patterns_per_second) — construction-time allocation is
+  // dispatch-independent and would only dilute the ratio.
+  const std::string tp_name = "mult16";
+  const Network tp_net = decompose2(strash(make_benchmark(tp_name).spec));
+  const PatternSet tp_ps =
+      random_patterns(tp_net.pi_count(), tp_patterns, 0xC0DE);
+  std::vector<ThroughputRow> tp_rows;
+  double scalar_pps = 0.0, best_vector_pps = 0.0;
+  for (const auto& target : dispatches) {
+    simd::force_dispatch(target);
+    // Enough constructions per timed run to be well above timer noise.
+    const double once = [&] {
+      SimState s(tp_net, tp_ps);
+      return s.stats().full_pass_seconds;
+    }();
+    const int reps = std::max(1, static_cast<int>(0.02 / std::max(once, 1e-6)));
+    double med_pps = 0.0;
+    {
+      double samples[3];
+      const auto run = [&] {
+        double sec = 0.0;
+        for (int r = 0; r < reps; ++r) {
+          SimState s(tp_net, tp_ps);
+          sec += s.stats().full_pass_seconds;
+        }
+        return sec > 0 ? static_cast<double>(tp_patterns) * reps / sec : 0.0;
+      };
+      run(); // warmup, untimed
+      for (int rep = 0; rep < 3; ++rep) samples[rep] = run();
+      std::sort(samples, samples + 3);
+      med_pps = samples[1];
+    }
+    ThroughputRow row;
+    row.name = tp_name + "/" + target;
+    row.patterns_per_second = med_pps;
+    std::printf("throughput %-14s %10.3g patterns/s\n", row.name.c_str(),
+                row.patterns_per_second);
+    if (target == "scalar") scalar_pps = row.patterns_per_second;
+    else best_vector_pps = std::max(best_vector_pps, row.patterns_per_second);
+    tp_rows.push_back(row);
+  }
+  bool tp_gate_ok = true;
+  double tp_ratio = 0.0;
+  if (best_vector_pps > 0.0 && scalar_pps > 0.0) {
+    tp_ratio = best_vector_pps / scalar_pps;
+    tp_gate_ok = tp_ratio >= min_tp_ratio;
+    std::printf("%s: vectorized/scalar throughput %.2fx (required %.2fx)\n",
+                tp_gate_ok ? "gate ok" : "GATE FAILED", tp_ratio, min_tp_ratio);
+  } else {
+    std::printf("throughput gate skipped: only scalar dispatch reachable\n");
+  }
+  simd::force_dispatch(default_dispatch);
+
+  // --- incremental-vs-full fault simulation ----------------------------------
   // Largest benchgen arithmetic circuits; my_adder (16-bit ripple adder,
   // 33 PIs) is the largest and carries the gate.
   const std::vector<std::string> names = {"mlp4", "addm4", "my_adder"};
@@ -115,8 +274,8 @@ int main(int argc, char** argv) {
     row.detected = ref.detected;
     row.stats = stats;
     row.full_seconds =
-        time_min3([&] { (void)fault_simulate_full(net, patterns); });
-    row.incr_seconds = time_min3([&] { (void)fault_simulate(net, patterns); });
+        time_med3([&] { (void)fault_simulate_full(net, patterns); });
+    row.incr_seconds = time_med3([&] { (void)fault_simulate(net, patterns); });
     row.speedup =
         row.incr_seconds > 0 ? row.full_seconds / row.incr_seconds : 0.0;
     std::printf("%-10s %5zu faults (%zu detected)  full %8.4fs  "
@@ -126,7 +285,7 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
-  bool gate_ok = identical;
+  bool gate_ok = identical && dispatch_identity && tp_gate_ok;
   for (const Row& r : rows) {
     if (r.circuit != gated) continue;
     if (r.speedup < min_speedup) {
@@ -149,9 +308,24 @@ int main(int argc, char** argv) {
                "  \"patterns\": %zu,\n"
                "  \"min_speedup\": %.2f,\n"
                "  \"gated_circuit\": \"%s\",\n"
-               "  \"results_identical\": %s,\n  \"rows\": [\n",
+               "  \"results_identical\": %s,\n"
+               "  \"simd_dispatch_default\": \"%s\",\n"
+               "  \"dispatch_identity\": %s,\n"
+               "  \"min_throughput_ratio\": %.2f,\n"
+               "  \"throughput_patterns\": %zu,\n"
+               "  \"throughput_ratio\": %.4f,\n"
+               "  \"throughput\": [\n",
                num_patterns, min_speedup, gated.c_str(),
-               identical ? "true" : "false");
+               identical ? "true" : "false", default_dispatch.c_str(),
+               dispatch_identity ? "true" : "false", min_tp_ratio, tp_patterns,
+               tp_ratio);
+  for (std::size_t i = 0; i < tp_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"patterns_per_second\": %.1f}%s\n",
+                 tp_rows[i].name.c_str(), tp_rows[i].patterns_per_second,
+                 i + 1 < tp_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

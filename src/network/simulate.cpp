@@ -1,7 +1,10 @@
 #include "network/simulate.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "network/eval_kernel.hpp"
+#include "sched/pool.hpp"
 #include "util/rng.hpp"
 
 namespace rmsyn {
@@ -19,7 +22,39 @@ void PatternSet::reserve(std::size_t expected_patterns) {
   for (auto& b : bits) b.reserve(expected_patterns);
 }
 
-std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
+namespace {
+
+/// Evaluates every gate's value words in range [w0, w1) in topological
+/// order. Word-local, so disjoint ranges can run concurrently over the
+/// same row storage. Complemented gates leave tail garbage in the last
+/// word; the caller masks all rows afterwards.
+void simulate_range(const Network& net, const std::vector<NodeId>& order,
+                    std::vector<BitVec>& value, std::size_t w0,
+                    std::size_t w1) {
+  const std::size_t nw = w1 - w0;
+  if (nw == 0) return;
+  const uint64_t* ins_inline[kEvalInlineFanins];
+  std::vector<const uint64_t*> ins_heap;
+  for (const NodeId n : order) {
+    const GateType t = net.type(n);
+    if (t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1)
+      continue;
+    const auto& fi = net.fanins(n);
+    const uint64_t** ins = ins_inline;
+    if (fi.size() > kEvalInlineFanins) {
+      ins_heap.resize(fi.size());
+      ins = ins_heap.data();
+    }
+    for (std::size_t k = 0; k < fi.size(); ++k)
+      ins[k] = value[fi[k]].data() + w0;
+    eval_gate_words(t, ins, fi.size(), value[n].data() + w0, nw);
+  }
+}
+
+} // namespace
+
+std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns,
+                             ThreadPool* pool) {
   assert(patterns.bits.size() == net.pi_count());
   const std::size_t np = patterns.num_patterns;
   std::vector<BitVec> value(net.node_count(), BitVec(np));
@@ -27,39 +62,37 @@ std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns) {
   for (std::size_t i = 0; i < net.pi_count(); ++i)
     value[net.pis()[i]] = patterns.bits[i];
 
-  for (const NodeId n : net.topo_order()) {
-    const auto& fi = net.fanins(n);
-    auto& out = value[n];
-    switch (net.type(n)) {
-      case GateType::Const0: case GateType::Const1: case GateType::Pi:
-        break;
-      case GateType::Buf:
-        out = value[fi[0]];
-        break;
-      case GateType::Not:
-        out = value[fi[0]];
-        out.flip_all();
-        break;
-      case GateType::And: case GateType::Nand: {
-        out = value[fi[0]];
-        for (std::size_t k = 1; k < fi.size(); ++k) out &= value[fi[k]];
-        if (net.type(n) == GateType::Nand) out.flip_all();
-        break;
-      }
-      case GateType::Or: case GateType::Nor: {
-        out = value[fi[0]];
-        for (std::size_t k = 1; k < fi.size(); ++k) out |= value[fi[k]];
-        if (net.type(n) == GateType::Nor) out.flip_all();
-        break;
-      }
-      case GateType::Xor: case GateType::Xnor: {
-        out = value[fi[0]];
-        for (std::size_t k = 1; k < fi.size(); ++k) out ^= value[fi[k]];
-        if (net.type(n) == GateType::Xnor) out.flip_all();
-        break;
-      }
+  // topo_order() re-runs a full DFS per call — hoist the one copy every
+  // shard (and the tail sweep) iterates.
+  const std::vector<NodeId> order = net.topo_order();
+
+  const std::size_t nw = (np + 63) / 64;
+  // Sharding only pays once each shard has a few SIMD blocks of work.
+  constexpr std::size_t kMinWordsPerShard = 8;
+  std::size_t nshards = 1;
+  if (pool != nullptr && pool->worker_count() > 0)
+    nshards = std::min<std::size_t>(static_cast<std::size_t>(pool->slot_count()),
+                                    nw / kMinWordsPerShard);
+
+  if (nshards <= 1) {
+    simulate_range(net, order, value, 0, nw);
+  } else {
+    std::vector<Future<bool>> futs;
+    for (std::size_t s = 0; s < nshards; ++s) {
+      const std::size_t w0 = s * nw / nshards;
+      const std::size_t w1 = (s + 1) * nw / nshards;
+      futs.push_back(pool->submit([&net, &order, &value, w0, w1] {
+        simulate_range(net, order, value, w0, w1);
+        return true;
+      }));
     }
+    for (auto& fut : futs) pool->wait(fut);
   }
+
+  // Complemented gates set the unused tail bits of the final word;
+  // restore the BitVec tail invariant on every computed row.
+  for (const NodeId n : order) value[n].mask_tail();
+  for (auto& row : value) row.assert_tail_clear();
   return value;
 }
 
@@ -68,9 +101,8 @@ PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed
   PatternSet ps(num_pis, count);
   for (auto& b : ps.bits) {
     for (std::size_t w = 0; w < b.words(); ++w) b.word(w) = rng.next();
-    // Double complement masks the stray tail bits of the last word.
-    b.flip_all();
-    b.flip_all();
+    b.mask_tail();
+    b.assert_tail_clear();
   }
   return ps;
 }
@@ -85,8 +117,8 @@ PatternSet pattern_block(const PatternSet& ps, std::size_t first_pattern,
     BitVec& row = out.bits[i];
     for (std::size_t w = 0; w < row.words(); ++w)
       row.word(w) = ps.bits[i].word(first_word + w);
-    row.flip_all();
-    row.flip_all(); // tail masking
+    row.mask_tail();
+    row.assert_tail_clear();
   }
   return out;
 }

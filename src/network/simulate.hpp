@@ -27,8 +27,15 @@ struct PatternSet {
   void reserve(std::size_t expected_patterns);
 };
 
+class ThreadPool;
+
 /// Simulates all patterns; result[n] holds node n's value for each pattern.
-std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns);
+/// With a pool, the pattern words are sharded across workers: each shard
+/// runs the full topological pass over its disjoint word range of the
+/// pre-allocated value rows, so the result is bit-identical to serial by
+/// construction (bitwise gate evaluation is word-local).
+std::vector<BitVec> simulate(const Network& net, const PatternSet& patterns,
+                             ThreadPool* pool = nullptr);
 
 /// Simulates `count` uniformly random patterns (seeded).
 PatternSet random_patterns(std::size_t num_pis, std::size_t count, uint64_t seed);

@@ -20,6 +20,7 @@ const char* to_string(MetricKind k) {
     case MetricKind::Counter: return "counter";
     case MetricKind::Gauge: return "gauge";
     case MetricKind::Histogram: return "histogram";
+    case MetricKind::Text: return "text";
   }
   return "?";
 }
@@ -146,6 +147,13 @@ void MetricsRegistry::set_max(std::string_view name, double v) {
   if (v > it->second.value) it->second.value = v;
 }
 
+void MetricsRegistry::set_text(std::string_view name, std::string_view v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricValue& m = metrics_[std::string(name)];
+  m.kind = MetricKind::Text;
+  m.text = std::string(v);
+}
+
 void MetricsRegistry::observe(std::string_view name, double v) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = metrics_.find(name);
@@ -173,6 +181,9 @@ void MetricsRegistry::merge_locked(const std::string& name,
       if (v.value > m.value) m.value = v.value; // merge keeps the max
       break;
     case MetricKind::Histogram: m.merge_histogram(v); break;
+    case MetricKind::Text:
+      if (!v.text.empty()) m.text = v.text;
+      break;
   }
 }
 
@@ -197,6 +208,12 @@ double MetricsRegistry::gauge(std::string_view name) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+std::string MetricsRegistry::text(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? std::string() : it->second.text;
 }
 
 double MetricsRegistry::hist_sum(std::string_view name) const {
@@ -284,6 +301,11 @@ void MetricsRegistry::absorb_sim(const SimStats& s) {
   add("sim.faults_dropped", s.faults_dropped);
   add("sim.blocks_skipped", s.blocks_skipped);
   add("sim.value_reuses", s.value_reuses);
+  add("sim.simd_blocks", s.simd_blocks);
+  if (s.patterns_per_second() > 0.0)
+    set_max("sim.patterns_per_second", s.patterns_per_second());
+  if (s.simd_dispatch != nullptr)
+    set_text("sim.simd_dispatch", s.simd_dispatch);
 }
 
 void MetricsRegistry::absorb_rewrite(const rw::RewriteStats& s) {
@@ -448,6 +470,19 @@ void format_sim_block(const std::vector<MetricsRegistry::Entry>& es,
       static_cast<unsigned long long>(cnt(es, "sim.blocks_skipped")),
       static_cast<unsigned long long>(cnt(es, "sim.value_reuses")));
   out += buf;
+  // SIMD line only when a kernel pass actually ran.
+  const uint64_t blocks = cnt(es, "sim.simd_blocks");
+  if (blocks > 0) {
+    std::string dispatch;
+    for (const auto& e : es)
+      if (e.name == "sim.simd_dispatch") dispatch = e.v.text;
+    const double pps = gval(es, "sim.patterns_per_second");
+    std::snprintf(buf, sizeof buf,
+                  "Sim SIMD: %s dispatch, %llu blocks, %.3g patterns/s\n",
+                  dispatch.empty() ? "?" : dispatch.c_str(),
+                  static_cast<unsigned long long>(blocks), pps);
+    out += buf;
+  }
 }
 
 void format_rewrite_block(const std::vector<MetricsRegistry::Entry>& es,
@@ -572,6 +607,10 @@ std::string format_metrics_summary(const MetricsRegistry& m) {
                       static_cast<unsigned long long>(e.v.count), e.v.sum,
                       e.v.min, e.v.mean(), e.v.max, e.v.percentile(0.5),
                       e.v.percentile(0.99));
+        break;
+      case MetricKind::Text:
+        std::snprintf(buf, sizeof buf, "%s=%s\n", e.name.c_str(),
+                      e.v.text.c_str());
         break;
     }
     out += buf;

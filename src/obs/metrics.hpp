@@ -48,7 +48,7 @@ struct RewriteStats; // rewrite/rewrite.hpp
 
 namespace obs {
 
-enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram, Text };
 
 const char* to_string(MetricKind k);
 
@@ -91,6 +91,9 @@ struct MetricValue {
   /// Histogram bucket counts (HistogramBuckets layout); empty until the
   /// first observe() so counters and gauges stay small.
   std::vector<uint64_t> buckets;
+  /// Text-gauge payload (e.g. sim.simd_dispatch = "avx2"); merge keeps
+  /// the last non-empty writer.
+  std::string text;
 
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -119,6 +122,7 @@ public:
   void add(std::string_view name, uint64_t delta = 1);      ///< counter
   void set(std::string_view name, double v);                ///< gauge (last)
   void set_max(std::string_view name, double v);            ///< gauge (max)
+  void set_text(std::string_view name, std::string_view v); ///< text gauge
   void observe(std::string_view name, double v);            ///< histogram
   void merge(const MetricsRegistry& o);
   void clear();
@@ -126,6 +130,7 @@ public:
   // --- readers -------------------------------------------------------------
   uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
+  std::string text(std::string_view name) const;
   double hist_sum(std::string_view name) const;
   /// Bucket-interpolated quantile of a histogram metric, q in [0, 1];
   /// 0.0 for a missing or empty histogram.

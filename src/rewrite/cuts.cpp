@@ -5,6 +5,7 @@
 
 #include "rewrite/npn.hpp"
 #include "util/governor.hpp"
+#include "util/simd.hpp"
 
 namespace rmsyn {
 namespace rw {
@@ -161,6 +162,184 @@ bool cut_tt(const Network& net, NodeId root, const Cut& cut, uint16_t* tt,
   return true;
 }
 
+void cut_tts_batch(const Network& net, NodeId root,
+                   const std::vector<Cut>& cuts, std::vector<uint16_t>* tts,
+                   std::vector<uint8_t>* ok, int max_cone) {
+  const std::size_t ncuts = cuts.size();
+  tts->assign(ncuts, 0);
+  ok->assign(ncuts, 0);
+  if (ncuts == 0) return;
+
+  const auto scalar_fallback = [&] {
+    for (std::size_t c = 0; c < ncuts; ++c)
+      (*ok)[c] = cut_tt(net, root, cuts[c], &(*tts)[c], max_cone) ? 1 : 0;
+  };
+
+  // Lane layout: cut c occupies 16-bit lane c%4 of word c/4.
+  const std::size_t nwords = (ncuts + 3) / 4;
+  const auto lane_shift = [](std::size_t c) { return (c & 3) * 16; };
+
+  // Per-leaf lane masks and projections. A node that is a leaf in SOME
+  // lanes but interior in others contributes its projection to the leaf
+  // lanes and its computed function to the rest (the mux below).
+  struct LaneInfo {
+    std::vector<uint64_t> mask, proj;
+  };
+  std::unordered_map<NodeId, LaneInfo> leaves;
+  leaves.reserve(16);
+  for (std::size_t c = 0; c < ncuts; ++c) {
+    const Cut& cut = cuts[c];
+    for (int i = 0; i < cut.nleaves; ++i) {
+      const NodeId lf = cut.leaves[i];
+      if (net.is_dead(lf)) {
+        // A dead leaf fails only the cuts containing it; let the scalar
+        // path sort the lanes out.
+        scalar_fallback();
+        return;
+      }
+      LaneInfo& li = leaves[lf];
+      if (li.mask.empty()) {
+        li.mask.assign(nwords, 0);
+        li.proj.assign(nwords, 0);
+      }
+      li.mask[c / 4] |= uint64_t{0xFFFF} << lane_shift(c);
+      li.proj[c / 4] |= uint64_t{kProj4[i]} << lane_shift(c);
+    }
+  }
+  // Padding lanes of the last word count as "leaf everywhere" so they
+  // never force an expansion on their own.
+  uint64_t pad = 0;
+  for (std::size_t c = ncuts; c < nwords * 4; ++c)
+    pad |= uint64_t{0xFFFF} << lane_shift(c);
+  const auto leaf_everywhere = [&](const LaneInfo& li) {
+    for (std::size_t w = 0; w + 1 < nwords; ++w)
+      if (li.mask[w] != ~uint64_t{0}) return false;
+    return (li.mask[nwords - 1] | pad) == ~uint64_t{0};
+  };
+
+  // One post-order DFS over the union cone. Exactness argument: per-cut
+  // interiors are subsets of the union interior, so bounding the union
+  // interior by max_cone bounds every per-cut walk too; a PI interior in
+  // any lane (not leaf-everywhere) would fail only some lanes, which the
+  // scalar fallback decides instead. Under those guards every lane's
+  // value is, by induction over the cone, exactly eval_cone's.
+  const simd::Ops& kr = simd::ops();
+  std::unordered_map<NodeId, std::vector<uint64_t>> val;
+  val.reserve(32);
+  std::vector<uint64_t> tmp(nwords);
+  const uint64_t* ins_small[8];
+  std::vector<const uint64_t*> ins_big;
+  int expanded = 0;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    if (val.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    if (net.is_dead(n)) {
+      scalar_fallback();
+      return;
+    }
+    const auto li = leaves.find(n);
+    if (li != leaves.end() && leaf_everywhere(li->second)) {
+      val.emplace(n, li->second.proj);
+      stack.pop_back();
+      continue;
+    }
+    const GateType t = net.type(n);
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      val.emplace(n, std::vector<uint64_t>(
+                         nwords, t == GateType::Const0 ? 0 : ~uint64_t{0}));
+      stack.pop_back();
+      continue;
+    }
+    if (t == GateType::Pi) {
+      // Interior PI in at least one lane: that lane's scalar walk
+      // escapes; decide all lanes scalar.
+      scalar_fallback();
+      return;
+    }
+    const FaninSpan fi = net.fanins(n);
+    bool ready = true;
+    for (const NodeId f : fi) {
+      if (!val.count(f)) {
+        stack.push_back(f);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    if (++expanded > max_cone) {
+      scalar_fallback();
+      return;
+    }
+    stack.pop_back();
+    const uint64_t** ins = ins_small;
+    if (fi.size() > 8) {
+      ins_big.resize(fi.size());
+      ins = ins_big.data();
+    }
+    for (std::size_t k = 0; k < fi.size(); ++k) ins[k] = val[fi[k]].data();
+    switch (t) {
+      case GateType::Buf:
+        std::copy(ins[0], ins[0] + nwords, tmp.data());
+        break;
+      case GateType::Not:
+        kr.v_not(tmp.data(), ins[0], nwords);
+        break;
+      case GateType::And:
+      case GateType::Nand:
+        if (fi.size() == 1) {
+          std::copy(ins[0], ins[0] + nwords, tmp.data());
+        } else {
+          kr.v_and(tmp.data(), ins[0], ins[1], nwords, false);
+          for (std::size_t k = 2; k < fi.size(); ++k)
+            kr.v_and_acc(tmp.data(), ins[k], nwords);
+        }
+        if (t == GateType::Nand) kr.v_not(tmp.data(), tmp.data(), nwords);
+        break;
+      case GateType::Or:
+      case GateType::Nor:
+        if (fi.size() == 1) {
+          std::copy(ins[0], ins[0] + nwords, tmp.data());
+        } else {
+          kr.v_or(tmp.data(), ins[0], ins[1], nwords, false);
+          for (std::size_t k = 2; k < fi.size(); ++k)
+            kr.v_or_acc(tmp.data(), ins[k], nwords);
+        }
+        if (t == GateType::Nor) kr.v_not(tmp.data(), tmp.data(), nwords);
+        break;
+      case GateType::Xor:
+      case GateType::Xnor:
+        if (fi.size() == 1) {
+          std::copy(ins[0], ins[0] + nwords, tmp.data());
+        } else {
+          kr.v_xor(tmp.data(), ins[0], ins[1], nwords, false);
+          for (std::size_t k = 2; k < fi.size(); ++k)
+            kr.v_xor_acc(tmp.data(), ins[k], nwords);
+        }
+        if (t == GateType::Xnor) kr.v_not(tmp.data(), tmp.data(), nwords);
+        break;
+      default:
+        scalar_fallback();
+        return;
+    }
+    if (li != leaves.end())
+      kr.v_mux(tmp.data(), li->second.mask.data(), li->second.proj.data(),
+               tmp.data(), nwords);
+    val.emplace(n, tmp);
+  }
+
+  const std::vector<uint64_t>& rv = val[root];
+  for (std::size_t c = 0; c < ncuts; ++c) {
+    uint16_t v = static_cast<uint16_t>((rv[c / 4] >> lane_shift(c)) & 0xFFFF);
+    if (cuts[c].nleaves < 4)
+      v &= static_cast<uint16_t>((1u << (1 << cuts[c].nleaves)) - 1);
+    (*tts)[c] = v;
+    (*ok)[c] = 1;
+  }
+}
+
 std::vector<std::vector<Cut>> enumerate_cuts(const Network& net,
                                              const std::vector<NodeId>& order,
                                              const CutOptions& opt,
@@ -211,11 +390,13 @@ std::vector<std::vector<Cut>> enumerate_cuts(const Network& net,
     // handles dummy variables — degenerate functions have classes among
     // the 222 like any other.
     std::vector<Cut> ready;
-    for (Cut& c : acc) {
-      uint16_t v = 0;
-      if (!cut_tt(net, n, c, &v)) continue;
-      c.tt = v;
-      ready.push_back(c);
+    std::vector<uint16_t> tts;
+    std::vector<uint8_t> tt_ok;
+    cut_tts_batch(net, n, acc, &tts, &tt_ok);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      if (!tt_ok[i]) continue;
+      acc[i].tt = tts[i];
+      ready.push_back(acc[i]);
     }
     filter_cuts(&ready, opt.cut_limit);
     ready.push_back(trivial(n));

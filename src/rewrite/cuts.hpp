@@ -69,5 +69,17 @@ std::vector<std::vector<Cut>> enumerate_cuts(const Network& net,
 bool cut_tt(const Network& net, NodeId root, const Cut& cut, uint16_t* tt,
             int max_cone = 128);
 
+/// Batch form of cut_tt over all cuts of one root: the 16-bit tables are
+/// lane-packed four per 64-bit word and the shared cone is evaluated once
+/// through the SIMD kernels, with a per-node mux splicing leaf projections
+/// into the lanes where that node is a leaf. Exact by construction —
+/// whenever the single union-cone walk cannot guarantee per-cut-identical
+/// results (union cone over max_cone, a dead node, or a PI that is not a
+/// leaf of every cut), it falls back to per-cut cut_tt — so (*ok)[i] and
+/// (*tts)[i] always equal cut_tt(net, root, cuts[i], ...) exactly.
+void cut_tts_batch(const Network& net, NodeId root,
+                   const std::vector<Cut>& cuts, std::vector<uint16_t>* tts,
+                   std::vector<uint8_t>* ok, int max_cone = 128);
+
 } // namespace rw
 } // namespace rmsyn

@@ -458,7 +458,9 @@ RewriteStats rewrite_network(Network& net, const RewriteOptions& opt,
     PatternSet patterns =
         random_patterns(net.pi_count(), static_cast<std::size_t>(opt.sim_patterns),
                         opt.sim_seed);
-    SimState sim(net, std::move(patterns));
+    // Pattern words shard across the pool during the construction-time
+    // full pass; the verify compares below are vectorized in SimState.
+    SimState sim(net, std::move(patterns), opt.pool);
     const std::vector<BitVec> baseline = sim.po_values();
 
     uint64_t applied_this_pass = 0;

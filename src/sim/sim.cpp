@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "network/eval_kernel.hpp"
 #include "obs/trace.hpp"
+#include "sched/pool.hpp"
+#include "util/simd.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rmsyn {
 
@@ -13,42 +17,15 @@ inline bool is_source(GateType t) {
   return t == GateType::Pi || t == GateType::Const0 || t == GateType::Const1;
 }
 
-/// Evaluates one gate into `out`; in(k) is the k-th fanin value. `out`
-/// must not alias any input (the callers use a dedicated scratch buffer).
-template <typename In>
-void eval_gate_into(GateType t, std::size_t nfi, const In& in, BitVec& out) {
-  out = in(0);
-  switch (t) {
-    case GateType::Buf:
-      break;
-    case GateType::Not:
-      out.flip_all();
-      break;
-    case GateType::And:
-    case GateType::Nand:
-      for (std::size_t k = 1; k < nfi; ++k) out &= in(k);
-      if (t == GateType::Nand) out.flip_all();
-      break;
-    case GateType::Or:
-    case GateType::Nor:
-      for (std::size_t k = 1; k < nfi; ++k) out |= in(k);
-      if (t == GateType::Nor) out.flip_all();
-      break;
-    case GateType::Xor:
-    case GateType::Xnor:
-      for (std::size_t k = 1; k < nfi; ++k) out ^= in(k);
-      if (t == GateType::Xnor) out.flip_all();
-      break;
-    default:
-      break; // sources are never evaluated
-  }
+inline std::size_t blocks_per_eval(std::size_t words) {
+  return (words + simd::kBlockWords - 1) / simd::kBlockWords;
 }
 
 } // namespace
 
 // --- SimState ----------------------------------------------------------------
 
-SimState::SimState(const Network& net, PatternSet patterns)
+SimState::SimState(const Network& net, PatternSet patterns, ThreadPool* pool)
     : net_(net), patterns_(std::move(patterns)) {
   assert(patterns_.bits.size() == net_.pi_count());
   const std::size_t np = patterns_.num_patterns;
@@ -71,16 +48,77 @@ SimState::SimState(const Network& net, PatternSet patterns)
   }
   for (std::size_t i = 0; i < net_.po_count(); ++i) is_po_[net_.po(i)] = 1;
 
-  // Fanout lists and structural levels are maintained by the network
-  // itself since the SoA refactor; the state only evaluates values.
+  // Full pass: every gate's words are computed directly into its
+  // pre-allocated value row via the SIMD kernels. With a pool the word
+  // range is sharded across workers — gate evaluation is word-local, so
+  // disjoint ranges of the same rows compose to exactly the serial
+  // result. Fanout lists and structural levels are maintained by the
+  // network itself since the SoA refactor; the state only evaluates
+  // values.
   RMSYN_SPAN("sim-full-pass");
-  for (const NodeId n : net_.topo_order()) {
+  // topo_order() re-runs a full DFS per call — hoist the one copy every
+  // shard (and the activation sweep) iterates.
+  const std::vector<NodeId> order = net_.topo_order();
+  Stopwatch watch;
+  const std::size_t nw = (np + 63) / 64;
+  const auto pass_range = [this, &order](std::size_t w0, std::size_t w1) {
+    const std::size_t nwr = w1 - w0;
+    if (nwr == 0) return;
+    const uint64_t* ins_inline[kEvalInlineFanins];
+    std::vector<const uint64_t*> ins_heap;
+    for (const NodeId n : order) {
+      const GateType t = net_.type(n);
+      if (is_source(t)) continue;
+      const FaninSpan fi = net_.fanins(n);
+      const uint64_t** ins = ins_inline;
+      if (fi.size() > kEvalInlineFanins) {
+        ins_heap.resize(fi.size());
+        ins = ins_heap.data();
+      }
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        ins[k] = values_[fi[k]].data() + w0;
+      eval_gate_words(t, ins, fi.size(), values_[n].data() + w0, nwr);
+    }
+  };
+
+  // Sharding only pays once each shard has a few SIMD blocks of work.
+  constexpr std::size_t kMinWordsPerShard = 8;
+  std::size_t nshards = 1;
+  if (pool != nullptr && pool->worker_count() > 0)
+    nshards = std::min<std::size_t>(
+        static_cast<std::size_t>(pool->slot_count()), nw / kMinWordsPerShard);
+  if (nshards <= 1) {
+    pass_range(0, nw);
+  } else {
+    std::vector<Future<bool>> futs;
+    futs.reserve(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+      const std::size_t w0 = s * nw / nshards;
+      const std::size_t w1 = (s + 1) * nw / nshards;
+      futs.push_back(pool->submit([&pass_range, w0, w1] {
+        pass_range(w0, w1);
+        return true;
+      }));
+    }
+    for (auto& fut : futs) pool->wait(fut);
+  }
+
+  // Complemented gates leave garbage in the unused tail bits of the last
+  // word; restore the invariant and activate in one sweep. simd_blocks is
+  // counted per node evaluation (not per shard) so the stat is identical
+  // under any --jobs value.
+  const std::size_t bpe = blocks_per_eval(nw);
+  for (const NodeId n : order) {
     if (is_source(net_.type(n))) continue;
-    eval_node(n, scratch_);
-    std::swap(values_[n], scratch_);
+    values_[n].mask_tail();
+    values_[n].assert_tail_clear();
     active_[n] = 1;
+    stats_.simd_blocks += bpe;
   }
   ++stats_.full_passes;
+  stats_.patterns_simulated += np;
+  stats_.full_pass_seconds += watch.seconds();
+  stats_.simd_dispatch = simd::dispatch_name();
 }
 
 std::vector<BitVec> SimState::po_values() const {
@@ -94,7 +132,7 @@ std::vector<BitVec> SimState::po_values() const {
 bool SimState::po_values_match(const std::vector<BitVec>& expect) const {
   assert(expect.size() == net_.po_count());
   for (std::size_t i = 0; i < net_.po_count(); ++i)
-    if (!(values_[net_.po(i)] == expect[i])) return false;
+    if (values_[net_.po(i)].differs(expect[i])) return false;
   return true;
 }
 
@@ -192,7 +230,9 @@ void SimState::propagate() {
       --pending_;
       ++stats_.events;
       eval_node(n, scratch_);
-      if (scratch_ == values_[n]) {
+      // Any-differing-word test (vectorized, early exit): unchanged
+      // values kill the event.
+      if (!scratch_.differs(values_[n])) {
         ++stats_.events_died;
         continue;
       }
@@ -206,10 +246,20 @@ void SimState::propagate() {
 }
 
 void SimState::eval_node(NodeId n, BitVec& out) const {
+  const std::size_t np = patterns_.num_patterns;
+  if (out.size() != np) out = BitVec(np);
   const FaninSpan fi = net_.fanins(n);
-  eval_gate_into(
-      net_.type(n), fi.size(),
-      [&](std::size_t k) -> const BitVec& { return values_[fi[k]]; }, out);
+  const uint64_t* ins_inline[kEvalInlineFanins];
+  std::vector<const uint64_t*> ins_heap;
+  const uint64_t** ins = ins_inline;
+  if (fi.size() > kEvalInlineFanins) {
+    ins_heap.resize(fi.size());
+    ins = ins_heap.data();
+  }
+  for (std::size_t k = 0; k < fi.size(); ++k) ins[k] = values_[fi[k]].data();
+  eval_gate_words(net_.type(n), ins, fi.size(), out.data(), out.words());
+  out.mask_tail();
+  stats_.simd_blocks += blocks_per_eval(out.words());
 }
 
 // --- FaultProber -------------------------------------------------------------
@@ -244,21 +294,44 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
   ++epoch_;
   const Network& net = s.net();
   const BitVec& forced = stuck_value ? s.ones_ : s.zeros_;
+  const std::size_t np = s.num_patterns();
+  const std::size_t nw = forced.words();
+  const std::size_t bpe = blocks_per_eval(nw);
+
+  // Evaluates node m with faulty overlay values (and, for the seed, the
+  // forced pin) through the SIMD kernels into scratch_.
+  const uint64_t* ins_inline[kEvalInlineFanins];
+  std::vector<const uint64_t*> ins_heap;
+  const auto eval_overlay = [&](NodeId m, int forced_pin) {
+    if (scratch_.size() != np) scratch_ = BitVec(np);
+    const FaninSpan fi = net.fanins(m);
+    const uint64_t** ins = ins_inline;
+    if (fi.size() > kEvalInlineFanins) {
+      ins_heap.resize(fi.size());
+      ins = ins_heap.data();
+    }
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+      if (static_cast<int>(k) == forced_pin) {
+        ins[k] = forced.data();
+      } else {
+        const NodeId f = fi[k];
+        ins[k] = (stamp_[f] == epoch_ ? faulty_[f] : s.values_[f]).data();
+      }
+    }
+    eval_gate_words(net.type(m), ins, fi.size(), scratch_.data(), nw);
+    scratch_.mask_tail();
+    stats_.simd_blocks += bpe;
+  };
 
   // Seed: the faulty value at the fault site itself.
   if (pin < 0) {
     scratch_ = forced;
   } else {
-    const FaninSpan fi = net.fanins(node);
-    eval_gate_into(
-        net.type(node), fi.size(),
-        [&](std::size_t k) -> const BitVec& {
-          return k == static_cast<std::size_t>(pin) ? forced : s.values_[fi[k]];
-        },
-        scratch_);
+    eval_overlay(node, pin);
   }
   ++stats_.cone_nodes;
-  if (scratch_ == s.values_[node]) {
+  // Vectorized overlay compare: early-exit any-differing-word.
+  if (!scratch_.differs(s.values_[node])) {
     ++stats_.events_died;
     return false;
   }
@@ -274,16 +347,9 @@ bool FaultProber::detects(const SimState& s, NodeId node, int pin,
       queued_[m] = 0;
       --pending_;
       if (detected) continue; // drain remaining queue flags only
-      const FaninSpan fi = net.fanins(m);
-      eval_gate_into(
-          net.type(m), fi.size(),
-          [&](std::size_t k) -> const BitVec& {
-            const NodeId f = fi[k];
-            return stamp_[f] == epoch_ ? faulty_[f] : s.values_[f];
-          },
-          scratch_);
+      eval_overlay(m, -1);
       ++stats_.cone_nodes;
-      if (scratch_ == s.values_[m]) {
+      if (!scratch_.differs(s.values_[m])) {
         ++stats_.events_died;
         continue;
       }

@@ -46,6 +46,8 @@
 
 namespace rmsyn {
 
+class ThreadPool;
+
 /// Counters for the incremental engine; absorbed into the metrics registry
 /// as the sim.* group (obs/metrics.hpp) and surfaced on SynthReport /
 /// FlowRow next to BddStats.
@@ -59,6 +61,23 @@ struct SimStats {
   uint64_t faults_dropped = 0; ///< faults detected before the last block
   uint64_t blocks_skipped = 0; ///< pattern blocks skipped via dropping
   uint64_t value_reuses = 0;   ///< cached good values served to clients
+  /// 256-bit pattern blocks routed through the SIMD kernels, counted per
+  /// node evaluation as ceil(words / simd::kBlockWords) — independent of
+  /// sharding, so `--jobs N` reports the same number as serial.
+  uint64_t simd_blocks = 0;
+  uint64_t patterns_simulated = 0; ///< patterns x full passes (throughput)
+  double full_pass_seconds = 0.0;  ///< wall time inside full passes
+  /// Active kernel dispatch ("scalar"/"avx2"/"neon"); process-wide, so
+  /// accumulate keeps any non-null contributor.
+  const char* simd_dispatch = nullptr;
+
+  /// Full-pass throughput (pattern-evaluations per second); 0 when no
+  /// timed full pass ran.
+  double patterns_per_second() const {
+    return full_pass_seconds > 0.0
+               ? static_cast<double>(patterns_simulated) / full_pass_seconds
+               : 0.0;
+  }
 
   // Inline so rmsyn_obs can absorb the struct header-only (the same deal
   // BddStats/SchedStats get).
@@ -72,11 +91,16 @@ struct SimStats {
     faults_dropped += o.faults_dropped;
     blocks_skipped += o.blocks_skipped;
     value_reuses += o.value_reuses;
+    simd_blocks += o.simd_blocks;
+    patterns_simulated += o.patterns_simulated;
+    full_pass_seconds += o.full_pass_seconds;
+    if (o.simd_dispatch != nullptr) simd_dispatch = o.simd_dispatch;
   }
   bool empty() const {
     return full_passes == 0 && incr_resims == 0 && events == 0 &&
            events_died == 0 && fault_probes == 0 && cone_nodes == 0 &&
-           faults_dropped == 0 && blocks_skipped == 0 && value_reuses == 0;
+           faults_dropped == 0 && blocks_skipped == 0 && value_reuses == 0 &&
+           simd_blocks == 0 && patterns_simulated == 0;
   }
 };
 
@@ -96,7 +120,12 @@ struct SimStats {
 /// vector allocation from the engine.
 class SimState {
 public:
-  SimState(const Network& net, PatternSet patterns);
+  /// With a pool, the construction-time full pass shards the pattern
+  /// words across workers (disjoint word ranges of the same value rows,
+  /// bit-identical to serial by construction). The pool is only used for
+  /// that pass; incremental resim cones are too small to shard.
+  SimState(const Network& net, PatternSet patterns,
+           ThreadPool* pool = nullptr);
 
   const Network& net() const { return net_; }
   std::size_t num_patterns() const { return patterns_.num_patterns; }

@@ -1,6 +1,7 @@
 #include "testability/faults.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "bdd/bdd.hpp"
@@ -111,10 +112,28 @@ FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns,
   // simulation of the whole set.
   std::size_t bp = opt.drop_faults ? opt.block_patterns : np;
   bp = std::max<std::size_t>(64, (bp + 63) / 64 * 64);
-  std::vector<SimState> blocks;
-  for (std::size_t p0 = 0; p0 < np; p0 += bp)
-    blocks.emplace_back(net, pattern_block(patterns, p0, std::min(bp, np - p0)));
-  const std::size_t nblocks = blocks.size();
+  const std::size_t nblocks = (np + bp - 1) / bp;
+  std::vector<std::unique_ptr<SimState>> blocks(nblocks);
+  const auto build_block = [&](std::size_t b) {
+    const std::size_t p0 = b * bp;
+    // The single-block case gets inner word sharding instead — with one
+    // block, block-level parallelism has nothing to fan out.
+    ThreadPool* inner = nblocks == 1 ? opt.pool : nullptr;
+    blocks[b] = std::make_unique<SimState>(
+        net, pattern_block(patterns, p0, std::min(bp, np - p0)), inner);
+    return true;
+  };
+  if (opt.pool != nullptr && opt.pool->worker_count() > 0 && nblocks > 1) {
+    // Block states are independent; each slot writes its own index, so
+    // the resulting vector is identical to serial construction.
+    std::vector<Future<bool>> futs;
+    futs.reserve(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b)
+      futs.push_back(opt.pool->submit([&build_block, b] { return build_block(b); }));
+    for (auto& fut : futs) opt.pool->wait(fut);
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) build_block(b);
+  }
 
   // A fault is detected iff SOME pattern distinguishes it, so probing block
   // by block and stopping at the first hit decides exactly the same set as
@@ -123,11 +142,11 @@ FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns,
   std::vector<uint8_t> detected(faults.size(), 0);
   const auto run_chunk = [&](std::size_t lo, std::size_t hi) {
     SimStats st;
-    FaultProber prober(blocks.front());
+    FaultProber prober(*blocks.front());
     for (std::size_t i = lo; i < hi; ++i) {
       const Fault& f = faults[i];
       for (std::size_t b = 0; b < nblocks; ++b) {
-        if (!prober.detects(blocks[b], f.node, f.fanin_index, f.stuck_value))
+        if (!prober.detects(*blocks[b], f.node, f.fanin_index, f.stuck_value))
           continue;
         detected[i] = 1;
         if (b + 1 < nblocks) {
@@ -156,7 +175,7 @@ FaultSimResult fault_simulate(const Network& net, const PatternSet& patterns,
   } else {
     stats.accumulate(run_chunk(0, faults.size()));
   }
-  for (const auto& b : blocks) stats.accumulate(b.stats());
+  for (const auto& b : blocks) stats.accumulate(b->stats());
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (detected[i]) ++result.detected;

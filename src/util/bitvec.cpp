@@ -1,6 +1,9 @@
 #include "util/bitvec.hpp"
 
 #include <bit>
+#include <cassert>
+
+#include "util/simd.hpp"
 
 namespace rmsyn {
 
@@ -16,6 +19,16 @@ void BitVec::mask_tail() {
   }
 }
 
+void BitVec::assert_tail_clear() const {
+#ifndef NDEBUG
+  const std::size_t rem = nbits_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    assert((words_.back() & ~((uint64_t{1} << rem) - 1)) == 0 &&
+           "BitVec tail invariant violated: unused bits of last word set");
+  }
+#endif
+}
+
 void BitVec::clear_all() {
   for (auto& w : words_) w = 0;
 }
@@ -26,7 +39,7 @@ void BitVec::set_all() {
 }
 
 void BitVec::flip_all() {
-  for (auto& w : words_) w = ~w;
+  simd::ops().v_not(words_.data(), words_.data(), words_.size());
   mask_tail();
 }
 
@@ -44,15 +57,21 @@ void BitVec::resize(std::size_t nbits, bool value) {
 }
 
 std::size_t BitVec::count() const {
-  std::size_t c = 0;
-  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
-  return c;
+  assert_tail_clear();
+  return static_cast<std::size_t>(
+      simd::ops().v_popcount(words_.data(), words_.size()));
 }
 
 bool BitVec::any() const {
-  for (auto w : words_)
-    if (w != 0) return true;
-  return false;
+  assert_tail_clear();
+  return simd::ops().v_any(words_.data(), words_.size());
+}
+
+bool BitVec::differs(const BitVec& o) const {
+  assert_tail_clear();
+  o.assert_tail_clear();
+  if (nbits_ != o.nbits_) return true;
+  return simd::ops().v_any_diff(words_.data(), o.words_.data(), words_.size());
 }
 
 bool BitVec::is_subset_of(const BitVec& other) const {
@@ -84,15 +103,15 @@ std::size_t BitVec::next_set(std::size_t from) const {
 }
 
 BitVec& BitVec::operator&=(const BitVec& o) {
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  simd::ops().v_and_acc(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 BitVec& BitVec::operator|=(const BitVec& o) {
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  simd::ops().v_or_acc(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 BitVec& BitVec::operator^=(const BitVec& o) {
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  simd::ops().v_xor_acc(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
@@ -112,6 +131,7 @@ std::string BitVec::to_string() const {
 }
 
 std::size_t BitVec::hash() const {
+  assert_tail_clear();
   // FNV-1a over the words; the tail word is already masked.
   uint64_t h = 1469598103934665603ull;
   for (auto w : words_) {

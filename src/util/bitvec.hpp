@@ -24,6 +24,12 @@ public:
   uint64_t word(std::size_t w) const { return words_[w]; }
   uint64_t& word(std::size_t w) { return words_[w]; }
 
+  /// Raw word storage, for the SIMD kernels and sharded writers.
+  /// Callers writing through data() must re-establish the tail invariant
+  /// (unused bits of the last word zero) with mask_tail() when done.
+  const uint64_t* data() const { return words_.data(); }
+  uint64_t* data() { return words_.data(); }
+
   bool get(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
@@ -47,6 +53,19 @@ public:
   std::size_t count() const;
   bool any() const;
   bool none() const { return !any(); }
+
+  /// Early-exit word compare: true when the two vectors differ anywhere.
+  /// Equivalent to !(*this == o) for same-sized vectors but vectorized,
+  /// and the primitive behind fault detection and event firing.
+  bool differs(const BitVec& o) const;
+
+  /// Zeroes the unused bits of the last word. Storage-level invariant:
+  /// every BitVec keeps those bits zero so popcount/hash/compare are
+  /// exact for any bit count; only raw data() writers need to call this.
+  void mask_tail();
+
+  /// Debug check of the tail invariant (no-op in release builds).
+  void assert_tail_clear() const;
 
   /// True when every bit set in *this is also set in other.
   bool is_subset_of(const BitVec& other) const;
@@ -76,8 +95,6 @@ public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 private:
-  void mask_tail();
-
   std::size_t nbits_ = 0;
   std::vector<uint64_t> words_;
 };

@@ -138,5 +138,60 @@ TEST_P(BitVecRandom, DeMorganProperty) {
 INSTANTIATE_TEST_SUITE_P(Widths, BitVecRandom,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128, 200, 513));
 
+TEST(BitVec, TailInvariantHoldsAtConstructionAndAfterMaskTail) {
+  // The SIMD kernels rely on the unused bits of the final word being zero
+  // (count/any/differs read whole words); every constructor and mutator
+  // must uphold it, and raw data() writers restore it via mask_tail().
+  for (const std::size_t width : {1u, 63u, 64u, 65u, 130u}) {
+    BitVec v(width);
+    v.assert_tail_clear();
+    v.set_all();
+    v.assert_tail_clear();
+    EXPECT_EQ(v.count(), width);
+    v.flip_all();
+    v.assert_tail_clear();
+    EXPECT_EQ(v.count(), 0u);
+
+    // The raw-writer pattern: scribble whole words through data(), then
+    // mask_tail() before handing the vector back to anything that counts.
+    for (std::size_t w = 0; w < v.words(); ++w) v.data()[w] = ~uint64_t{0};
+    v.mask_tail();
+    v.assert_tail_clear();
+    EXPECT_EQ(v.count(), width);
+  }
+}
+
+TEST(BitVec, DiffersMatchesInequalityOnEqualSizes) {
+  Rng rng(0xD1FF);
+  for (const std::size_t width : {1u, 64u, 65u, 200u}) {
+    BitVec a(width), b(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      if (rng.flip()) a.set(i);
+      if (rng.flip()) b.set(i);
+    }
+    EXPECT_EQ(a.differs(b), !(a == b));
+    EXPECT_FALSE(a.differs(a));
+    BitVec c = a;
+    EXPECT_FALSE(a.differs(c));
+    // A single flipped bit anywhere — including the final partial word —
+    // must register.
+    c.flip(width - 1);
+    EXPECT_TRUE(a.differs(c));
+  }
+}
+
+TEST(BitVec, CountExactAtNonWordMultipleSizes) {
+  for (const std::size_t width : {1u, 31u, 63u, 65u, 127u, 321u}) {
+    BitVec v(width);
+    v.set_all();
+    EXPECT_EQ(v.count(), width) << width;
+    v.flip_all();
+    EXPECT_EQ(v.count(), 0u) << width;
+    v.set(width - 1);
+    EXPECT_EQ(v.count(), 1u) << width;
+    EXPECT_TRUE(v.any());
+  }
+}
+
 } // namespace
 } // namespace rmsyn
